@@ -1,0 +1,109 @@
+// Command flexio-bench regenerates the paper's evaluation figures (4, 5,
+// and 7) and the repository's ablation studies (A1–A5) as text tables.
+//
+// Usage:
+//
+//	flexio-bench -fig 4            # Figure 4 at paper scale (slow)
+//	flexio-bench -fig 5 -small    # Figure 5 at reduced scale
+//	flexio-bench -fig all -small  # everything, quickly
+//
+// At paper scale Figure 4 writes up to 1 GB per point and Figure 5 writes
+// a 1 GB file per point; expect minutes of wall time and a few GB of RAM.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"flexio/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate: 4, 5, 7, A1, A2, A3, A4, A5, or all")
+	small := flag.Bool("small", false, "run at reduced scale (fast, shapes preserved)")
+	verify := flag.Bool("verify", false, "verify file contents against references at every point")
+	fig5file := flag.Int64("fig5file", 1<<30, "figure 5 file size in bytes")
+	fig5every := flag.Int("fig5every", 1, "keep every k-th figure 5 fraction point")
+	fig4aggs := flag.Int("fig4aggs", 0, "restrict figure 4 to one aggregator count (0 = all panels)")
+	flag.Parse()
+
+	want := strings.ToLower(*fig)
+	run := func(name string) bool { return want == "all" || want == strings.ToLower(name) }
+	failed := false
+
+	emit := func(name string, tables []experiments.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			failed = true
+			return
+		}
+		for _, t := range tables {
+			fmt.Println(t.Format())
+		}
+	}
+
+	if run("4") {
+		p := experiments.DefaultFig4()
+		if *small {
+			p = p.Scale(16, 256)
+		}
+		if *fig4aggs > 0 {
+			p.AggCounts = []int{*fig4aggs}
+		}
+		p.Verify = *verify
+		tables, err := experiments.Fig4(p)
+		emit("fig4", tables, err)
+	}
+	if run("5") {
+		p := experiments.DefaultFig5()
+		p = p.Scale(*fig5file, *fig5every)
+		if *small {
+			p = p.Scale(64<<20, 4)
+			p.Ranks = 8
+		}
+		p.Verify = *verify
+		tables, err := experiments.Fig5(p)
+		emit("fig5", tables, err)
+	}
+	if run("7") {
+		p := experiments.DefaultFig7()
+		if *small {
+			p = p.Scale(512, 8, []int{16, 32})
+		}
+		p.Verify = *verify
+		tables, err := experiments.Fig7(p)
+		emit("fig7", tables, err)
+	}
+
+	ab := experiments.DefaultAblation()
+	if *small {
+		ab.Ranks = 8
+		ab.RegionCount = 512
+	}
+	if run("A1") {
+		tables, err := experiments.AblationExchange(ab)
+		emit("A1", tables, err)
+	}
+	if run("A2") {
+		tables, err := experiments.AblationRepresentation(ab)
+		emit("A2", tables, err)
+	}
+	if run("A3") {
+		tables, err := experiments.AblationRealms(ab)
+		emit("A3", tables, err)
+	}
+	if run("A4") {
+		tables, err := experiments.AblationComm(ab)
+		emit("A4", tables, err)
+	}
+	if run("A5") {
+		tables, err := experiments.AblationHeap(ab)
+		emit("A5", tables, err)
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,134 @@
+// Command hpio runs a single HPIO benchmark configuration through a chosen
+// collective I/O implementation on the simulated cluster and reports
+// bandwidth plus an MPE-style phase and counter breakdown.
+//
+// Example:
+//
+//	hpio -procs 64 -region 1024 -count 4096 -spacing 128 -aggs 16 -impl new
+//	hpio -impl old -enumerate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"flexio/internal/colltest"
+	"flexio/internal/core"
+	"flexio/internal/hpio"
+	"flexio/internal/mpiio"
+	"flexio/internal/realm"
+	"flexio/internal/sim"
+	"flexio/internal/stats"
+	"flexio/internal/twophase"
+)
+
+func main() {
+	procs := flag.Int("procs", 64, "number of MPI processes")
+	region := flag.Int64("region", 1024, "region size in bytes")
+	count := flag.Int64("count", 4096, "regions per process")
+	spacing := flag.Int64("spacing", 128, "file spacing between regions in bytes")
+	aggs := flag.Int("aggs", 0, "I/O aggregators (0 = all processes)")
+	impl := flag.String("impl", "new", "collective implementation: new, old, or none")
+	method := flag.String("method", "datasieve", "buffer access method for the new code: datasieve, naive, listio, conditional")
+	comm := flag.String("comm", "nonblocking", "data exchange for the new code: nonblocking or alltoallw")
+	align := flag.Int64("align", 0, "file realm alignment in bytes (0 = off)")
+	pfr := flag.Bool("pfr", false, "persistent file realms")
+	cyclic := flag.Int64("cyclic", 0, "cyclic realms with this block size (0 = even realms)")
+	enumerate := flag.Bool("enumerate", false, "use an enumerated (vector) filetype instead of the succinct form")
+	memContig := flag.Bool("memcontig", false, "contiguous memory layout")
+	steps := flag.Int("steps", 1, "number of repeated collective writes")
+	verify := flag.Bool("verify", true, "verify the file image")
+	flag.Parse()
+
+	wl := hpio.Pattern{
+		Ranks:        *procs,
+		RegionSize:   *region,
+		RegionCount:  *count,
+		Spacing:      *spacing,
+		MemNoncontig: !*memContig,
+		MemGap:       *spacing,
+		Enumerate:    *enumerate,
+	}
+	if err := wl.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	var coll mpiio.Collective
+	switch *impl {
+	case "old":
+		coll = twophase.New()
+	case "none":
+		coll = nil
+	case "new":
+		o := core.Options{Align: *align, Persistent: *pfr}
+		switch *method {
+		case "datasieve":
+			o.Method = mpiio.DataSieve
+		case "naive":
+			o.Method = mpiio.Naive
+		case "listio":
+			o.Method = mpiio.ListIO
+		case "conditional":
+			o.Conditional = true
+		default:
+			log.Fatalf("unknown method %q", *method)
+		}
+		switch *comm {
+		case "nonblocking":
+			o.Comm = core.Nonblocking
+		case "alltoallw":
+			o.Comm = core.Alltoallw
+		default:
+			log.Fatalf("unknown comm %q", *comm)
+		}
+		if *cyclic > 0 {
+			o.Assigner = realm.Cyclic{Block: *cyclic}
+		}
+		coll = core.New(o)
+	default:
+		log.Fatalf("unknown impl %q", *impl)
+	}
+
+	cfg := sim.DefaultConfig()
+	res, err := colltest.RunWriteSteps(cfg, wl, mpiio.Info{Collective: coll, CbNodes: *aggs}, *steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verify {
+		if err := colltest.VerifyImage(wl, res.Image); err != nil {
+			log.Fatalf("verification failed: %v", err)
+		}
+	}
+
+	total := wl.TotalBytes() * int64(*steps)
+	name := "independent"
+	if coll != nil {
+		name = coll.Name()
+	}
+	fmt.Printf("%s\n", wl)
+	fmt.Printf("impl=%s aggregators=%d steps=%d\n", name, *aggs, *steps)
+	fmt.Printf("aggregate data: %.2f MB   elapsed (virtual): %v   bandwidth: %.2f MB/s\n",
+		float64(total)/1e6, res.Elapsed, res.BandwidthMBs(total))
+
+	agg := stats.Merge(res.World.Recorders()...)
+	fmt.Println("\nphase time across ranks (virtual seconds):")
+	keys := make([]string, 0, len(agg.Times))
+	for k := range agg.Times {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-10s %v\n", k, agg.Times[k])
+	}
+	fmt.Println("counters:")
+	keys = keys[:0]
+	for k := range agg.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-18s %d\n", k, agg.Counters[k])
+	}
+}

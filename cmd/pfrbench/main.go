@@ -1,0 +1,59 @@
+// Command pfrbench runs the persistent-file-realm time-step workload
+// (paper §6.4 / Figure 7) for one configuration, reporting bandwidth and
+// the lock/cache counters that explain it.
+//
+// Example:
+//
+//	pfrbench -clients 32 -pfr -align 2097152
+//	pfrbench -clients 32            # baseline: no PFR, no alignment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"flexio/internal/experiments"
+	"flexio/internal/stats"
+)
+
+func main() {
+	clients := flag.Int("clients", 32, "number of client processes (half act as aggregators)")
+	elems := flag.Int64("elems", 100, "elements per data point")
+	elemSize := flag.Int64("elemsize", 32, "element size in bytes")
+	points := flag.Int64("points", 2048, "number of data points")
+	steps := flag.Int("steps", 32, "time steps (one collective write each)")
+	pfr := flag.Bool("pfr", false, "persistent file realms")
+	align := flag.Int64("align", 0, "file realm alignment in bytes (0 = off; the paper uses the 2MB stripe)")
+	verify := flag.Bool("verify", false, "verify the final file image")
+	flag.Parse()
+
+	p := experiments.DefaultFig7()
+	p.Clients = []int{*clients}
+	p.ElemsPerPoint = *elems
+	p.ElemSize = *elemSize
+	p.Points = *points
+	p.Steps = *steps
+	p.Verify = *verify
+
+	res, err := experiments.RunPFRConfig(p, *clients, *pfr, *align)
+	if err != nil {
+		log.Fatal(err)
+	}
+	total := p.Points * p.ElemsPerPoint * p.ElemSize * int64(p.Steps)
+	fmt.Printf("clients=%d aggregators=%d points=%d elems=%d x %dB steps=%d pfr=%v align=%d\n",
+		*clients, *clients/2, p.Points, p.ElemsPerPoint, p.ElemSize, p.Steps, *pfr, *align)
+	fmt.Printf("data per step: %.2f MB   total: %.2f MB\n",
+		float64(total)/float64(p.Steps)/1e6, float64(total)/1e6)
+	fmt.Printf("elapsed (virtual): %v   bandwidth: %.2f MB/s\n", res.Elapsed, res.BandwidthMBs(total))
+
+	agg := stats.Merge(res.World.Recorders()...)
+	fmt.Printf("\nlock grants:      %d\n", agg.Counter(stats.CLockGrants))
+	fmt.Printf("lock revocations: %d\n", agg.Counter(stats.CLockRevokes))
+	fmt.Printf("stripe conflicts: %d\n", agg.Counter(stats.CStripeConflicts))
+	fmt.Printf("cache hits:       %d\n", agg.Counter(stats.CCacheHits))
+	fmt.Printf("cache flushes:    %d\n", agg.Counter(stats.CCacheFlushes))
+	fmt.Printf("I/O calls:        %d\n", agg.Counter(stats.CIOCalls))
+	fmt.Printf("bytes to storage: %.2f MB (vs %.2f MB useful)\n",
+		float64(agg.Counter(stats.CBytesIO))/1e6, float64(total)/1e6)
+}

@@ -1,0 +1,112 @@
+// Checkpoint: a NetCDF-style time-step checkpoint writer (the paper's
+// §6.4 scenario). A 3-D field of multi-variable data points is written one
+// time step per collective call, with all time steps of a data point kept
+// together in the file. The example runs the same workload under all four
+// combinations of persistent file realms and stripe-aligned realms and
+// prints the resulting bandwidth and lock traffic — the paper's Figure 7
+// in miniature.
+//
+// Run with: go run ./examples/checkpoint
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexio/internal/core"
+	"flexio/internal/datatype"
+	"flexio/internal/mpi"
+	"flexio/internal/mpiio"
+	"flexio/internal/pfs"
+	"flexio/internal/sim"
+	"flexio/internal/stats"
+)
+
+const (
+	clients       = 16
+	elemsPerPoint = 100 // variables per data point
+	elemSize      = 32  // bytes per variable
+	points        = 512 // data points
+	steps         = 12  // time steps
+)
+
+func runConfig(pfr bool, align int64) (bw float64, revokes, conflicts int64) {
+	cfg := sim.DefaultConfig()
+	world := mpi.NewWorld(clients, cfg)
+	fs := pfs.NewFileSystem(cfg)
+
+	slotSize := int64(elemsPerPoint * elemSize)
+	pointExtent := int64(steps) * slotSize
+
+	world.Run(func(p *mpi.Proc) {
+		f, err := mpiio.Open(p, fs, "checkpoint.nc", mpiio.Info{
+			Collective: core.New(core.Options{
+				Persistent: pfr,
+				Align:      align,
+				Method:     mpiio.DataSieve,
+			}),
+			CbNodes: clients / 2,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// This rank owns every clients-th variable of each point.
+		var lens, displs []int64
+		for e := int64(p.Rank()); e < elemsPerPoint; e += clients {
+			lens = append(lens, 1)
+			displs = append(displs, e*elemSize)
+		}
+		slot := datatype.Must(datatype.HIndexed(lens, displs, datatype.Bytes(elemSize)))
+		filetype := datatype.Must(datatype.Resized(slot, pointExtent))
+		mine := int64(len(lens)) * elemSize
+		buf := make([]byte, mine*points)
+
+		for t := 0; t < steps; t++ {
+			// The view slides one slot per time step; persistent
+			// realms survive the view change.
+			if err := f.SetView(int64(t)*slotSize, datatype.Bytes(1), filetype); err != nil {
+				log.Fatal(err)
+			}
+			for i := range buf {
+				buf[i] = byte(t*17 + p.Rank()*3 + i%251)
+			}
+			if err := f.WriteAll(buf, datatype.Bytes(mine), points); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	total := int64(points) * elemsPerPoint * elemSize * steps
+	agg := stats.Merge(world.Recorders()...)
+	return float64(total) / 1e6 / world.MaxClock().Seconds(),
+		agg.Counter(stats.CLockRevokes),
+		agg.Counter(stats.CStripeConflicts)
+}
+
+func main() {
+	fmt.Printf("time-step checkpoint: %d clients, %d points x %d vars x %dB, %d steps (%.2f MB/step)\n\n",
+		clients, points, elemsPerPoint, elemSize, steps,
+		float64(points*elemsPerPoint*elemSize)/1e6)
+	fmt.Printf("%-22s %10s %12s %12s\n", "configuration", "MB/s", "revocations", "conflicts")
+	stripe := sim.DefaultConfig().StripeSize
+	for _, c := range []struct {
+		name  string
+		pfr   bool
+		align int64
+	}{
+		{"pfr + fr-align", true, stripe},
+		{"pfr only", true, 0},
+		{"fr-align only", false, stripe},
+		{"neither", false, 0},
+	} {
+		bw, rev, conf := runConfig(c.pfr, c.align)
+		fmt.Printf("%-22s %10.2f %12d %12d\n", c.name, bw, rev, conf)
+	}
+	fmt.Println("\nAligned persistent realms keep every page and stripe lock cached at one")
+	fmt.Println("aggregator for the life of the file; the unaligned configurations pay for")
+	fmt.Println("lock transfers every step.")
+}

@@ -1,0 +1,69 @@
+// HPIO sweep: a reduced-scale rendition of the paper's Figure 4. The HPIO
+// pattern (noncontiguous in memory and file) is swept over region sizes,
+// comparing the new implementation with a succinct filetype, the new
+// implementation with an enumerated filetype, and the original ROMIO-style
+// implementation.
+//
+// Run with: go run ./examples/hpio-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flexio/internal/colltest"
+	"flexio/internal/core"
+	"flexio/internal/hpio"
+	"flexio/internal/mpiio"
+	"flexio/internal/sim"
+	"flexio/internal/twophase"
+)
+
+func main() {
+	const (
+		ranks   = 16
+		regions = 512
+		spacing = 128
+		aggs    = 8
+	)
+	cfg := sim.DefaultConfig()
+	sizes := []int64{8, 32, 128, 512, 2048}
+
+	fmt.Printf("HPIO: %d procs, %d regions/proc, %dB spacing, %d aggregators\n\n",
+		ranks, regions, spacing, aggs)
+	fmt.Printf("%-12s %14s %14s %14s\n", "region(B)", "new+struct", "new+vect", "old+vec")
+
+	for _, rs := range sizes {
+		row := make([]float64, 0, 3)
+		for _, c := range []struct {
+			enum bool
+			coll mpiio.Collective
+		}{
+			{false, core.New(core.Options{})},
+			{true, core.New(core.Options{})},
+			{true, twophase.New()},
+		} {
+			wl := hpio.Pattern{
+				Ranks:        ranks,
+				RegionSize:   rs,
+				RegionCount:  regions,
+				Spacing:      spacing,
+				MemNoncontig: true,
+				MemGap:       spacing,
+				Enumerate:    c.enum,
+			}
+			res, err := colltest.RunWrite(cfg, wl, mpiio.Info{Collective: c.coll, CbNodes: aggs})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := colltest.VerifyImage(wl, res.Image); err != nil {
+				log.Fatalf("region=%d: %v", rs, err)
+			}
+			row = append(row, res.BandwidthMBs(wl.TotalBytes()))
+		}
+		fmt.Printf("%-12d %14.2f %14.2f %14.2f\n", rs, row[0], row[1], row[2])
+	}
+	fmt.Println("\nEvery point verified byte-for-byte against the reference image.")
+	fmt.Println("The succinct filetype wins at small regions (datatype processing bound);")
+	fmt.Println("the curves converge as I/O time dominates.")
+}

@@ -1,0 +1,82 @@
+// Quickstart: eight simulated MPI ranks collectively write an interleaved
+// file through the flexible collective I/O engine, read it back, and print
+// the bandwidth the virtual-time model measured.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"flexio/internal/core"
+	"flexio/internal/datatype"
+	"flexio/internal/mpi"
+	"flexio/internal/mpiio"
+	"flexio/internal/pfs"
+	"flexio/internal/sim"
+)
+
+func main() {
+	const (
+		ranks      = 8
+		regionSize = 4096 // bytes each rank contributes per row
+		rows       = 512  // interleaved rows
+	)
+
+	cfg := sim.DefaultConfig()
+	world := mpi.NewWorld(ranks, cfg)
+	fs := pfs.NewFileSystem(cfg)
+
+	world.Run(func(p *mpi.Proc) {
+		// Open collectively with the paper's engine plugged in as the
+		// collective implementation.
+		f, err := mpiio.Open(p, fs, "quickstart.dat", mpiio.Info{
+			Collective: core.New(core.Options{}),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// File view: rank r owns regionSize bytes of every row.
+		// The filetype is succinct: one region, tiled every
+		// ranks*regionSize bytes.
+		filetype, err := datatype.Resized(datatype.Bytes(regionSize), ranks*regionSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := f.SetView(int64(p.Rank())*regionSize, datatype.Bytes(1), filetype); err != nil {
+			log.Fatal(err)
+		}
+
+		// Each rank fills its rows with a rank-specific pattern.
+		buf := make([]byte, regionSize*rows)
+		for i := range buf {
+			buf[i] = byte(p.Rank()*31 + i%97)
+		}
+
+		if err := f.WriteAll(buf, datatype.Bytes(regionSize), rows); err != nil {
+			log.Fatal(err)
+		}
+
+		// Read it back collectively and check.
+		got := make([]byte, len(buf))
+		if err := f.ReadAll(got, datatype.Bytes(regionSize), rows); err != nil {
+			log.Fatal(err)
+		}
+		if !bytes.Equal(got, buf) {
+			log.Fatalf("rank %d: read-back mismatch", p.Rank())
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	total := int64(ranks) * regionSize * rows * 2 // write + read
+	elapsed := world.MaxClock()
+	fmt.Printf("wrote and re-read %d MB across %d ranks\n", total/2/(1<<20), ranks)
+	fmt.Printf("virtual time: %v   effective bandwidth: %.1f MB/s\n",
+		elapsed, float64(total)/1e6/elapsed.Seconds())
+	fmt.Println("data verified on every rank")
+}

@@ -1,0 +1,3 @@
+module flexio
+
+go 1.22

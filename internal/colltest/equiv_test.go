@@ -1,0 +1,182 @@
+package colltest
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flexio/internal/core"
+	"flexio/internal/mpiio"
+	"flexio/internal/realm"
+	"flexio/internal/sim"
+	"flexio/internal/twophase"
+)
+
+// genWorkload draws a random HPIO-style workload small enough to run fast.
+func genWorkload(rng *rand.Rand) Workload {
+	return Workload{
+		Ranks:        1 + rng.Intn(7),
+		RegionSize:   int64(1 + rng.Intn(300)),
+		RegionCount:  int64(1 + rng.Intn(60)),
+		Spacing:      int64(rng.Intn(200)),
+		Disp:         int64(rng.Intn(500)),
+		MemNoncontig: rng.Intn(2) == 0,
+		MemGap:       int64(rng.Intn(64)),
+		Enumerate:    rng.Intn(3) == 0,
+	}
+}
+
+// genInfo draws random hints and a random collective engine configuration.
+func genInfo(rng *rand.Rand, wl Workload) mpiio.Info {
+	var coll mpiio.Collective
+	if rng.Intn(4) == 0 {
+		coll = twophase.New()
+	} else {
+		o := core.Options{Validate: true}
+		switch rng.Intn(3) {
+		case 0:
+			o.Method = mpiio.DataSieve
+		case 1:
+			o.Method = mpiio.Naive
+		default:
+			o.Method = mpiio.ListIO
+		}
+		if rng.Intn(2) == 0 {
+			o.Comm = core.Alltoallw
+		}
+		if rng.Intn(3) == 0 {
+			o.HeapMerge = true
+		}
+		switch rng.Intn(4) {
+		case 0:
+			o.Assigner = realm.Cyclic{Block: int64(256 << rng.Intn(4))}
+		case 1:
+			o.Assigner = realm.Even{Align: 4096}
+		case 2:
+			o.Assigner = realm.LoadBalanced{}
+		}
+		if rng.Intn(3) == 0 {
+			o.Persistent = true
+		}
+		coll = core.New(o)
+	}
+	info := mpiio.Info{Collective: coll}
+	if rng.Intn(2) == 0 {
+		info.CbNodes = 1 + rng.Intn(wl.Ranks)
+	}
+	if rng.Intn(2) == 0 {
+		info.CollBufSize = int64(256 << rng.Intn(6)) // 256B .. 8KB: many rounds
+	}
+	if rng.Intn(2) == 0 {
+		info.SieveBufSize = int64(512 << rng.Intn(4))
+	}
+	return info
+}
+
+// TestRandomizedWriteCorrectness drives random workloads through random
+// engine configurations and verifies every file image byte-for-byte.
+func TestRandomizedWriteCorrectness(t *testing.T) {
+	rng := rand.New(rand.NewSource(20060925)) // CLUSTER 2006 conference date
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		wl := genWorkload(rng)
+		info := genInfo(rng, wl)
+		name := "old"
+		if info.Collective != nil {
+			name = info.Collective.Name()
+		}
+		res, err := RunWrite(sim.DefaultConfig(), wl, info)
+		if err != nil {
+			t.Fatalf("trial %d (%s, %s): %v", trial, wl, name, err)
+		}
+		if err := VerifyImage(wl, res.Image); err != nil {
+			t.Fatalf("trial %d (%s, %s, cb=%d naggs=%d): %v",
+				trial, wl, name, info.CollBufSize, info.CbNodes, err)
+		}
+	}
+}
+
+// TestRandomizedOldNewEquivalence: for identical workloads, the old and
+// new implementations must produce byte-identical files.
+func TestRandomizedOldNewEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	for trial := 0; trial < trials; trial++ {
+		wl := genWorkload(rng)
+		cb := int64(512 << rng.Intn(5))
+		old, err := RunWrite(sim.DefaultConfig(), wl, mpiio.Info{Collective: twophase.New(), CollBufSize: cb})
+		if err != nil {
+			t.Fatalf("trial %d old: %v", trial, err)
+		}
+		niu, err := RunWrite(sim.DefaultConfig(), wl, mpiio.Info{
+			Collective: core.New(core.Options{Validate: true}), CollBufSize: cb})
+		if err != nil {
+			t.Fatalf("trial %d new: %v", trial, err)
+		}
+		if !bytes.Equal(old.Image, niu.Image) {
+			for i := range old.Image {
+				if old.Image[i] != niu.Image[i] {
+					t.Fatalf("trial %d (%s): images differ at byte %d", trial, wl, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomizedReadBack: random workloads read back correctly through
+// random configurations.
+func TestRandomizedReadBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	trials := 20
+	if testing.Short() {
+		trials = 6
+	}
+	for trial := 0; trial < trials; trial++ {
+		wl := genWorkload(rng)
+		info := genInfo(rng, wl)
+		if _, err := RunReadBack(sim.DefaultConfig(), wl, info); err != nil {
+			name := "old"
+			if info.Collective != nil {
+				name = info.Collective.Name()
+			}
+			t.Fatalf("trial %d (%s, %s): %v", trial, wl, name, err)
+		}
+	}
+}
+
+// TestRandomizedCollectiveMatchesIndependent: a collective write must leave
+// the same file image as each rank writing independently.
+func TestRandomizedCollectiveMatchesIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		wl := genWorkload(rng)
+		coll, err := RunWrite(sim.DefaultConfig(), wl, mpiio.Info{
+			Collective: core.New(core.Options{Validate: true}),
+		})
+		if err != nil {
+			t.Fatalf("trial %d collective: %v", trial, err)
+		}
+		indep, err := RunWrite(sim.DefaultConfig(), wl, mpiio.Info{IndepMethod: mpiio.ListIO})
+		if err != nil {
+			t.Fatalf("trial %d independent: %v", trial, err)
+		}
+		if !bytes.Equal(coll.Image, indep.Image) {
+			t.Fatalf("trial %d (%s): collective and independent images differ", trial, wl)
+		}
+	}
+}
+
+// TestWorkloadStringer keeps the diagnostic formatting stable.
+func TestWorkloadStringer(t *testing.T) {
+	wl := Workload{Ranks: 4, RegionSize: 8, RegionCount: 2, Spacing: 1}
+	if got := fmt.Sprint(wl); got == "" {
+		t.Fatal("empty workload description")
+	}
+}

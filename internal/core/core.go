@@ -1,0 +1,693 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"flexio/internal/datatype"
+	"flexio/internal/mpi"
+	"flexio/internal/mpiio"
+	"flexio/internal/realm"
+	"flexio/internal/stats"
+)
+
+const (
+	tagFlat = 3000
+	tagData = 4000
+	tagBack = 5000
+)
+
+// CommStrategy selects how the data exchange phase moves bytes.
+type CommStrategy int
+
+const (
+	// Nonblocking overlaps each round's incoming data with the previous
+	// round's file I/O using Irecv/Isend (paper §5.4's overlap path).
+	Nonblocking CommStrategy = iota
+	// Alltoallw uses the collective exchange; on machines with a
+	// dedicated collective network this is the fast path, and it avoids
+	// the pack/unpack copies by communicating noncontiguously straight
+	// from the user and collective buffers.
+	Alltoallw
+)
+
+// String names the strategy.
+func (c CommStrategy) String() string {
+	if c == Alltoallw {
+		return "alltoallw"
+	}
+	return "nonblocking"
+}
+
+// Options configures the engine. The zero value gives the paper's
+// defaults: even realms over the aggregate access region, data sieving
+// beneath the collective buffer, nonblocking exchange.
+type Options struct {
+	// Assigner decides file realms. Nil means realm.Even{}.
+	Assigner realm.Assigner
+	// Align requests realm boundaries at multiples of this many bytes
+	// (the paper's file-realm alignment hint; set it to the file system
+	// stripe size).
+	Align int64
+	// Persistent keeps the realms of the first collective call for the
+	// whole life of the file, anchored at byte zero (PFRs, paper §5.2).
+	Persistent bool
+	// Comm selects the data exchange strategy.
+	Comm CommStrategy
+	// Method is the buffer access method used to move the collective
+	// buffer to/from storage (ignored when Conditional is set).
+	Method mpiio.Method
+	// Conditional enables conditional data sieving: per collective
+	// call, aggregators pick naive I/O when the filetype extent is at
+	// least CondThreshold and data sieving below it (paper §6.3).
+	Conditional bool
+	// CondThreshold is the extent crossover for Conditional; zero means
+	// 24 KB, the crossover measured on this repository's simulated
+	// system (the paper measured ~16 KB on its Lustre testbed and notes
+	// the exact numbers are unique to the particular system, §6.3).
+	CondThreshold int64
+	// HeapMerge enables the client-side binary-heap merge across
+	// aggregator realms instead of one access pass per aggregator.
+	HeapMerge bool
+	// TreeRequests ships the filetype's constructor tree instead of its
+	// flattened form in the request exchange (paper §5.3's "higher
+	// level description"): smaller still for regular nested types, at
+	// the cost of the aggregator expanding the tree on arrival.
+	TreeRequests bool
+	// Validate checks realm coverage of the aggregate access region
+	// before every call (debugging aid; O(realms) per call).
+	Validate bool
+}
+
+// Impl implements mpiio.Collective.
+type Impl struct {
+	o Options
+}
+
+// New builds an engine with the given options.
+func New(o Options) *Impl {
+	if o.Assigner == nil {
+		o.Assigner = realm.Even{}
+	}
+	if o.CondThreshold <= 0 {
+		o.CondThreshold = 24 << 10
+	}
+	return &Impl{o: o}
+}
+
+// Name implements mpiio.Collective.
+func (i *Impl) Name() string {
+	return fmt.Sprintf("flexio(%s,%s)", i.o.Assigner.Name(), i.o.Comm)
+}
+
+// Options returns the engine's configuration.
+func (i *Impl) Options() Options { return i.o }
+
+// WriteAll implements mpiio.Collective.
+func (i *Impl) WriteAll(f *mpiio.File, buf []byte, memtype datatype.Type, count int64) error {
+	return i.collective(f, buf, memtype, count, true)
+}
+
+// ReadAll implements mpiio.Collective.
+func (i *Impl) ReadAll(f *mpiio.File, buf []byte, memtype datatype.Type, count int64) error {
+	return i.collective(f, buf, memtype, count, false)
+}
+
+// roundPieces groups one peer's pieces by two-phase round.
+type roundPieces struct {
+	pieces []piece
+	// byRound[r] indexes the first piece of round r in pieces (pieces
+	// are emitted with non-decreasing rounds).
+	starts map[int][2]int // round -> [first, past-last)
+	rounds int
+}
+
+func groupRounds(ps []piece) *roundPieces {
+	rp := &roundPieces{pieces: ps, starts: make(map[int][2]int)}
+	for k := 0; k < len(ps); {
+		r := ps[k].round
+		j := k
+		for j < len(ps) && ps[j].round == r {
+			j++
+		}
+		rp.starts[r] = [2]int{k, j}
+		if r+1 > rp.rounds {
+			rp.rounds = r + 1
+		}
+		k = j
+	}
+	return rp
+}
+
+func (rp *roundPieces) of(r int) []piece {
+	if rp == nil {
+		return nil
+	}
+	if b, ok := rp.starts[r]; ok {
+		return rp.pieces[b[0]:b[1]]
+	}
+	return nil
+}
+
+func (rp *roundPieces) bytes(r int) int64 {
+	var n int64
+	for _, pc := range rp.of(r) {
+		n += pc.file.Len
+	}
+	return n
+}
+
+func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, count int64, write bool) error {
+	p := f.Proc()
+	info := f.Info()
+	cb := info.CollBufSize
+
+	naggs := info.CbNodes
+	if naggs == 0 {
+		naggs = p.Size()
+	}
+	amAgg := p.Rank() < naggs
+
+	// --- Linearize user data and describe the access succinctly. ---
+	dataLen := datatype.TotalSize(memtype, count)
+	var stream []byte
+	if write {
+		if i.o.Comm == Alltoallw {
+			// Alltoallw communicates directly from the user buffer:
+			// the linearization is free of charge.
+			var err error
+			stream, err = datatype.Pack(buf, memtype, 0, count)
+			if err != nil {
+				return err
+			}
+		} else {
+			var err error
+			stream, err = f.PackMemory(buf, memtype, count)
+			if err != nil {
+				return err
+			}
+		}
+	} else {
+		stream = make([]byte, dataLen)
+	}
+
+	view := f.View()
+	ftSize := view.Filetype.Size()
+	var myFlat datatype.Flat
+	if dataLen > 0 && ftSize > 0 {
+		instances := (dataLen + ftSize - 1) / ftSize
+		myFlat = datatype.FlatOf(view.Filetype, view.Disp, instances)
+		myFlat.Limit = dataLen
+	} else {
+		myFlat = datatype.FlatOf(datatype.Bytes(0), view.Disp, 0)
+		myFlat.Limit = 0
+	}
+	f.ChargePairs(int64(len(myFlat.Segs)))
+
+	// --- Aggregate access region. ---
+	var st, en int64 = 1 << 62, -1
+	if dataLen > 0 {
+		st, en = f.AccessBounds(dataLen)
+	}
+	t0 := p.Clock()
+	allSt := p.AllgatherInt64(st)
+	allEn := p.AllgatherInt64(en)
+	aarSt, aarEn := int64(1<<62), int64(-1)
+	for r := 0; r < p.Size(); r++ {
+		if allSt[r] < aarSt {
+			aarSt = allSt[r]
+		}
+		if allEn[r] > aarEn {
+			aarEn = allEn[r]
+		}
+	}
+	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+	if aarEn <= aarSt {
+		return nil
+	}
+
+	// --- File realms. ---
+	realms, err := i.realms(f, naggs, aarSt, aarEn, dataLen)
+	if err != nil {
+		return err
+	}
+	if i.o.Validate {
+		if err := realm.Coverage(realms, aarSt, aarEn); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+
+	// --- Request exchange: flattened filetypes (O(D) on the wire) or
+	// constructor trees (smaller still for regular nested types). ---
+	t0 = p.Clock()
+	var enc []byte
+	if i.o.TreeRequests {
+		enc = encodeTreeRequest(view.Filetype, myFlat.Disp, myFlat.Count, myFlat.Limit)
+	} else {
+		enc = myFlat.Encode()
+	}
+	for a := 0; a < naggs; a++ {
+		p.Stats.Add(stats.CReqBytes, int64(len(enc)))
+		p.Send(a, tagFlat, enc)
+	}
+	var flats []datatype.Flat
+	if amAgg {
+		flats = make([]datatype.Flat, p.Size())
+		var expand int64
+		for c := 0; c < p.Size(); c++ {
+			msg, _ := p.Recv(c, tagFlat)
+			var fl datatype.Flat
+			var err error
+			if i.o.TreeRequests {
+				var work int64
+				fl, work, err = decodeTreeRequest(msg)
+				expand += work
+			} else {
+				fl, err = datatype.DecodeFlat(msg)
+			}
+			if err != nil {
+				return fmt.Errorf("core: bad request from rank %d: %w", c, err)
+			}
+			flats[c] = fl
+		}
+		f.ChargePairs(expand)
+	}
+	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+
+	// --- Client-side intersection: my access against every realm. ---
+	t0 = p.Clock()
+	myPieces := make([]*roundPieces, naggs)
+	if dataLen > 0 {
+		if i.o.HeapMerge {
+			perAgg := make([][]piece, naggs)
+			ac := myFlat.Cursor()
+			rcs := make([]*datatype.Cursor, naggs)
+			var rwork int64
+			for a := range realms {
+				rcs[a] = realms[a].Cursor()
+			}
+			hw := heapMerge(ac, rcs, cb, func(a int, pc piece) {
+				perAgg[a] = append(perAgg[a], pc)
+			})
+			for _, rc := range rcs {
+				rwork += rc.Work()
+			}
+			f.ChargePairs(ac.Work() + rwork + hw)
+			for a := range perAgg {
+				myPieces[a] = groupRounds(perAgg[a])
+			}
+		} else {
+			// The paper's base client algorithm: one pass over the
+			// access per aggregator — O(M·A) for enumerated
+			// filetypes, near O(M) for succinct ones thanks to
+			// instance skipping.
+			for a := 0; a < naggs; a++ {
+				ac := myFlat.Cursor()
+				rc := realms[a].Cursor()
+				var ps []piece
+				intersect(ac, rc, cb, func(pc piece) { ps = append(ps, pc) })
+				f.ChargePairs(ac.Work() + rc.Work())
+				myPieces[a] = groupRounds(ps)
+			}
+		}
+	}
+
+	// --- Aggregator-side intersection: every client's filetype against
+	// my realm. ---
+	var aggPieces []*roundPieces
+	myRounds := 0
+	if amAgg {
+		aggPieces = make([]*roundPieces, p.Size())
+		for c := 0; c < p.Size(); c++ {
+			ac := flats[c].Cursor()
+			rc := realms[p.Rank()].Cursor()
+			var ps []piece
+			intersect(ac, rc, cb, func(pc piece) { ps = append(ps, pc) })
+			f.ChargePairs(ac.Work() + rc.Work())
+			aggPieces[c] = groupRounds(ps)
+			if aggPieces[c].rounds > myRounds {
+				myRounds = aggPieces[c].rounds
+			}
+		}
+	}
+	p.Stats.AddTime(stats.PFlatten, p.Clock()-t0)
+
+	ntimes := int(p.AllreduceMaxInt64(int64(myRounds)))
+	if ntimes == 0 {
+		p.Barrier()
+		if !write {
+			return f.UnpackMemory(stream, buf, memtype, count)
+		}
+		return nil
+	}
+
+	method := i.o.Method
+	if i.o.Conditional {
+		// Conditional data sieving: decide by the (globally agreed)
+		// filetype extent of the access.
+		ext := p.AllreduceMaxInt64(view.Filetype.Extent())
+		if ext >= i.o.CondThreshold {
+			method = mpiio.Naive
+		} else {
+			method = mpiio.DataSieve
+		}
+	}
+
+	if write {
+		err = i.writeRounds(f, stream, realms, myPieces, aggPieces, ntimes, naggs, method)
+	} else {
+		err = i.readRounds(f, stream, realms, myPieces, aggPieces, ntimes, naggs, method)
+	}
+
+	// Synchronize before reporting: a rank that hit a local I/O error
+	// must still complete the collective (its peers are in the barrier).
+	p.Barrier()
+	if err != nil {
+		return err
+	}
+	if !write {
+		return f.UnpackMemory(stream, buf, memtype, count)
+	}
+	return nil
+}
+
+// realms resolves the file realm set, honouring persistence.
+func (i *Impl) realms(f *mpiio.File, naggs int, aarSt, aarEn, dataLen int64) ([]realm.Realm, error) {
+	if i.o.Persistent {
+		if prev := f.PFR(); prev != nil {
+			return prev, nil
+		}
+	}
+	ctx := realm.Context{
+		NAggs: naggs,
+		Start: aarSt,
+		End:   aarEn,
+		Align: i.o.Align,
+	}
+	if i.o.Persistent {
+		// PFRs designate assignments for the entire file, anchored at
+		// byte zero.
+		ctx.Start = 0
+		if sz := f.FS().Size(f.Name()); sz > ctx.End {
+			ctx.End = sz
+		}
+	}
+	if i.o.Assigner.NeedsSegs() {
+		ctx.AllSegs = i.gatherAllSegs(f, dataLen)
+	}
+	realms, err := i.o.Assigner.Assign(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("core: realm assignment: %w", err)
+	}
+	if i.o.Persistent {
+		f.SetPFR(realms)
+	}
+	return realms, nil
+}
+
+// gatherAllSegs builds the combined flattened access of every rank — the
+// O(M) exchange some assigners (load balancing) genuinely need.
+func (i *Impl) gatherAllSegs(f *mpiio.File, dataLen int64) []datatype.Seg {
+	p := f.Proc()
+	mine := f.ResolveAccess(dataLen)
+	all := p.Allgather(datatype.EncodeSegs(mine))
+	var merged []datatype.Seg
+	for _, enc := range all {
+		segs, err := datatype.DecodeSegs(enc)
+		if err != nil {
+			continue
+		}
+		merged = append(merged, segs...)
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a].Off < merged[b].Off })
+	out := merged[:0]
+	for _, s := range merged {
+		if n := len(out); n > 0 && s.Off <= out[n-1].End() {
+			if s.End() > out[n-1].End() {
+				out[n-1].Len = s.End() - out[n-1].Off
+			}
+			continue
+		}
+		out = append(out, s)
+	}
+	f.ChargePairs(int64(len(merged)))
+	return out
+}
+
+// assembleEntries merges per-client round pieces into file-offset order.
+type entry struct {
+	seg    datatype.Seg
+	client int
+	data   []byte // write payload slice (nil for reads until filled)
+}
+
+func mergeEntries(perClient []*roundPieces, r int, payload map[int][]byte) ([]entry, []datatype.Seg, int64) {
+	var entries []entry
+	for c, rp := range perClient {
+		ps := rp.of(r)
+		if len(ps) == 0 {
+			continue
+		}
+		var pos int64
+		data := payload[c]
+		for _, pc := range ps {
+			e := entry{seg: pc.file, client: c}
+			if data != nil {
+				e.data = data[pos : pos+pc.file.Len]
+				pos += pc.file.Len
+			}
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(x, y int) bool { return entries[x].seg.Off < entries[y].seg.Off })
+	segs := make([]datatype.Seg, 0, len(entries))
+	var total int64
+	for _, e := range entries {
+		if n := len(segs); n > 0 && segs[n-1].End() == e.seg.Off {
+			segs[n-1].Len += e.seg.Len
+		} else {
+			segs = append(segs, e.seg)
+		}
+		total += e.seg.Len
+	}
+	return entries, segs, total
+}
+
+// clientPayload builds the data a client contributes to aggregator a in
+// round r.
+func clientPayload(stream []byte, rp *roundPieces, r int) []byte {
+	ps := rp.of(r)
+	if len(ps) == 0 {
+		return nil
+	}
+	var total int64
+	for _, pc := range ps {
+		total += pc.file.Len
+	}
+	out := make([]byte, 0, total)
+	for _, pc := range ps {
+		out = append(out, stream[pc.aStream:pc.aStream+pc.file.Len]...)
+	}
+	return out
+}
+
+func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
+	myPieces []*roundPieces, aggPieces []*roundPieces, ntimes, naggs int, method mpiio.Method) error {
+
+	p := f.Proc()
+	cfg := p.Config()
+	amAgg := p.Rank() < naggs && aggPieces != nil
+
+	// Pending I/O from the previous round (nonblocking pipeline). On an
+	// I/O error the rank keeps participating in every round's exchange
+	// (deserting a collective would deadlock the communicator) and
+	// reports the first error at the end, like ROMIO's error codes.
+	var pendSegs []datatype.Seg
+	var pendData []byte
+	var firstErr error
+
+	flush := func(round int) {
+		if len(pendSegs) == 0 || firstErr != nil {
+			pendSegs, pendData = nil, nil
+			return
+		}
+		if err := f.WriteStream(pendSegs, pendData, method); err != nil {
+			firstErr = fmt.Errorf("core: write round %d: %w", round, err)
+		}
+		pendSegs, pendData = nil, nil
+	}
+
+	for r := 0; r < ntimes; r++ {
+		var payload map[int][]byte
+
+		if i.o.Comm == Alltoallw {
+			send := make([][]byte, p.Size())
+			for a := 0; a < naggs; a++ {
+				if myPieces[a] != nil {
+					send[a] = clientPayload(stream, myPieces[a], r)
+				}
+			}
+			t0 := p.Clock()
+			recv := p.Alltoallv(send)
+			p.Stats.AddTime(stats.PComm, p.Clock()-t0)
+			if amAgg {
+				payload = make(map[int][]byte)
+				for c := 0; c < p.Size(); c++ {
+					if aggPieces[c].bytes(r) > 0 {
+						payload[c] = recv[c]
+					}
+				}
+			}
+		} else {
+			// Nonblocking: post receives, send, then overlap the
+			// previous round's file I/O with the incoming data.
+			t0 := p.Clock()
+			var reqs []*mpi.Request
+			var from []int
+			if amAgg {
+				for c := 0; c < p.Size(); c++ {
+					if aggPieces[c].bytes(r) > 0 {
+						reqs = append(reqs, p.Irecv(c, tagData+r%1024))
+						from = append(from, c)
+					}
+				}
+			}
+			for a := 0; a < naggs; a++ {
+				if myPieces[a] == nil {
+					continue
+				}
+				if msg := clientPayload(stream, myPieces[a], r); msg != nil {
+					d := cfg.MemcpyTime(int64(len(msg)))
+					p.AdvanceClock(d)
+					p.Stats.AddTime(stats.PCopy, d)
+					p.Isend(a, tagData+r%1024, msg)
+				}
+			}
+			p.Stats.AddTime(stats.PComm, p.Clock()-t0)
+
+			// Overlap: previous round's I/O happens while this
+			// round's data is in flight.
+			flush(r - 1)
+
+			t0 = p.Clock()
+			if amAgg {
+				payload = make(map[int][]byte)
+				data := mpi.Waitall(reqs)
+				for k, c := range from {
+					payload[c] = data[k]
+				}
+			}
+			p.Stats.AddTime(stats.PComm, p.Clock()-t0)
+		}
+
+		if amAgg {
+			entries, segs, total := mergeEntries(aggPieces, r, payload)
+			if total > 0 {
+				// Assemble the collective buffer (gap-free: only
+				// useful data, unlike the integrated sieve buffer).
+				concat := make([]byte, 0, total)
+				for _, e := range entries {
+					concat = append(concat, e.data...)
+				}
+				if i.o.Comm != Alltoallw {
+					d := cfg.MemcpyTime(total)
+					p.AdvanceClock(d)
+					p.Stats.AddTime(stats.PCopy, d)
+				}
+				pendSegs, pendData = segs, concat
+				if i.o.Comm == Alltoallw {
+					// No pipeline in collective mode: write now.
+					flush(r)
+				}
+			}
+		}
+	}
+	flush(ntimes - 1)
+	return firstErr
+}
+
+func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
+	myPieces []*roundPieces, aggPieces []*roundPieces, ntimes, naggs int, method mpiio.Method) error {
+
+	p := f.Proc()
+	cfg := p.Config()
+	amAgg := p.Rank() < naggs && aggPieces != nil
+	var firstErr error
+
+	for r := 0; r < ntimes; r++ {
+		// Aggregator: read this round's realm window and carve it up.
+		// On an I/O error the rank still serves (zero-filled) payloads
+		// so the collective protocol completes; the error is reported
+		// at the end.
+		perClient := map[int][]byte{}
+		if amAgg {
+			entries, segs, total := mergeEntries(aggPieces, r, nil)
+			if total > 0 {
+				rbuf := make([]byte, total)
+				if firstErr == nil {
+					if err := f.ReadStream(segs, rbuf, method); err != nil {
+						firstErr = fmt.Errorf("core: read round %d: %w", r, err)
+					}
+				}
+				pos := int64(0)
+				for _, e := range entries {
+					perClient[e.client] = append(perClient[e.client], rbuf[pos:pos+e.seg.Len]...)
+					pos += e.seg.Len
+				}
+				if i.o.Comm != Alltoallw {
+					d := cfg.MemcpyTime(total)
+					p.AdvanceClock(d)
+					p.Stats.AddTime(stats.PCopy, d)
+				}
+			}
+		}
+
+		// Exchange.
+		t0 := p.Clock()
+		if i.o.Comm == Alltoallw {
+			send := make([][]byte, p.Size())
+			for c, msg := range perClient {
+				send[c] = msg
+			}
+			recv := p.Alltoallv(send)
+			for a := 0; a < naggs; a++ {
+				if myPieces[a] == nil {
+					continue
+				}
+				i.place(stream, myPieces[a], r, recv[a])
+			}
+		} else {
+			var reqs []*mpi.Request
+			var from []int
+			for a := 0; a < naggs; a++ {
+				if myPieces[a] != nil && myPieces[a].bytes(r) > 0 {
+					reqs = append(reqs, p.Irecv(a, tagBack+r%1024))
+					from = append(from, a)
+				}
+			}
+			if amAgg {
+				for c := 0; c < p.Size(); c++ {
+					if msg, ok := perClient[c]; ok && len(msg) > 0 {
+						p.Isend(c, tagBack+r%1024, msg)
+					}
+				}
+			}
+			data := mpi.Waitall(reqs)
+			for k, a := range from {
+				i.place(stream, myPieces[a], r, data[k])
+			}
+		}
+		p.Stats.AddTime(stats.PComm, p.Clock()-t0)
+	}
+	return firstErr
+}
+
+// place scatters an aggregator's round payload into the client's linear
+// stream.
+func (i *Impl) place(stream []byte, rp *roundPieces, r int, data []byte) {
+	pos := int64(0)
+	for _, pc := range rp.of(r) {
+		copy(stream[pc.aStream:pc.aStream+pc.file.Len], data[pos:pos+pc.file.Len])
+		pos += pc.file.Len
+	}
+}

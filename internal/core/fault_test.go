@@ -1,0 +1,206 @@
+package core_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"flexio/internal/core"
+	"flexio/internal/datatype"
+	"flexio/internal/mpi"
+	"flexio/internal/mpiio"
+	"flexio/internal/pfs"
+	"flexio/internal/sim"
+	"flexio/internal/twophase"
+)
+
+// runFaulty performs a collective write with an injected storage error and
+// returns the per-rank errors. The call must complete on every rank — no
+// deadlock — with the error surfacing on at least one rank.
+func runFaulty(t *testing.T, coll mpiio.Collective, write bool) []error {
+	t.Helper()
+	const ranks = 4
+	cfg := sim.DefaultConfig()
+	w := mpi.NewWorld(ranks, cfg)
+	fs := pfs.NewFileSystem(cfg)
+	boom := errors.New("injected EIO")
+
+	var mu sync.Mutex
+	injected := false
+	fs.SetFaultHook(func(op pfs.Op) error {
+		mu.Lock()
+		defer mu.Unlock()
+		// Fail the first write that reaches storage.
+		if op.Kind == "write" && !injected {
+			injected = true
+			return boom
+		}
+		return nil
+	})
+
+	errs := make([]error, ranks)
+	w.Run(func(p *mpi.Proc) {
+		f, err := mpiio.Open(p, fs, "faulty.dat", mpiio.Info{Collective: coll})
+		if err != nil {
+			errs[p.Rank()] = err
+			return
+		}
+		ft := datatype.Must(datatype.Resized(datatype.Bytes(64), 64*ranks))
+		if err := f.SetView(int64(p.Rank())*64, datatype.Bytes(1), ft); err != nil {
+			errs[p.Rank()] = err
+			return
+		}
+		buf := make([]byte, 64*32)
+		if write {
+			errs[p.Rank()] = f.WriteAll(buf, datatype.Bytes(64), 32)
+		} else {
+			errs[p.Rank()] = f.ReadAll(buf, datatype.Bytes(64), 32)
+		}
+		f.Close()
+	})
+	return errs
+}
+
+func TestWriteFaultDoesNotDeadlock(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		coll mpiio.Collective
+	}{
+		{"new-nonblocking", core.New(core.Options{})},
+		{"new-alltoallw", core.New(core.Options{Comm: core.Alltoallw})},
+		{"new-naive", core.New(core.Options{Method: mpiio.Naive})},
+		{"old", twophase.New()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			errs := runFaulty(t, tc.coll, true)
+			found := false
+			for _, err := range errs {
+				if err != nil {
+					found = true
+					if !errors.Is(err, errors.Unwrap(err)) && !strings.Contains(err.Error(), "injected EIO") {
+						t.Errorf("unexpected error: %v", err)
+					}
+				}
+			}
+			if !found {
+				t.Error("injected write error vanished")
+			}
+		})
+	}
+}
+
+func TestReadFaultDoesNotDeadlock(t *testing.T) {
+	// For reads, inject on the read path instead.
+	const ranks = 4
+	cfg := sim.DefaultConfig()
+	w := mpi.NewWorld(ranks, cfg)
+	fs := pfs.NewFileSystem(cfg)
+	boom := errors.New("injected EIO")
+	var mu sync.Mutex
+	armed := false
+	fs.SetFaultHook(func(op pfs.Op) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if op.Kind == "read" && armed {
+			armed = false
+			return boom
+		}
+		return nil
+	})
+
+	errs := make([]error, ranks)
+	w.Run(func(p *mpi.Proc) {
+		f, err := mpiio.Open(p, fs, "faulty.dat", mpiio.Info{
+			Collective: core.New(core.Options{Method: mpiio.Naive}),
+		})
+		if err != nil {
+			errs[p.Rank()] = err
+			return
+		}
+		ft := datatype.Must(datatype.Resized(datatype.Bytes(64), 64*ranks))
+		f.SetView(int64(p.Rank())*64, datatype.Bytes(1), ft)
+		buf := make([]byte, 64*32)
+		if err := f.WriteAll(buf, datatype.Bytes(64), 32); err != nil {
+			errs[p.Rank()] = err
+			return
+		}
+		p.Barrier()
+		if p.Rank() == 0 {
+			mu.Lock()
+			armed = true
+			mu.Unlock()
+		}
+		p.Barrier()
+		errs[p.Rank()] = f.ReadAll(buf, datatype.Bytes(64), 32)
+		f.Close()
+	})
+	found := false
+	for _, err := range errs {
+		if err != nil {
+			found = true
+			if !strings.Contains(err.Error(), "injected EIO") {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}
+	}
+	if !found {
+		t.Error("injected read error vanished")
+	}
+}
+
+func TestFailedWriteLeavesOtherRealmsIntact(t *testing.T) {
+	// An error at one aggregator must not corrupt what other aggregators
+	// wrote: the error is per-realm.
+	const ranks = 4
+	cfg := sim.DefaultConfig()
+	w := mpi.NewWorld(ranks, cfg)
+	fs := pfs.NewFileSystem(cfg)
+	boom := errors.New("injected EIO")
+	var mu sync.Mutex
+	failed := false
+	var failedOff int64 = -1
+	fs.SetFaultHook(func(op pfs.Op) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if op.Kind == "write" && !failed {
+			failed = true
+			failedOff = op.Off
+			return boom
+		}
+		return nil
+	})
+	w.Run(func(p *mpi.Proc) {
+		f, _ := mpiio.Open(p, fs, "partial.dat", mpiio.Info{
+			Collective: core.New(core.Options{Method: mpiio.Naive}),
+		})
+		ft := datatype.Must(datatype.Resized(datatype.Bytes(64), 64*ranks))
+		f.SetView(int64(p.Rank())*64, datatype.Bytes(1), ft)
+		buf := make([]byte, 64*32)
+		for i := range buf {
+			buf[i] = 0xAB
+		}
+		f.WriteAll(buf, datatype.Bytes(64), 32) // error expected on one rank
+		f.Close()
+	})
+	if !failed {
+		t.Fatal("fault never fired")
+	}
+	// Everything outside the failed aggregator's realm chunk must carry
+	// the written pattern. Realms are contiguous quarters of [0, 8192).
+	img := fs.Snapshot("partial.dat", 64*32*ranks)
+	realmSize := int64(64*32*ranks) / ranks
+	failedRealm := failedOff / realmSize
+	intact := 0
+	for i, b := range img {
+		if int64(i)/realmSize == failedRealm {
+			continue
+		}
+		if b == 0xAB {
+			intact++
+		}
+	}
+	if intact == 0 {
+		t.Error("no data survived outside the failed realm")
+	}
+}

@@ -1,0 +1,134 @@
+package datatype
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Flat is the wire representation of a tiled datatype access: the flattened
+// datatype (D segments of one instance) plus the tiling parameters. This is
+// what the new collective I/O implementation communicates between clients
+// and aggregators — O(D) space instead of the O(M) flattened access.
+type Flat struct {
+	Disp   int64
+	Extent int64
+	Size   int64
+	Count  int64 // -1 = unbounded
+	Limit  int64 // cap on data bytes (-1 = none); clips a partial final instance
+	Segs   []Seg
+}
+
+// FlatOf captures the wire form of count instances of t at disp, with no
+// data limit.
+func FlatOf(t Type, disp, count int64) Flat {
+	return Flat{
+		Disp:   disp,
+		Extent: t.Extent(),
+		Size:   t.Size(),
+		Count:  count,
+		Limit:  -1,
+		Segs:   t.Flatten(),
+	}
+}
+
+// Cursor builds a streaming cursor over the access the Flat describes.
+func (f Flat) Cursor() *Cursor {
+	t, err := FromSegs(f.Segs, f.Extent)
+	if err != nil {
+		// Segs decoded by DecodeFlat are already normalized; this can
+		// only happen with a hand-built, invalid Flat.
+		panic(fmt.Sprintf("datatype: invalid Flat: %v", err))
+	}
+	c := NewCursor(t, f.Disp, f.Count)
+	if f.Limit >= 0 {
+		c.SetLimit(f.Limit)
+	}
+	return c
+}
+
+// WireBytes returns the encoded size in bytes, the quantity the cost model
+// charges for communicating the access description.
+func (f Flat) WireBytes() int64 {
+	return int64(5*8 + 4 + 16*len(f.Segs))
+}
+
+// Encode serializes the Flat into a byte slice (fixed-width little-endian;
+// the simulated network carries real bytes so sizes feed the cost model).
+func (f Flat) Encode() []byte {
+	buf := make([]byte, f.WireBytes())
+	binary.LittleEndian.PutUint64(buf[0:], uint64(f.Disp))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(f.Extent))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(f.Size))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(f.Count))
+	binary.LittleEndian.PutUint64(buf[32:], uint64(f.Limit))
+	binary.LittleEndian.PutUint32(buf[40:], uint32(len(f.Segs)))
+	p := 44
+	for _, s := range f.Segs {
+		binary.LittleEndian.PutUint64(buf[p:], uint64(s.Off))
+		binary.LittleEndian.PutUint64(buf[p+8:], uint64(s.Len))
+		p += 16
+	}
+	return buf
+}
+
+// DecodeFlat parses a Flat encoded by Encode.
+func DecodeFlat(buf []byte) (Flat, error) {
+	if len(buf) < 44 {
+		return Flat{}, fmt.Errorf("datatype: DecodeFlat: short buffer (%d bytes)", len(buf))
+	}
+	f := Flat{
+		Disp:   int64(binary.LittleEndian.Uint64(buf[0:])),
+		Extent: int64(binary.LittleEndian.Uint64(buf[8:])),
+		Size:   int64(binary.LittleEndian.Uint64(buf[16:])),
+		Count:  int64(binary.LittleEndian.Uint64(buf[24:])),
+		Limit:  int64(binary.LittleEndian.Uint64(buf[32:])),
+	}
+	n := int(binary.LittleEndian.Uint32(buf[40:]))
+	if len(buf) != 44+16*n {
+		return Flat{}, fmt.Errorf("datatype: DecodeFlat: want %d bytes for %d segs, have %d",
+			44+16*n, n, len(buf))
+	}
+	f.Segs = make([]Seg, n)
+	p := 44
+	for i := range f.Segs {
+		f.Segs[i].Off = int64(binary.LittleEndian.Uint64(buf[p:]))
+		f.Segs[i].Len = int64(binary.LittleEndian.Uint64(buf[p+8:]))
+		p += 16
+	}
+	return f, nil
+}
+
+// EncodeSegs serializes a flattened access (absolute offset/length pairs) —
+// the representation the original implementation exchanges. 16 bytes per
+// pair, so the wire cost is O(M).
+func EncodeSegs(segs []Seg) []byte {
+	buf := make([]byte, 4+16*len(segs))
+	binary.LittleEndian.PutUint32(buf, uint32(len(segs)))
+	p := 4
+	for _, s := range segs {
+		binary.LittleEndian.PutUint64(buf[p:], uint64(s.Off))
+		binary.LittleEndian.PutUint64(buf[p+8:], uint64(s.Len))
+		p += 16
+	}
+	return buf
+}
+
+// DecodeSegs parses a flattened access encoded by EncodeSegs.
+func DecodeSegs(buf []byte) ([]Seg, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("datatype: DecodeSegs: short buffer (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if len(buf) != 4+16*n {
+		return nil, fmt.Errorf("datatype: DecodeSegs: want %d bytes for %d segs, have %d",
+			4+16*n, n, len(buf))
+	}
+	segs := make([]Seg, n)
+	p := 4
+	for i := range segs {
+		segs[i].Off = int64(binary.LittleEndian.Uint64(buf[p:]))
+		segs[i].Len = int64(binary.LittleEndian.Uint64(buf[p+8:]))
+		p += 16
+	}
+	return segs, nil
+}

@@ -1,0 +1,171 @@
+package datatype
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestFlatRoundTrip(t *testing.T) {
+	v := Must(Vector(3, 2, 40, Bytes(8)))
+	f := FlatOf(v, 1234, 77)
+	enc := f.Encode()
+	if int64(len(enc)) != f.WireBytes() {
+		t.Fatalf("encoded %d bytes, WireBytes says %d", len(enc), f.WireBytes())
+	}
+	dec, err := DecodeFlat(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, dec) {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", f, dec)
+	}
+}
+
+func TestFlatUnboundedCount(t *testing.T) {
+	f := FlatOf(Bytes(8), 0, -1)
+	dec, err := DecodeFlat(f.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Count != -1 {
+		t.Fatalf("count = %d, want -1", dec.Count)
+	}
+	c := dec.Cursor()
+	if !c.SeekOffset(1 << 20) {
+		t.Fatal("unbounded decoded cursor exhausted")
+	}
+}
+
+func TestDecodeFlatErrors(t *testing.T) {
+	if _, err := DecodeFlat(nil); err == nil {
+		t.Fatal("nil buffer accepted")
+	}
+	f := FlatOf(Bytes(8), 0, 1)
+	enc := f.Encode()
+	if _, err := DecodeFlat(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated buffer accepted")
+	}
+	if _, err := DecodeFlat(append(enc, 0)); err == nil {
+		t.Fatal("oversized buffer accepted")
+	}
+}
+
+func TestFlatCursorMatchesTypeCursor(t *testing.T) {
+	v := Must(Vector(4, 1, 24, Bytes(8)))
+	want := collect(NewCursor(v, 64, 5), 1<<30)
+	f, err := DecodeFlat(FlatOf(v, 64, 5).Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(f.Cursor(), 1<<30)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("decoded cursor walk = %v, want %v", got, want)
+	}
+}
+
+func TestSegsRoundTrip(t *testing.T) {
+	in := segs(0, 8, 100, 16, 4096, 1)
+	out, err := DecodeSegs(EncodeSegs(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("segs round trip: %v -> %v", in, out)
+	}
+	empty, err := DecodeSegs(EncodeSegs(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty segs round trip: %v, %v", empty, err)
+	}
+}
+
+func TestDecodeSegsErrors(t *testing.T) {
+	if _, err := DecodeSegs([]byte{1}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	enc := EncodeSegs(segs(0, 8))
+	if _, err := DecodeSegs(enc[:len(enc)-2]); err == nil {
+		t.Fatal("truncated buffer accepted")
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	v := Must(Vector(3, 1, 10, Bytes(4))) // data at 0-4,10-14,20-24; extent 24
+	buf := make([]byte, 2*24+16)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	stream, err := Pack(buf, v, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream) != 24 {
+		t.Fatalf("stream len = %d, want 24", len(stream))
+	}
+	// First data byte should be buf[2].
+	if stream[0] != buf[2] {
+		t.Fatalf("stream[0] = %d, want %d", stream[0], buf[2])
+	}
+	out := make([]byte, len(buf))
+	if err := Unpack(stream, out, v, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Unpacked bytes must match the original at data positions and be
+	// zero in gaps.
+	cur := NewCursor(v, 2, 2)
+	dataAt := map[int64]bool{}
+	for {
+		s, _, ok := cur.Next(1)
+		if !ok {
+			break
+		}
+		dataAt[s.Off] = true
+	}
+	for i := range out {
+		if dataAt[int64(i)] {
+			if out[i] != buf[i] {
+				t.Fatalf("data byte %d: got %d want %d", i, out[i], buf[i])
+			}
+		} else if out[i] != 0 {
+			t.Fatalf("gap byte %d modified to %d", i, out[i])
+		}
+	}
+}
+
+func TestPackErrors(t *testing.T) {
+	if _, err := Pack(make([]byte, 4), Bytes(8), 0, 1); err == nil {
+		t.Fatal("short buffer accepted by Pack")
+	}
+	if _, err := Pack(make([]byte, 64), Bytes(8), 0, -1); err == nil {
+		t.Fatal("unbounded count accepted by Pack")
+	}
+	if err := Unpack(make([]byte, 9), make([]byte, 64), Bytes(8), 0, 1); err == nil {
+		t.Fatal("oversized stream accepted by Unpack")
+	}
+	if err := Unpack(make([]byte, 4), make([]byte, 4), Bytes(8), 0, 1); err == nil {
+		t.Fatal("short dest accepted by Unpack")
+	}
+}
+
+func TestPackZeroCount(t *testing.T) {
+	stream, err := Pack(nil, Bytes(8), 0, 0)
+	if err != nil || len(stream) != 0 {
+		t.Fatalf("zero-count pack: %v, %v", stream, err)
+	}
+}
+
+func TestEncodeIsCompactForSuccinctTypes(t *testing.T) {
+	// The paper's point: a succinct filetype encodes in O(D), the
+	// flattened access in O(M).
+	succinct := Must(Resized(Bytes(64), 192))
+	flat := FlatOf(succinct, 0, 4096)
+	access, _ := Segments(succinct, 0, 4096)
+	flatBytes := len(flat.Encode())
+	accessBytes := len(EncodeSegs(access))
+	if flatBytes*100 > accessBytes {
+		t.Fatalf("succinct encoding not compact: flat=%dB access=%dB", flatBytes, accessBytes)
+	}
+	if !bytes.Equal(flat.Encode(), flat.Encode()) {
+		t.Fatal("encode not deterministic")
+	}
+}

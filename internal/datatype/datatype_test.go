@@ -1,0 +1,224 @@
+package datatype
+
+import (
+	"reflect"
+	"testing"
+)
+
+func segs(pairs ...int64) []Seg {
+	if len(pairs)%2 != 0 {
+		panic("segs: odd arg count")
+	}
+	out := make([]Seg, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Seg{pairs[i], pairs[i+1]})
+	}
+	return out
+}
+
+func TestBytes(t *testing.T) {
+	b := Bytes(10)
+	if b.Size() != 10 || b.Extent() != 10 || b.NumSegs() != 1 {
+		t.Fatalf("Bytes(10): size=%d extent=%d segs=%d", b.Size(), b.Extent(), b.NumSegs())
+	}
+	z := Bytes(0)
+	if z.Size() != 0 || z.NumSegs() != 0 {
+		t.Fatalf("Bytes(0): size=%d segs=%d", z.Size(), z.NumSegs())
+	}
+}
+
+func TestBytesNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bytes(-1) did not panic")
+		}
+	}()
+	Bytes(-1)
+}
+
+func TestContiguousCoalesces(t *testing.T) {
+	c := Must(Contiguous(4, Bytes(8)))
+	if c.Size() != 32 || c.Extent() != 32 {
+		t.Fatalf("contig: size=%d extent=%d", c.Size(), c.Extent())
+	}
+	// Back-to-back bytes must coalesce into a single segment.
+	if got := c.Flatten(); !reflect.DeepEqual(got, segs(0, 32)) {
+		t.Fatalf("contig flatten = %v", got)
+	}
+}
+
+func TestVector(t *testing.T) {
+	// 3 blocks of 2 8-byte elements, stride 32: |XX..|XX..|XX|
+	v := Must(Vector(3, 2, 32, Bytes(8)))
+	if v.Size() != 48 {
+		t.Fatalf("size = %d, want 48", v.Size())
+	}
+	if v.Extent() != 2*32+16 {
+		t.Fatalf("extent = %d, want 80", v.Extent())
+	}
+	want := segs(0, 16, 32, 16, 64, 16)
+	if got := v.Flatten(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("flatten = %v, want %v", got, want)
+	}
+}
+
+func TestVectorZeroStrideOverlapRejected(t *testing.T) {
+	if _, err := Vector(2, 1, 4, Bytes(8)); err == nil {
+		t.Fatal("overlapping vector accepted")
+	}
+}
+
+func TestVectorStrideEqualsBlockCoalesces(t *testing.T) {
+	v := Must(Vector(4, 1, 8, Bytes(8)))
+	if got := v.Flatten(); !reflect.DeepEqual(got, segs(0, 32)) {
+		t.Fatalf("dense vector flatten = %v, want one segment", got)
+	}
+}
+
+func TestIndexed(t *testing.T) {
+	// Element = 4 bytes; blocks of 1 and 2 elements at element displs 0 and 3.
+	ix := Must(Indexed([]int64{1, 2}, []int64{0, 3}, Bytes(4)))
+	want := segs(0, 4, 12, 8)
+	if got := ix.Flatten(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("indexed flatten = %v, want %v", got, want)
+	}
+	if ix.Extent() != 20 {
+		t.Fatalf("extent = %d, want 20", ix.Extent())
+	}
+}
+
+func TestHIndexedUnsortedInput(t *testing.T) {
+	h := Must(HIndexed([]int64{1, 1}, []int64{100, 0}, Bytes(4)))
+	want := segs(0, 4, 100, 4)
+	if got := h.Flatten(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("hindexed flatten = %v, want %v", got, want)
+	}
+}
+
+func TestHIndexedMismatchedLens(t *testing.T) {
+	if _, err := HIndexed([]int64{1}, []int64{0, 4}, Bytes(4)); err == nil {
+		t.Fatal("mismatched lens accepted")
+	}
+}
+
+func TestStruct(t *testing.T) {
+	inner := Must(Vector(2, 1, 16, Bytes(8)))
+	st := Must(Struct(
+		[]int64{1, 1},
+		[]int64{0, 64},
+		[]Type{Bytes(4), inner},
+	))
+	want := segs(0, 4, 64, 8, 80, 8)
+	if got := st.Flatten(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("struct flatten = %v, want %v", got, want)
+	}
+	if st.Size() != 20 {
+		t.Fatalf("size = %d, want 20", st.Size())
+	}
+	if st.Extent() != 64+inner.Extent() {
+		t.Fatalf("extent = %d", st.Extent())
+	}
+}
+
+func TestStructOverlapRejected(t *testing.T) {
+	if _, err := Struct([]int64{1, 1}, []int64{0, 2}, []Type{Bytes(4), Bytes(4)}); err == nil {
+		t.Fatal("overlapping struct accepted")
+	}
+}
+
+func TestResized(t *testing.T) {
+	r := Must(Resized(Bytes(8), 24))
+	if r.Extent() != 24 || r.Size() != 8 {
+		t.Fatalf("resized: extent=%d size=%d", r.Extent(), r.Size())
+	}
+	if _, err := Resized(Bytes(8), 4); err == nil {
+		t.Fatal("shrinking below span accepted")
+	}
+	// The tiled pattern: 8 bytes every 24.
+	cur := NewCursor(r, 0, 3)
+	var got []Seg
+	for {
+		s, _, ok := cur.Next(1 << 30)
+		if !ok {
+			break
+		}
+		got = append(got, s)
+	}
+	if want := segs(0, 8, 24, 8, 48, 8); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tiled resized = %v, want %v", got, want)
+	}
+}
+
+func TestSubarray2D(t *testing.T) {
+	// 4x6 array of 4-byte elements; select rows 1-2, cols 2-4.
+	sa := Must(Subarray([]int64{4, 6}, []int64{2, 3}, []int64{1, 2}, 4))
+	want := segs(
+		(1*6+2)*4, 12,
+		(2*6+2)*4, 12,
+	)
+	if got := sa.Flatten(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("subarray flatten = %v, want %v", got, want)
+	}
+	if sa.Extent() != 4*6*4 {
+		t.Fatalf("extent = %d, want %d", sa.Extent(), 4*6*4)
+	}
+	if sa.Size() != 24 {
+		t.Fatalf("size = %d, want 24", sa.Size())
+	}
+}
+
+func TestSubarrayErrors(t *testing.T) {
+	cases := []struct {
+		sizes, subs, starts []int64
+		elem                int64
+	}{
+		{[]int64{4}, []int64{5}, []int64{0}, 4},    // sub too big
+		{[]int64{4}, []int64{2}, []int64{3}, 4},    // start+sub out of range
+		{[]int64{4}, []int64{2}, []int64{0}, 0},    // bad elem size
+		{[]int64{4, 4}, []int64{2}, []int64{0}, 4}, // dim mismatch
+		{nil, nil, nil, 4},                         // zero dims
+	}
+	for i, c := range cases {
+		if _, err := Subarray(c.sizes, c.subs, c.starts, c.elem); err == nil {
+			t.Errorf("case %d: invalid subarray accepted", i)
+		}
+	}
+}
+
+func TestFromSegs(t *testing.T) {
+	ty, err := FromSegs(segs(8, 4, 0, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty.Extent() != 12 || ty.Size() != 8 {
+		t.Fatalf("extent=%d size=%d", ty.Extent(), ty.Size())
+	}
+	if _, err := FromSegs(segs(0, 8), 4); err == nil {
+		t.Fatal("extent smaller than span accepted")
+	}
+	if _, err := FromSegs(segs(0, 8, 4, 8), 0); err == nil {
+		t.Fatal("overlap accepted")
+	}
+}
+
+func TestSegments(t *testing.T) {
+	v := Must(Vector(2, 1, 16, Bytes(8)))
+	// Two instances, extent 24: segments at 0,16 then 24,40.
+	got, work := Segments(v, 0, 2)
+	want := segs(0, 8, 16, 16, 40, 8) // 16+8 and 24+... wait: see below
+	// Instance 0: 0..8, 16..24. Instance 1 at base 24: 24..32, 40..48.
+	// 16..24 and 24..32 coalesce into 16..32.
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("segments = %v, want %v", got, want)
+	}
+	if work != 4 {
+		t.Fatalf("work = %d, want 4", work)
+	}
+}
+
+func TestSegmentsWithDisp(t *testing.T) {
+	got, _ := Segments(Bytes(8), 100, 2)
+	if want := segs(100, 16); !reflect.DeepEqual(got, want) {
+		t.Fatalf("segments = %v, want %v", got, want)
+	}
+}

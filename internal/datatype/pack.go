@@ -1,0 +1,55 @@
+package datatype
+
+import "fmt"
+
+// Pack gathers the data bytes of count instances of t, laid out in buf
+// starting at displacement disp, into a newly allocated contiguous stream.
+// It is the memory-side analogue of walking a file view and is used to
+// linearize a user buffer described by a memory datatype.
+func Pack(buf []byte, t Type, disp int64, count int64) ([]byte, error) {
+	total := TotalSize(t, count)
+	if total < 0 {
+		return nil, fmt.Errorf("datatype: Pack: unbounded count")
+	}
+	need := disp + count*t.Extent()
+	if count > 0 && need > int64(len(buf)) {
+		return nil, fmt.Errorf("datatype: Pack: buffer too small: need %d bytes, have %d", need, len(buf))
+	}
+	out := make([]byte, 0, total)
+	cur := NewCursor(t, disp, count)
+	for {
+		seg, _, ok := cur.Next(1 << 62)
+		if !ok {
+			break
+		}
+		out = append(out, buf[seg.Off:seg.End()]...)
+	}
+	return out, nil
+}
+
+// Unpack scatters a contiguous stream into buf according to count instances
+// of t at displacement disp. It is the inverse of Pack. stream may be
+// shorter than the full access; only len(stream) bytes are scattered.
+func Unpack(stream []byte, buf []byte, t Type, disp int64, count int64) error {
+	if count < 0 {
+		return fmt.Errorf("datatype: Unpack: unbounded count")
+	}
+	need := disp + count*t.Extent()
+	if count > 0 && need > int64(len(buf)) {
+		return fmt.Errorf("datatype: Unpack: buffer too small: need %d bytes, have %d", need, len(buf))
+	}
+	if max := TotalSize(t, count); int64(len(stream)) > max {
+		return fmt.Errorf("datatype: Unpack: stream of %d bytes exceeds access size %d", len(stream), max)
+	}
+	cur := NewCursor(t, disp, count)
+	pos := int64(0)
+	for pos < int64(len(stream)) {
+		seg, _, ok := cur.Next(int64(len(stream)) - pos)
+		if !ok {
+			break
+		}
+		copy(buf[seg.Off:seg.End()], stream[pos:pos+seg.Len])
+		pos += seg.Len
+	}
+	return nil
+}

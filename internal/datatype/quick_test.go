@@ -1,0 +1,236 @@
+package datatype
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genType draws a random valid datatype with bounded size.
+func genType(rng *rand.Rand) Type {
+	switch rng.Intn(5) {
+	case 0:
+		return Bytes(int64(1 + rng.Intn(64)))
+	case 1:
+		return Must(Contiguous(int64(1+rng.Intn(5)), Bytes(int64(1+rng.Intn(16)))))
+	case 2:
+		bl := int64(1 + rng.Intn(3))
+		elem := int64(1 + rng.Intn(8))
+		stride := bl*elem + int64(rng.Intn(16))
+		return Must(Vector(int64(1+rng.Intn(5)), bl, stride, Bytes(elem)))
+	case 3:
+		n := 1 + rng.Intn(5)
+		lens := make([]int64, n)
+		displs := make([]int64, n)
+		off := int64(rng.Intn(4))
+		for i := 0; i < n; i++ {
+			lens[i] = int64(1 + rng.Intn(3))
+			displs[i] = off
+			off += lens[i]*4 + int64(rng.Intn(12))
+		}
+		return Must(HIndexed(lens, displs, Bytes(4)))
+	default:
+		inner := Must(Vector(int64(1+rng.Intn(3)), 1, int64(8+rng.Intn(8)), Bytes(int64(1+rng.Intn(8)))))
+		return Must(Resized(inner, inner.Extent()+int64(rng.Intn(32))))
+	}
+}
+
+// PropFlattenInvariants: the flattened form is sorted, disjoint, coalesced,
+// within the extent, and its lengths sum to Size().
+func TestQuickFlattenInvariants(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ty := genType(rng)
+		segs := ty.Flatten()
+		var sum int64
+		for i, s := range segs {
+			if s.Len <= 0 || s.Off < 0 || s.End() > ty.Extent() {
+				return false
+			}
+			if i > 0 && s.Off <= segs[i-1].End() {
+				return false // unsorted, overlapping, or uncoalesced
+			}
+			sum += s.Len
+		}
+		return sum == ty.Size()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PropCursorWalkCoversAccess: draining a cursor yields exactly count*Size
+// data bytes in strictly increasing file order, matching Segments().
+func TestQuickCursorWalkMatchesSegments(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ty := genType(rng)
+		count := int64(1 + rng.Intn(4))
+		disp := int64(rng.Intn(32))
+		want, _ := Segments(ty, disp, count)
+
+		c := NewCursor(ty, disp, count)
+		var got []Seg
+		for {
+			s, _, ok := c.Next(int64(1 + rng.Intn(40)))
+			if !ok {
+				break
+			}
+			if n := len(got); n > 0 && got[n-1].End() == s.Off {
+				got[n-1].Len += s.Len
+			} else {
+				got = append(got, s)
+			}
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PropSeekEquivalence: SeekOffset agrees with a byte-at-a-time linear scan.
+func TestQuickSeekOffsetEquivalence(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ty := genType(rng)
+		count := int64(1 + rng.Intn(4))
+		disp := int64(rng.Intn(16))
+		limit := disp + count*ty.Extent() + 8
+		target := int64(rng.Intn(int(limit)))
+
+		ref := NewCursor(ty, disp, count)
+		var want int64 = -1
+		for {
+			s, _, ok := ref.Next(1)
+			if !ok {
+				break
+			}
+			if s.Off >= target {
+				want = s.Off
+				break
+			}
+		}
+		c := NewCursor(ty, disp, count)
+		ok := c.SeekOffset(target)
+		if want < 0 {
+			return !ok
+		}
+		return ok && c.Offset() == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PropSeekStreamRoundTrip: SeekStream(p) then StreamPos() == p for every
+// p < total data, and the file offset maps back through SeekOffset.
+func TestQuickSeekStreamRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ty := genType(rng)
+		count := int64(1 + rng.Intn(4))
+		total := count * ty.Size()
+		p := int64(rng.Intn(int(total)))
+
+		c := NewCursor(ty, 0, count)
+		if !c.SeekStream(p) {
+			return false
+		}
+		if c.StreamPos() != p {
+			return false
+		}
+		off := c.Offset()
+		d := NewCursor(ty, 0, count)
+		if !d.SeekOffset(off) {
+			return false
+		}
+		return d.Offset() == off && d.StreamPos() == p
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PropPackUnpack: Unpack(Pack(buf)) restores exactly the data bytes.
+func TestQuickPackUnpackRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ty := genType(rng)
+		count := int64(1 + rng.Intn(4))
+		buf := make([]byte, count*ty.Extent()+int64(rng.Intn(8)))
+		rng.Read(buf)
+		stream, err := Pack(buf, ty, 0, count)
+		if err != nil {
+			return false
+		}
+		if int64(len(stream)) != count*ty.Size() {
+			return false
+		}
+		out := make([]byte, len(buf))
+		if err := Unpack(stream, out, ty, 0, count); err != nil {
+			return false
+		}
+		back, err := Pack(out, ty, 0, count)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(stream, back)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PropCodecRoundTrip: DecodeFlat(Encode(f)) == f for random types and
+// tilings, including unbounded counts and limits.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ty := genType(rng)
+		count := int64(rng.Intn(6)) - 1 // occasionally -1 (unbounded)
+		f := FlatOf(ty, int64(rng.Intn(100)), count)
+		if rng.Intn(2) == 0 {
+			f.Limit = int64(rng.Intn(200))
+		}
+		dec, err := DecodeFlat(f.Encode())
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(f, dec)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PropLimitClipping: a limited cursor exposes exactly min(limit, total)
+// data bytes.
+func TestQuickCursorLimit(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ty := genType(rng)
+		count := int64(1 + rng.Intn(4))
+		total := count * ty.Size()
+		limit := int64(rng.Intn(int(total) + 10))
+		c := NewCursor(ty, 0, count)
+		c.SetLimit(limit)
+		var seen int64
+		for {
+			s, _, ok := c.Next(1 << 30)
+			if !ok {
+				break
+			}
+			seen += s.Len
+		}
+		want := limit
+		if total < want {
+			want = total
+		}
+		return seen == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

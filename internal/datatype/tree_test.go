@@ -1,0 +1,112 @@
+package datatype
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// treeRoundTrip checks Build(Decode(Encode(Tree(t)))) reproduces the type's
+// flattened form.
+func treeRoundTrip(t *testing.T, ty Type) {
+	t.Helper()
+	n := Tree(ty)
+	dec, err := DecodeNode(n.Encode())
+	if err != nil {
+		t.Fatalf("%s: decode: %v", ty, err)
+	}
+	if !reflect.DeepEqual(n, dec) {
+		t.Fatalf("%s: tree round trip mismatch:\n  %+v\n  %+v", ty, n, dec)
+	}
+	back, err := dec.Build()
+	if err != nil {
+		t.Fatalf("%s: build: %v", ty, err)
+	}
+	if !reflect.DeepEqual(back.Flatten(), ty.Flatten()) {
+		t.Fatalf("%s: rebuilt type flattens differently", ty)
+	}
+	if back.Extent() != ty.Extent() || back.Size() != ty.Size() {
+		t.Fatalf("%s: rebuilt extent/size differ", ty)
+	}
+}
+
+func TestTreeRoundTripConstructors(t *testing.T) {
+	inner := Must(Vector(3, 1, 24, Bytes(8)))
+	for _, ty := range []Type{
+		Bytes(16),
+		Bytes(0),
+		Must(Contiguous(5, Bytes(8))),
+		Must(Vector(4, 2, 48, Bytes(8))),
+		Must(Indexed([]int64{1, 2}, []int64{0, 3}, Bytes(4))),
+		Must(HIndexed([]int64{1, 1}, []int64{100, 0}, Bytes(4))),
+		Must(Struct([]int64{1, 1}, []int64{0, 64}, []Type{Bytes(4), inner})),
+		Must(Resized(Bytes(8), 40)),
+		Must(Subarray([]int64{4, 6}, []int64{2, 3}, []int64{1, 2}, 4)),
+		Must(Vector(8, 1, 1024, Must(Vector(4, 1, 64, Bytes(16))))), // nested
+	} {
+		treeRoundTrip(t, ty)
+	}
+}
+
+func TestTreeFromSegsFallsBack(t *testing.T) {
+	ty := Must(FromSegs([]Seg{{0, 4}, {10, 6}}, 20))
+	n := Tree(ty)
+	if n.Kind != KindSegs {
+		t.Fatalf("kind = %d, want KindSegs", n.Kind)
+	}
+	treeRoundTrip(t, ty)
+}
+
+func TestTreeIsCompactForNestedTypes(t *testing.T) {
+	// Paper Figure 3's point: for regular nested patterns the
+	// higher-level datatype is far smaller than the flattened datatype,
+	// which itself is far smaller than the flattened access.
+	nested := Must(Vector(64, 1, 8192, Must(Vector(64, 1, 64, Bytes(16)))))
+	tree := Tree(nested).WireBytes()
+	flatDT := FlatOf(nested, 0, 1).WireBytes()
+	if tree*20 > flatDT {
+		t.Fatalf("tree %dB not << flattened datatype %dB (D=%d)", tree, flatDT, nested.NumSegs())
+	}
+	// For an irregular hindexed list the tree carries the same arrays —
+	// no free lunch.
+	lens := make([]int64, 100)
+	displs := make([]int64, 100)
+	for i := range lens {
+		lens[i] = 1
+		displs[i] = int64(i) * 48
+	}
+	irregular := Must(HIndexed(lens, displs, Bytes(16)))
+	it := Tree(irregular).WireBytes()
+	id := FlatOf(irregular, 0, 1).WireBytes()
+	if it < id/2 {
+		t.Fatalf("irregular tree %dB unexpectedly much smaller than flat %dB", it, id)
+	}
+}
+
+func TestDecodeNodeErrors(t *testing.T) {
+	if _, err := DecodeNode(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	enc := Tree(Bytes(8)).Encode()
+	if _, err := DecodeNode(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+	if _, err := DecodeNode(append(enc, 7)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	bad := Node{Kind: Kind(99)}
+	if _, err := bad.Build(); err == nil {
+		t.Fatal("unknown kind built")
+	}
+	if _, err := (Node{Kind: KindVector}).Build(); err == nil {
+		t.Fatal("vector without child built")
+	}
+}
+
+func TestQuickTreeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		ty := genType(rng)
+		treeRoundTrip(t, ty)
+	}
+}

@@ -1,0 +1,210 @@
+package mpi
+
+import (
+	"math"
+	"sync"
+
+	"flexio/internal/sim"
+	"flexio/internal/stats"
+)
+
+// collSync implements a reusable all-ranks rendezvous: every collective is
+// built on one round of "deposit a value, wait for everyone, read the
+// snapshot". The snapshot also carries the maximum entering clock, which
+// models the inherent synchronization of collective operations.
+type collSync struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	size     int
+	gen      int
+	arrived  int
+	vals     []interface{}
+	clocks   []sim.Time
+	snapVals []interface{}
+	snapMax  sim.Time
+	poisoned bool
+}
+
+func newCollSync(size int) *collSync {
+	c := &collSync{
+		size:   size,
+		vals:   make([]interface{}, size),
+		clocks: make([]sim.Time, size),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// poison unblocks all waiters after a rank panic so the failure surfaces
+// instead of deadlocking the test binary.
+func (c *collSync) poison() {
+	c.mu.Lock()
+	c.poisoned = true
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// exchange deposits val for this rank and returns every rank's value along
+// with the maximum entering clock.
+func (c *collSync) exchange(rank int, clock sim.Time, val interface{}) ([]interface{}, sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gen := c.gen
+	c.vals[rank] = val
+	c.clocks[rank] = clock
+	c.arrived++
+	if c.arrived == c.size {
+		snap := make([]interface{}, c.size)
+		copy(snap, c.vals)
+		var m sim.Time
+		for _, t := range c.clocks {
+			if t > m {
+				m = t
+			}
+		}
+		c.snapVals, c.snapMax = snap, m
+		c.arrived = 0
+		c.gen++
+		c.cond.Broadcast()
+	} else {
+		for c.gen == gen && !c.poisoned {
+			c.cond.Wait()
+		}
+		if c.poisoned {
+			panic("mpi: collective aborted after peer failure")
+		}
+	}
+	return c.snapVals, c.snapMax
+}
+
+// log2ceil returns ceil(log2(n)), at least 1 for n > 1 and 0 for n <= 1.
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}
+
+// treeLatency is the synchronization cost of a binomial-tree collective.
+func (p *Proc) treeLatency() sim.Time {
+	return sim.Time(float64(log2ceil(p.w.size))*p.w.cfg.CollLatencyFactor) * p.w.cfg.NetLatency
+}
+
+// Barrier synchronizes all ranks: every clock advances to the maximum
+// entering clock plus a binomial-tree latency term.
+func (p *Proc) Barrier() {
+	_, m := p.w.coll.exchange(p.rank, p.clock, nil)
+	p.clock = m + p.treeLatency()
+}
+
+// Bcast distributes root's buffer to every rank. Non-root callers pass nil.
+func (p *Proc) Bcast(root int, data []byte) []byte {
+	var dep interface{}
+	if p.rank == root {
+		dep = data
+	}
+	vals, m := p.w.coll.exchange(p.rank, p.clock, dep)
+	out, _ := vals[root].([]byte)
+	n := int64(len(out))
+	p.clock = m + p.treeLatency() + sim.Time(float64(log2ceil(p.w.size)))*p.w.cfg.TransferTime(n)
+	if p.rank != root {
+		p.Stats.Add(stats.CBytesComm, n)
+	}
+	return out
+}
+
+// Allgather collects every rank's buffer; result[i] is rank i's
+// contribution.
+func (p *Proc) Allgather(data []byte) [][]byte {
+	vals, m := p.w.coll.exchange(p.rank, p.clock, data)
+	out := make([][]byte, p.w.size)
+	var others int64
+	for i, v := range vals {
+		b, _ := v.([]byte)
+		out[i] = b
+		if i != p.rank {
+			others += int64(len(b))
+		}
+	}
+	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(others)
+	p.Stats.Add(stats.CBytesComm, others)
+	return out
+}
+
+// AllgatherInt64 is Allgather for a single int64 per rank.
+func (p *Proc) AllgatherInt64(v int64) []int64 {
+	vals, m := p.w.coll.exchange(p.rank, p.clock, v)
+	out := make([]int64, p.w.size)
+	for i, x := range vals {
+		out[i] = x.(int64)
+	}
+	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(int64(8*(p.w.size-1)))
+	return out
+}
+
+// AllreduceMaxInt64 returns the maximum of v across ranks.
+func (p *Proc) AllreduceMaxInt64(v int64) int64 {
+	all := p.AllgatherInt64(v)
+	m := all[0]
+	for _, x := range all[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// AllreduceMinInt64 returns the minimum of v across ranks.
+func (p *Proc) AllreduceMinInt64(v int64) int64 {
+	all := p.AllgatherInt64(v)
+	m := all[0]
+	for _, x := range all[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// AllreduceSumInt64 returns the sum of v across ranks.
+func (p *Proc) AllreduceSumInt64(v int64) int64 {
+	all := p.AllgatherInt64(v)
+	var s int64
+	for _, x := range all {
+		s += x
+	}
+	return s
+}
+
+// Alltoallv exchanges per-destination buffers: send[d] goes to rank d, and
+// the result's entry s is the buffer rank s sent here. Entries may be nil.
+// Each rank's clock advances by the tree latency plus the transfer time of
+// the larger of its total send and total receive volume, modelling a
+// well-scheduled exchange (MPI_Alltoallv / MPI_Alltoallw).
+func (p *Proc) Alltoallv(send [][]byte) [][]byte {
+	if len(send) != p.w.size {
+		panic("mpi: Alltoallv send slice must have one entry per rank")
+	}
+	vals, m := p.w.coll.exchange(p.rank, p.clock, send)
+	out := make([][]byte, p.w.size)
+	var sent, recvd int64
+	for d, b := range send {
+		if d != p.rank {
+			sent += int64(len(b))
+		}
+	}
+	for s, v := range vals {
+		row := v.([][]byte)
+		out[s] = row[p.rank]
+		if s != p.rank {
+			recvd += int64(len(out[s]))
+		}
+	}
+	vol := sent
+	if recvd > vol {
+		vol = recvd
+	}
+	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(vol)
+	p.Stats.Add(stats.CBytesComm, sent)
+	return out
+}

@@ -1,0 +1,167 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"flexio/internal/sim"
+	"flexio/internal/stats"
+)
+
+// envelope is one in-flight message.
+type envelope struct {
+	src   int
+	tag   int
+	data  []byte
+	stamp sim.Time // sender clock when the message left
+}
+
+// mailbox is a rank's unmatched-message queue with FIFO matching per
+// (source, tag), mirroring MPI's non-overtaking guarantee.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	msgs   []*envelope
+	poison bool
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *mailbox) put(e *envelope) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, e)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// take blocks until a message matching (src, tag) is available and removes
+// it. src or tag may be Any.
+func (b *mailbox) take(src, tag int) *envelope {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, e := range b.msgs {
+			if (src == Any || e.src == src) && (tag == Any || e.tag == tag) {
+				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+				return e
+			}
+		}
+		if b.poison {
+			panic("mpi: rank unblocked after peer failure")
+		}
+		b.cond.Wait()
+	}
+}
+
+func (b *mailbox) drain() {
+	b.mu.Lock()
+	b.msgs = nil
+	b.poison = false
+	b.mu.Unlock()
+}
+
+// poisonAndWake releases blocked receivers after a peer failure.
+func (b *mailbox) poisonAndWake() {
+	b.mu.Lock()
+	b.poison = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Send posts data to rank `to` with the given tag. Sends are eager and
+// buffered: the sender is charged only its send overhead, matching the way
+// ROMIO posts all its MPI_Isends before waiting.
+func (p *Proc) Send(to, tag int, data []byte) {
+	if to < 0 || to >= p.w.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", to, p.w.size))
+	}
+	p.clock += p.w.cfg.SendOverhead
+	p.Stats.Add(stats.CBytesComm, int64(len(data)))
+	p.w.boxes[to].put(&envelope{src: p.rank, tag: tag, data: data, stamp: p.clock})
+}
+
+// Recv blocks until a message from src (or Any) with tag (or Any) arrives.
+// The receiver's clock advances to the message completion time:
+// max(recv-post, send-stamp) + latency + bytes/bandwidth. Self-sends cost a
+// memory copy instead of a network transfer.
+func (p *Proc) Recv(src, tag int) (data []byte, from int) {
+	post := p.clock
+	e := p.w.boxes[p.rank].take(src, tag)
+	p.clock = p.arrivalTime(post, e)
+	return e.data, e.src
+}
+
+// arrivalTime computes when a message posted for receive at `post` is fully
+// delivered. Remote transfers occupy the receiver's link back to back, so
+// concurrent senders to one rank serialize on its NIC.
+func (p *Proc) arrivalTime(post sim.Time, e *envelope) sim.Time {
+	start := sim.Max(post, e.stamp)
+	if e.src == p.rank {
+		return start + p.w.cfg.MemcpyTime(int64(len(e.data)))
+	}
+	start = sim.Max(start, p.nicBusy)
+	p.nicBusy = start + p.w.cfg.TransferTime(int64(len(e.data)))
+	return p.nicBusy + p.w.cfg.NetLatency
+}
+
+// Request is a nonblocking operation handle.
+type Request struct {
+	p    *Proc
+	done bool
+	// For receives:
+	isRecv bool
+	src    int
+	tag    int
+	post   sim.Time // clock when the receive was posted
+	data   []byte
+	from   int
+}
+
+// Isend posts a nonblocking send. In the eager model the data is buffered
+// immediately, so the returned request is already complete; it exists so
+// calling code reads like the MPI it models.
+func (p *Proc) Isend(to, tag int, data []byte) *Request {
+	p.Send(to, tag, data)
+	return &Request{p: p, done: true}
+}
+
+// Irecv posts a nonblocking receive. The matching and transfer are resolved
+// at Wait time, but the transfer is modelled as starting at the later of
+// the post time and the send time — computation between Irecv and Wait
+// overlaps the transfer, which is how the new implementation hides address
+// computation behind communication (paper §5.4).
+func (p *Proc) Irecv(src, tag int) *Request {
+	return &Request{p: p, isRecv: true, src: src, tag: tag, post: p.clock}
+}
+
+// Wait completes the request. For receives it returns the data and source.
+func (r *Request) Wait() (data []byte, from int) {
+	if r.done {
+		return r.data, r.from
+	}
+	r.done = true
+	if !r.isRecv {
+		return nil, 0
+	}
+	e := r.p.w.boxes[r.p.rank].take(r.src, r.tag)
+	r.p.SyncClock(r.p.arrivalTime(r.post, e))
+	r.data, r.from = e.data, e.src
+	return r.data, r.from
+}
+
+// Waitall completes a set of requests and returns the received payloads in
+// request order (nil entries for sends).
+func Waitall(reqs []*Request) [][]byte {
+	out := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		out[i], _ = r.Wait()
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+// Package mpi is an in-process simulation of the MPI runtime features the
+// collective I/O implementations need: ranks with private virtual clocks,
+// eager point-to-point messaging with tag matching, nonblocking requests
+// whose completion times credit communication/computation overlap, and the
+// collective operations (barrier, bcast, allgather, allreduce, alltoallv/w)
+// used by two-phase I/O.
+//
+// Each rank is a goroutine. Time is virtual (sim.Time): sending, receiving,
+// computing and file system access advance a rank's clock according to the
+// sim.Config cost model, so "bandwidth" measured over virtual time responds
+// to the same effects the paper measures — message counts, request sizes,
+// serialized computation, and server contention — without real hardware.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"flexio/internal/sim"
+	"flexio/internal/stats"
+)
+
+// Any matches any source rank or any tag in Recv/Irecv.
+const Any = -1
+
+// World is a communicator: a fixed set of ranks sharing mailboxes and
+// collective state.
+type World struct {
+	size  int
+	cfg   *sim.Config
+	boxes []*mailbox
+	coll  *collSync
+	procs []*Proc
+}
+
+// NewWorld creates a communicator with size ranks using the given cost
+// model. It panics on an invalid configuration, which is always a
+// programming error in the harness.
+func NewWorld(size int, cfg *sim.Config) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: world size must be positive, got %d", size))
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	w := &World{
+		size:  size,
+		cfg:   cfg,
+		boxes: make([]*mailbox, size),
+		coll:  newCollSync(size),
+		procs: make([]*Proc, size),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	for i := range w.procs {
+		w.procs[i] = &Proc{w: w, rank: i, Stats: stats.New()}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Config returns the cost model.
+func (w *World) Config() *sim.Config { return w.cfg }
+
+// Proc returns the rank's process handle (valid before, during, and after
+// Run; clocks and stats persist across Run calls).
+func (w *World) Proc(rank int) *Proc { return w.procs[rank] }
+
+// Run executes fn once per rank, each in its own goroutine, and waits for
+// all to finish. A panic in any rank is re-raised (with its rank) after the
+// others complete or deadlock detection would be hopeless, so tests fail
+// loudly. Run may be called multiple times; clocks continue from their
+// previous values (call ResetClocks between independent experiments).
+func (w *World) Run(fn func(p *Proc)) {
+	var wg sync.WaitGroup
+	panics := make(chan string, w.size)
+	for i := 0; i < w.size; i++ {
+		wg.Add(1)
+		go func(p *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- fmt.Sprintf("rank %d: %v", p.rank, r)
+					// Unblock peers stuck in collectives or receives
+					// so the process doesn't deadlock before
+					// reporting.
+					w.coll.poison()
+					for _, b := range w.boxes {
+						b.poisonAndWake()
+					}
+				}
+			}()
+			fn(p)
+		}(w.procs[i])
+	}
+	wg.Wait()
+	select {
+	case msg := <-panics:
+		panic("mpi: " + msg)
+	default:
+	}
+}
+
+// ResetClocks zeroes every rank's virtual clock and drops undelivered
+// messages, making the world ready for an independent experiment.
+func (w *World) ResetClocks() {
+	for _, p := range w.procs {
+		p.clock = 0
+		p.nicBusy = 0
+	}
+	for _, b := range w.boxes {
+		b.drain()
+	}
+}
+
+// MaxClock returns the latest virtual clock across ranks.
+func (w *World) MaxClock() sim.Time {
+	var m sim.Time
+	for _, p := range w.procs {
+		if p.clock > m {
+			m = p.clock
+		}
+	}
+	return m
+}
+
+// MinClock returns the earliest virtual clock across ranks.
+func (w *World) MinClock() sim.Time {
+	m := w.procs[0].clock
+	for _, p := range w.procs[1:] {
+		if p.clock < m {
+			m = p.clock
+		}
+	}
+	return m
+}
+
+// Recorders returns every rank's stats recorder.
+func (w *World) Recorders() []*stats.Recorder {
+	out := make([]*stats.Recorder, w.size)
+	for i, p := range w.procs {
+		out[i] = p.Stats
+	}
+	return out
+}
+
+// Proc is one rank's handle: its identity, virtual clock, and stats. All
+// methods must be called only from the goroutine running that rank.
+type Proc struct {
+	w     *World
+	rank  int
+	clock sim.Time
+	// nicBusy serializes incoming point-to-point transfers: a rank's
+	// link can only receive one message at a time, so an aggregator
+	// ingesting data from many clients is throughput-limited — the
+	// effect that makes aggregator load balancing matter.
+	nicBusy sim.Time
+	Stats   *stats.Recorder
+}
+
+// Rank returns this process's rank in the world.
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.w.size }
+
+// World returns the communicator.
+func (p *Proc) World() *World { return p.w }
+
+// Config returns the cost model.
+func (p *Proc) Config() *sim.Config { return p.w.cfg }
+
+// Clock returns the rank's current virtual time.
+func (p *Proc) Clock() sim.Time { return p.clock }
+
+// AdvanceClock adds d (which must be non-negative) to the rank's clock;
+// used by higher layers to charge modelled computation.
+func (p *Proc) AdvanceClock(d sim.Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("mpi: negative clock advance %v on rank %d", d, p.rank))
+	}
+	p.clock += d
+}
+
+// SyncClock moves the clock forward to t if t is later.
+func (p *Proc) SyncClock(t sim.Time) {
+	if t > p.clock {
+		p.clock = t
+	}
+}

@@ -1,0 +1,223 @@
+package mpiio
+
+import (
+	"fmt"
+
+	"flexio/internal/datatype"
+	"flexio/internal/sim"
+	"flexio/internal/stats"
+)
+
+// ResolveAccess materializes the file segments a dataLen-byte transfer
+// through the current view touches, charging the offset/length-pair
+// processing to the rank's clock. The returned segments are absolute,
+// sorted, disjoint, and coalesced.
+func (f *File) ResolveAccess(dataLen int64) []datatype.Seg {
+	cur := f.ViewCursor(dataLen)
+	var segs []datatype.Seg
+	for {
+		s, _, ok := cur.Next(1 << 62)
+		if !ok {
+			break
+		}
+		if n := len(segs); n > 0 && segs[n-1].End() == s.Off {
+			segs[n-1].Len += s.Len
+		} else {
+			segs = append(segs, s)
+		}
+	}
+	f.ChargePairs(cur.Work())
+	return segs
+}
+
+// WriteIndependent is MPI_File_write: an independent noncontiguous write
+// through the file view using the hinted access method.
+func (f *File) WriteIndependent(buf []byte, memtype datatype.Type, count int64) error {
+	if err := f.checkAccess(buf, memtype, count); err != nil {
+		return err
+	}
+	stream, err := f.PackMemory(buf, memtype, count)
+	if err != nil {
+		return err
+	}
+	segs := f.ResolveAccess(int64(len(stream)))
+	return f.WriteStream(segs, stream, f.info.IndepMethod)
+}
+
+// ReadIndependent is MPI_File_read.
+func (f *File) ReadIndependent(buf []byte, memtype datatype.Type, count int64) error {
+	if err := f.checkAccess(buf, memtype, count); err != nil {
+		return err
+	}
+	n := datatype.TotalSize(memtype, count)
+	stream := make([]byte, n)
+	segs := f.ResolveAccess(n)
+	if err := f.ReadStream(segs, stream, f.info.IndepMethod); err != nil {
+		return err
+	}
+	return f.UnpackMemory(stream, buf, memtype, count)
+}
+
+// WriteStream writes a linear data stream into the given absolute file
+// segments using the chosen method, advancing the rank's clock. This is
+// the internal independent call the collective implementations use to
+// drain their collective buffers — the layering that lets a collective
+// call pick a different optimization per two-phase round (paper §5.1).
+func (f *File) WriteStream(segs []datatype.Seg, data []byte, m Method) error {
+	var total int64
+	for _, s := range segs {
+		total += s.Len
+	}
+	if total != int64(len(data)) {
+		return fmt.Errorf("mpiio: WriteStream: %d segment bytes, %d data bytes", total, len(data))
+	}
+	if total == 0 {
+		return nil
+	}
+	start := f.proc.Clock()
+	var err error
+	// Contiguous fast path: "contiguous in memory to contiguous in file".
+	if len(segs) == 1 {
+		err = f.oneCall(func(now sim.Time) (sim.Time, error) {
+			return f.handle.WriteAt(segs[0].Off, data, now)
+		})
+	} else {
+		switch m {
+		case Naive:
+			pos := int64(0)
+			for _, s := range segs {
+				chunk := data[pos : pos+s.Len]
+				if err = f.oneCall(func(now sim.Time) (sim.Time, error) {
+					return f.handle.WriteAt(s.Off, chunk, now)
+				}); err != nil {
+					break
+				}
+				pos += s.Len
+			}
+		case ListIO:
+			err = f.oneCall(func(now sim.Time) (sim.Time, error) {
+				return f.handle.WriteList(segs, data, now)
+			})
+		case DataSieve:
+			err = f.sieveWindows(segs, data, true)
+		default:
+			err = fmt.Errorf("mpiio: unknown access method %v", m)
+		}
+	}
+	f.proc.Stats.AddTime(stats.PIO, f.proc.Clock()-start)
+	return err
+}
+
+// ReadStream reads the given absolute file segments into a linear buffer.
+func (f *File) ReadStream(segs []datatype.Seg, buf []byte, m Method) error {
+	var total int64
+	for _, s := range segs {
+		total += s.Len
+	}
+	if total != int64(len(buf)) {
+		return fmt.Errorf("mpiio: ReadStream: %d segment bytes, %d buffer bytes", total, len(buf))
+	}
+	if total == 0 {
+		return nil
+	}
+	start := f.proc.Clock()
+	var err error
+	if len(segs) == 1 {
+		err = f.oneCall(func(now sim.Time) (sim.Time, error) {
+			return f.handle.ReadAt(segs[0].Off, buf, now)
+		})
+	} else {
+		switch m {
+		case Naive:
+			pos := int64(0)
+			for _, s := range segs {
+				chunk := buf[pos : pos+s.Len]
+				if err = f.oneCall(func(now sim.Time) (sim.Time, error) {
+					return f.handle.ReadAt(s.Off, chunk, now)
+				}); err != nil {
+					break
+				}
+				pos += s.Len
+			}
+		case ListIO:
+			err = f.oneCall(func(now sim.Time) (sim.Time, error) {
+				return f.handle.ReadList(segs, buf, now)
+			})
+		case DataSieve:
+			err = f.sieveWindows(segs, buf, false)
+		default:
+			err = fmt.Errorf("mpiio: unknown access method %v", m)
+		}
+	}
+	f.proc.Stats.AddTime(stats.PIO, f.proc.Clock()-start)
+	return err
+}
+
+// oneCall issues a single file system operation at the rank's current
+// clock and advances it to the completion time.
+func (f *File) oneCall(op func(sim.Time) (sim.Time, error)) error {
+	done, err := op(f.proc.Clock())
+	if err != nil {
+		return err
+	}
+	f.proc.SyncClock(done)
+	return nil
+}
+
+// sieveWindows splits a noncontiguous access into sieve-buffer-sized
+// windows and performs each as one contiguous read(-modify-write) through
+// the data sieve buffer. The pass through the sieve buffer is an extra
+// memory copy of the useful bytes — the double-buffering cost the paper
+// attributes to layering collective I/O on the independent path.
+func (f *File) sieveWindows(segs []datatype.Seg, data []byte, write bool) error {
+	sieve := f.info.SieveBufSize
+	cfg := f.proc.Config()
+	i := 0
+	pos := int64(0)
+	pending := append([]datatype.Seg(nil), segs...)
+	for i < len(pending) {
+		wlo := pending[i].Off
+		wend := wlo + sieve
+		var group []datatype.Seg
+		var useful int64
+		j := i
+		for j < len(pending) && pending[j].Off < wend {
+			s := pending[j]
+			if s.End() > wend {
+				// Split the straddling segment at the window edge;
+				// the remainder starts the next window.
+				group = append(group, datatype.Seg{Off: s.Off, Len: wend - s.Off})
+				useful += wend - s.Off
+				pending[j] = datatype.Seg{Off: wend, Len: s.End() - wend}
+				break
+			}
+			group = append(group, s)
+			useful += s.Len
+			j++
+		}
+		span := datatype.Seg{Off: wlo, Len: group[len(group)-1].End() - wlo}
+		chunk := data[pos : pos+useful]
+
+		// The copy through the sieve buffer.
+		d := cfg.MemcpyTime(useful)
+		f.proc.AdvanceClock(d)
+		f.proc.Stats.AddTime(stats.PCopy, d)
+
+		var err error
+		if write {
+			err = f.oneCall(func(now sim.Time) (sim.Time, error) {
+				return f.handle.SieveWrite(span, group, chunk, now)
+			})
+		} else {
+			err = f.oneCall(func(now sim.Time) (sim.Time, error) {
+				return f.handle.SieveRead(span, group, chunk, now)
+			})
+		}
+		if err != nil {
+			return err
+		}
+		pos += useful
+		i = j
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package mpiio
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"flexio/internal/datatype"
+	"flexio/internal/pfs"
+)
+
+func TestWriteAtExplicitOffset(t *testing.T) {
+	single(t, func(f *File, fs *pfs.FileSystem) {
+		// View: 4-byte etype, 4-byte regions every 16 bytes, disp 100.
+		ft := datatype.Must(datatype.Resized(datatype.Bytes(4), 16))
+		if err := f.SetView(100, datatype.Bytes(4), ft); err != nil {
+			t.Fatal(err)
+		}
+		// Write 8 bytes at offset 3 etypes = stream byte 12: lands in
+		// view instances 3 and 4 -> file offsets 148 and 164.
+		if err := f.WriteAt(3, []byte("abcdwxyz"), datatype.Bytes(8), 1); err != nil {
+			t.Fatal(err)
+		}
+		img := fs.Snapshot("test.dat", 200)
+		if string(img[148:152]) != "abcd" || string(img[164:168]) != "wxyz" {
+			t.Fatalf("misplaced: %q %q", img[148:152], img[164:168])
+		}
+		// Read it back at the same offset.
+		out := make([]byte, 8)
+		if err := f.ReadAt(3, out, datatype.Bytes(8), 1); err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != "abcdwxyz" {
+			t.Fatalf("read back %q", out)
+		}
+	})
+}
+
+func TestWriteAtValidation(t *testing.T) {
+	single(t, func(f *File, _ *pfs.FileSystem) {
+		if err := f.WriteAt(-1, []byte("x"), datatype.Bytes(1), 1); err == nil {
+			t.Error("negative offset accepted")
+		}
+		if err := f.ReadAt(-1, make([]byte, 1), datatype.Bytes(1), 1); err == nil {
+			t.Error("negative read offset accepted")
+		}
+	})
+}
+
+func TestIndividualFilePointer(t *testing.T) {
+	single(t, func(f *File, fs *pfs.FileSystem) {
+		// Sequential Write calls append through the pointer.
+		if err := f.Write([]byte("hello"), datatype.Bytes(5), 1); err != nil {
+			t.Fatal(err)
+		}
+		if f.Tell() != 5 {
+			t.Fatalf("pos = %d", f.Tell())
+		}
+		if err := f.Write([]byte("world"), datatype.Bytes(5), 1); err != nil {
+			t.Fatal(err)
+		}
+		img := fs.Snapshot("test.dat", 10)
+		if string(img) != "helloworld" {
+			t.Fatalf("file = %q", img)
+		}
+		// Seek back and read everything.
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]byte, 10)
+		if err := f.Read(out, datatype.Bytes(10), 1); err != nil {
+			t.Fatal(err)
+		}
+		if string(out) != "helloworld" {
+			t.Fatalf("read = %q", out)
+		}
+		if f.Tell() != 10 {
+			t.Fatalf("pos after read = %d", f.Tell())
+		}
+		// Relative seek.
+		if pos, err := f.Seek(-4, io.SeekCurrent); err != nil || pos != 6 {
+			t.Fatalf("relative seek: pos=%d err=%v", pos, err)
+		}
+		out4 := make([]byte, 4)
+		if err := f.Read(out4, datatype.Bytes(4), 1); err != nil {
+			t.Fatal(err)
+		}
+		if string(out4) != "orld" {
+			t.Fatalf("read = %q", out4)
+		}
+	})
+}
+
+func TestSeekValidation(t *testing.T) {
+	single(t, func(f *File, _ *pfs.FileSystem) {
+		if _, err := f.Seek(-1, io.SeekStart); err == nil {
+			t.Error("negative absolute seek accepted")
+		}
+		if _, err := f.Seek(0, io.SeekEnd); err == nil {
+			t.Error("SeekEnd accepted (unsupported)")
+		}
+	})
+}
+
+func TestSetViewResetsPointer(t *testing.T) {
+	single(t, func(f *File, _ *pfs.FileSystem) {
+		f.Write([]byte("xxxx"), datatype.Bytes(4), 1)
+		if f.Tell() == 0 {
+			t.Fatal("pointer did not advance")
+		}
+		if err := f.SetView(0, datatype.Bytes(1), datatype.Bytes(1)); err != nil {
+			t.Fatal(err)
+		}
+		if f.Tell() != 0 {
+			t.Fatalf("pointer after SetView = %d", f.Tell())
+		}
+	})
+}
+
+func TestPointerWithEtypeUnits(t *testing.T) {
+	single(t, func(f *File, fs *pfs.FileSystem) {
+		// Etype of 8 bytes: pointer counts in 8-byte units.
+		if err := f.SetView(0, datatype.Bytes(8), datatype.Bytes(8)); err != nil {
+			t.Fatal(err)
+		}
+		buf := bytes.Repeat([]byte{0xEE}, 16)
+		if err := f.Write(buf, datatype.Bytes(16), 1); err != nil {
+			t.Fatal(err)
+		}
+		if f.Tell() != 2 { // 16 bytes = 2 etypes
+			t.Fatalf("pos = %d, want 2", f.Tell())
+		}
+	})
+}

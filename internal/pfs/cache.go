@@ -1,0 +1,78 @@
+package pfs
+
+import "container/list"
+
+// pageCache tracks which (file, page) pairs a client holds locally, with
+// O(1) LRU eviction at a fixed capacity. Only presence matters: the
+// simulated file image is updated synchronously, so the cache influences
+// timing (read hits, read-modify-write avoidance) but never data.
+//
+// All methods are called with the owning FileSystem's mutex held.
+type pageCache struct {
+	cap   int
+	lru   *list.List                // front = most recent; values are pageKey
+	pages map[pageKey]*list.Element // key -> LRU node
+}
+
+type pageKey struct {
+	name string
+	page int64
+}
+
+func newPageCache(capacity int) *pageCache {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &pageCache{
+		cap:   capacity,
+		lru:   list.New(),
+		pages: make(map[pageKey]*list.Element),
+	}
+}
+
+// has reports whether the page is cached, refreshing its recency.
+func (pc *pageCache) has(name string, page int64) bool {
+	el, ok := pc.pages[pageKey{name, page}]
+	if !ok {
+		return false
+	}
+	pc.lru.MoveToFront(el)
+	return true
+}
+
+// put inserts the page, evicting the least recently used entry if the
+// cache is full.
+func (pc *pageCache) put(name string, page int64) {
+	if pc.cap == 0 {
+		return
+	}
+	k := pageKey{name, page}
+	if el, ok := pc.pages[k]; ok {
+		pc.lru.MoveToFront(el)
+		return
+	}
+	if pc.lru.Len() >= pc.cap {
+		back := pc.lru.Back()
+		pc.lru.Remove(back)
+		delete(pc.pages, back.Value.(pageKey))
+	}
+	pc.pages[k] = pc.lru.PushFront(k)
+}
+
+// drop removes a page (lock revocation).
+func (pc *pageCache) drop(name string, page int64) {
+	k := pageKey{name, page}
+	if el, ok := pc.pages[k]; ok {
+		pc.lru.Remove(el)
+		delete(pc.pages, k)
+	}
+}
+
+// reset clears the cache.
+func (pc *pageCache) reset() {
+	pc.lru.Init()
+	pc.pages = make(map[pageKey]*list.Element)
+}
+
+// size reports the number of cached pages (for tests).
+func (pc *pageCache) size() int { return len(pc.pages) }

@@ -1,0 +1,655 @@
+// Package pfs simulates a Lustre-like striped parallel file system: files
+// striped across object storage targets (OSTs) with per-OST service queues,
+// a page-granular distributed lock manager with client-side lock caching,
+// per-client page caches that absorb read-modify-write penalties, and a
+// virtual-time cost model.
+//
+// Data correctness and timing are deliberately separated: every write is
+// applied to the (sparse) file image immediately, so simulated contents are
+// always exact; the lock manager and caches only determine how much virtual
+// time an access costs. This mirrors the paper's use of Lustre, where the
+// observed effects — 4 KB page-alignment spikes (Figure 5), lock ping-pong
+// between unaligned file realms, and cache locality from persistent file
+// realms (Figure 7) — are all timing effects.
+package pfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"flexio/internal/datatype"
+	"flexio/internal/sim"
+	"flexio/internal/stats"
+)
+
+// Op identifies a file system operation for fault injection and tracing.
+type Op struct {
+	Kind   string // "read", "write"
+	Client int
+	Name   string
+	Off    int64
+	Len    int64
+}
+
+// FaultHook, if non-nil, is consulted before each operation; returning a
+// non-nil error aborts the operation without side effects.
+type FaultHook func(Op) error
+
+// FileSystem is the shared simulated storage system. It is safe for
+// concurrent use by many client goroutines.
+type FileSystem struct {
+	mu      sync.Mutex
+	cfg     *sim.Config
+	files   map[string]*fileData
+	osts    []ostState
+	nextID  int
+	clients map[int]*Client
+	fault   FaultHook
+}
+
+type ostState struct {
+	busyUntil sim.Time           // latest completion handed out (diagnostics)
+	buckets   map[int64]sim.Time // service time binned by virtual arrival time
+	lastEnd   map[string]int64   // per-file last served end offset, for seek detection
+}
+
+// The OST queueing model must be independent of the wall-clock order in
+// which rank goroutines happen to reach the file system: ranks carry
+// virtual clocks, and goroutine scheduling must not let a virtually-later
+// request delay a virtually-earlier one (that both inflates totals and
+// makes runs nondeterministic). Instead of a busy-until queue, each OST
+// tracks how much service time arrived in a sliding window of virtual
+// time; work in excess of the window length (the server's capacity over
+// that span) is backlog that delays the request. Bucketed sums make the
+// computation commutative, so processing order cannot matter.
+// queueWindow trades off two errors: it must exceed the virtual-clock skew
+// between ranks submitting "simultaneously" (so reordering is harmless),
+// but bursts totalling less than the window see no contention at all, so
+// it must stay well below the service time of a round's aggregate I/O.
+const (
+	queueWindow  sim.Time = 0.032
+	queueBuckets          = 32
+)
+
+// serve admits one request with service time svc arriving at virtual time
+// t and returns its completion time.
+func (o *ostState) serve(t, svc sim.Time) sim.Time {
+	if o.buckets == nil {
+		o.buckets = make(map[int64]sim.Time)
+	}
+	width := queueWindow / queueBuckets
+	bi := int64(t / width)
+	o.buckets[bi] += svc
+	var recent sim.Time
+	for k := bi - queueBuckets + 1; k <= bi; k++ {
+		recent += o.buckets[k]
+	}
+	backlog := recent - queueWindow
+	if backlog < 0 {
+		backlog = 0
+	}
+	done := t + svc + backlog
+	if done > o.busyUntil {
+		o.busyUntil = done
+	}
+	if len(o.buckets) > 16*queueBuckets {
+		for k := range o.buckets {
+			if k < bi-2*queueBuckets {
+				delete(o.buckets, k)
+			}
+		}
+	}
+	return done
+}
+
+type fileData struct {
+	name  string
+	pages map[int64][]byte // page index -> page content
+	size  int64
+	// lockOwner maps a page index to the client id holding its exclusive
+	// lock; absent means unlocked.
+	lockOwner map[int64]int
+	// stripeWriter maps a stripe index to the last client that wrote
+	// into it; a different writer pays a server-side extent-lock
+	// transfer (StripeLockCost) and invalidates the previous writer's
+	// cached pages in the stripe.
+	stripeWriter map[int64]int
+}
+
+// NewFileSystem creates an empty file system with cfg.StripeCount OSTs.
+func NewFileSystem(cfg *sim.Config) *FileSystem {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	fs := &FileSystem{
+		cfg:     cfg,
+		files:   make(map[string]*fileData),
+		osts:    make([]ostState, cfg.StripeCount),
+		clients: make(map[int]*Client),
+	}
+	for i := range fs.osts {
+		fs.osts[i].lastEnd = make(map[string]int64)
+	}
+	return fs
+}
+
+// SetFaultHook installs (or clears, with nil) the fault injection hook.
+func (fs *FileSystem) SetFaultHook(h FaultHook) {
+	fs.mu.Lock()
+	fs.fault = h
+	fs.mu.Unlock()
+}
+
+// Config returns the cost model.
+func (fs *FileSystem) Config() *sim.Config { return fs.cfg }
+
+func (fs *FileSystem) file(name string) *fileData {
+	f := fs.files[name]
+	if f == nil {
+		f = &fileData{
+			name:         name,
+			pages:        make(map[int64][]byte),
+			lockOwner:    make(map[int64]int),
+			stripeWriter: make(map[int64]int),
+		}
+		fs.files[name] = f
+	}
+	return f
+}
+
+// Remove deletes a file and its lock state.
+func (fs *FileSystem) Remove(name string) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	delete(fs.files, name)
+	for i := range fs.osts {
+		delete(fs.osts[i].lastEnd, name)
+	}
+}
+
+// ResetTiming clears OST queues and all lock/cache state but preserves file
+// contents; used between repetitions of an experiment.
+func (fs *FileSystem) ResetTiming() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i := range fs.osts {
+		fs.osts[i].busyUntil = 0
+		fs.osts[i].buckets = nil
+		fs.osts[i].lastEnd = make(map[string]int64)
+	}
+	for _, f := range fs.files {
+		f.lockOwner = make(map[int64]int)
+		f.stripeWriter = make(map[int64]int)
+	}
+	for _, c := range fs.clients {
+		c.cache.reset()
+	}
+}
+
+// stripeConflicts charges server-side extent-lock transfers for stripes of
+// s whose last writer is a different client, invalidating that client's
+// cached pages in the stripe. Returns the total transfer cost.
+func (c *Client) stripeConflicts(f *fileData, s datatype.Seg) sim.Time {
+	fs := c.fs
+	ss := fs.cfg.StripeSize
+	pagesPerStripe := ss / fs.cfg.PageSize
+	var cost sim.Time
+	for st := s.Off / ss; st <= (s.End()-1)/ss; st++ {
+		prev, ok := f.stripeWriter[st]
+		if ok && prev != c.id {
+			cost += fs.cfg.StripeLockCost
+			c.rec.Add(stats.CStripeConflicts, 1)
+			if holder := fs.clients[prev]; holder != nil {
+				for pi := st * pagesPerStripe; pi < (st+1)*pagesPerStripe; pi++ {
+					holder.cache.drop(f.name, pi)
+				}
+			}
+		}
+		f.stripeWriter[st] = c.id
+	}
+	return cost
+}
+
+// ResetTimingKeepLocks clears OST queues but preserves lock ownership and
+// client caches, isolating lock-protocol costs in tests.
+func (fs *FileSystem) ResetTimingKeepLocks() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for i := range fs.osts {
+		fs.osts[i].busyUntil = 0
+		fs.osts[i].buckets = nil
+		fs.osts[i].lastEnd = make(map[string]int64)
+	}
+}
+
+// Size returns the current size of the named file (0 if absent).
+func (fs *FileSystem) Size(name string) int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f := fs.files[name]; f != nil {
+		return f.size
+	}
+	return 0
+}
+
+// Snapshot returns a copy of the first n bytes of the file (zeros where
+// unwritten), for verification in tests.
+func (fs *FileSystem) Snapshot(name string, n int64) []byte {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]byte, n)
+	f := fs.files[name]
+	if f == nil {
+		return out
+	}
+	ps := fs.cfg.PageSize
+	for pi, page := range f.pages {
+		base := pi * ps
+		if base >= n {
+			continue
+		}
+		copy(out[base:], page)
+	}
+	return out
+}
+
+// Client is one compute node's view of the file system: its identity, its
+// page cache, and its stats recorder.
+type Client struct {
+	fs    *FileSystem
+	id    int
+	cache *pageCache
+	rec   *stats.Recorder
+}
+
+// NewClient registers a client. rec may be nil.
+func (fs *FileSystem) NewClient(rec *stats.Recorder) *Client {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.nextID++
+	c := &Client{
+		fs:    fs,
+		id:    fs.nextID,
+		cache: newPageCache(fs.cfg.ClientCachePages),
+		rec:   rec,
+	}
+	fs.clients[c.id] = c
+	return c
+}
+
+// ID returns the client's unique id.
+func (c *Client) ID() int { return c.id }
+
+// Handle is an open file from one client's perspective.
+type Handle struct {
+	c *Client
+	f *fileData
+}
+
+// Open opens (creating if needed) the named file.
+func (c *Client) Open(name string) *Handle {
+	c.fs.mu.Lock()
+	defer c.fs.mu.Unlock()
+	return &Handle{c: c, f: c.fs.file(name)}
+}
+
+// Name returns the file's name.
+func (h *Handle) Name() string { return h.f.name }
+
+// WriteAt writes data at off starting at virtual time now and returns the
+// completion time.
+func (h *Handle) WriteAt(off int64, data []byte, now sim.Time) (sim.Time, error) {
+	return h.c.access("write", h.f, []datatype.Seg{{Off: off, Len: int64(len(data))}}, data, nil, now)
+}
+
+// ReadAt reads len(buf) bytes at off into buf.
+func (h *Handle) ReadAt(off int64, buf []byte, now sim.Time) (sim.Time, error) {
+	return h.c.access("read", h.f, []datatype.Seg{{Off: off, Len: int64(len(buf))}}, nil, buf, now)
+}
+
+// WriteList writes the concatenated data stream into the given file
+// segments with a single request (list I/O semantics: one call overhead for
+// the whole batch, as with PVFS's listio interface).
+func (h *Handle) WriteList(segs []datatype.Seg, data []byte, now sim.Time) (sim.Time, error) {
+	return h.c.access("write", h.f, segs, data, nil, now)
+}
+
+// ReadList reads the given file segments into the concatenated buffer with
+// a single request.
+func (h *Handle) ReadList(segs []datatype.Seg, buf []byte, now sim.Time) (sim.Time, error) {
+	return h.c.access("read", h.f, segs, nil, buf, now)
+}
+
+// access is the single entry point for all I/O: it validates, applies fault
+// injection, moves bytes, and computes the completion time.
+func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []byte, rbuf []byte, now sim.Time) (sim.Time, error) {
+	var total int64
+	for _, s := range segs {
+		if s.Off < 0 || s.Len < 0 {
+			return now, fmt.Errorf("pfs: %s %q: invalid segment [%d,+%d)", kind, f.name, s.Off, s.Len)
+		}
+		total += s.Len
+	}
+	if kind == "write" && total != int64(len(wdata)) {
+		return now, fmt.Errorf("pfs: write %q: %d segment bytes but %d data bytes", f.name, total, len(wdata))
+	}
+	if kind == "read" && total != int64(len(rbuf)) {
+		return now, fmt.Errorf("pfs: read %q: %d segment bytes but %d buffer bytes", f.name, total, len(rbuf))
+	}
+	if total == 0 {
+		return now, nil
+	}
+
+	fs := c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	if fs.fault != nil {
+		first := segs[0]
+		if err := fs.fault(Op{Kind: kind, Client: c.id, Name: f.name, Off: first.Off, Len: total}); err != nil {
+			return now, fmt.Errorf("pfs: %s %q: %w", kind, f.name, err)
+		}
+	}
+
+	// One call overhead for the whole (possibly list) request.
+	t := now + fs.cfg.IOCallOverhead
+	c.rec.Add(stats.CIOCalls, 1)
+	c.rec.Add(stats.CBytesIO, total)
+
+	// Lock acquisition for the whole request, then per-OST service.
+	t += c.lockSpan(f, segs, kind == "write")
+
+	completion := t
+	pos := int64(0)
+	for _, s := range segs {
+		if s.Len == 0 {
+			continue
+		}
+		var segDone sim.Time
+		if kind == "write" {
+			segDone = c.writeSeg(f, s, wdata[pos:pos+s.Len], t)
+		} else {
+			segDone = c.readSeg(f, s, rbuf[pos:pos+s.Len], t)
+		}
+		if segDone > completion {
+			completion = segDone
+		}
+		pos += s.Len
+	}
+	return completion, nil
+}
+
+// lockSpan acquires the page locks covering the request and returns the
+// time cost. Grants are charged once per maximal run of pages not already
+// owned (extent locks); revocations are charged per distinct conflicting
+// owner run. Reads do not take ownership but must still revoke a writer's
+// exclusive lock.
+func (c *Client) lockSpan(f *fileData, segs []datatype.Seg, write bool) sim.Time {
+	fs := c.fs
+	ps := fs.cfg.PageSize
+	var cost sim.Time
+
+	// Collect the distinct page range of the request.
+	type prange struct{ lo, hi int64 } // inclusive page indices
+	ranges := make([]prange, 0, len(segs))
+	for _, s := range segs {
+		if s.Len == 0 {
+			continue
+		}
+		ranges = append(ranges, prange{s.Off / ps, (s.Off + s.Len - 1) / ps})
+	}
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].lo < ranges[j].lo })
+
+	lastPage := int64(-2) // avoid double-charging overlapping segment pages
+	inGrantRun := false
+	lastRevokedOwner := 0
+	for _, r := range ranges {
+		lo := r.lo
+		if lo <= lastPage {
+			lo = lastPage + 1
+		}
+		for pi := lo; pi <= r.hi; pi++ {
+			owner, held := f.lockOwner[pi]
+			switch {
+			case held && owner == c.id:
+				c.rec.Add(stats.CCacheHits, 1)
+				inGrantRun = false
+			case held: // conflicting owner: revoke (callback + holder flush)
+				if owner != lastRevokedOwner || !inGrantRun {
+					cost += fs.cfg.LockRevokeCost
+					c.rec.Add(stats.CLockRevokes, 1)
+					lastRevokedOwner = owner
+				}
+				fs.evictClientPage(owner, f.name, pi)
+				c.rec.Add(stats.CCacheFlushes, 1)
+				if write {
+					f.lockOwner[pi] = c.id
+				} else {
+					delete(f.lockOwner, pi)
+				}
+				if !inGrantRun {
+					cost += fs.cfg.LockGrantCost
+					c.rec.Add(stats.CLockGrants, 1)
+					inGrantRun = true
+				}
+			default: // unlocked
+				if write {
+					f.lockOwner[pi] = c.id
+				}
+				if !inGrantRun {
+					cost += fs.cfg.LockGrantCost
+					c.rec.Add(stats.CLockGrants, 1)
+					inGrantRun = true
+				}
+			}
+			lastPage = pi
+		}
+		inGrantRun = false // discontiguous request parts are separate extents
+	}
+	return cost
+}
+
+// evictClientPage drops a page from the cache of the client losing the
+// lock, so a later access by that client pays the server again (the flush
+// time itself is charged to the revoker as part of LockRevokeCost).
+// Callers hold fs.mu, which also guards all cache contents.
+func (fs *FileSystem) evictClientPage(clientID int, name string, page int64) {
+	if holder := fs.clients[clientID]; holder != nil {
+		holder.cache.drop(name, page)
+	}
+}
+
+// writeSeg applies one contiguous write and returns its completion time.
+func (c *Client) writeSeg(f *fileData, s datatype.Seg, data []byte, t sim.Time) sim.Time {
+	fs := c.fs
+	ps := fs.cfg.PageSize
+	// Extent-lock transfers occupy the server, not just the client:
+	// fold them into the first portion's service time.
+	conflictSvc := c.stripeConflicts(f, s)
+
+	// Read-modify-write penalty: a partially covered page that is not in
+	// the client cache must be fetched before it can be written.
+	var rmwPages int64
+	firstPage, lastPage := s.Off/ps, (s.Off+s.Len-1)/ps
+	if s.Off%ps != 0 || (firstPage == lastPage && s.End()%ps != 0) {
+		if !c.cache.has(f.name, firstPage) {
+			rmwPages++
+		}
+	}
+	if lastPage != firstPage && s.End()%ps != 0 {
+		if !c.cache.has(f.name, lastPage) {
+			rmwPages++
+		}
+	}
+	c.rec.Add(stats.CRMWPages, rmwPages)
+
+	// The written pages are now cached at this client.
+	for pi := firstPage; pi <= lastPage; pi++ {
+		c.cache.put(f.name, pi)
+	}
+
+	// Apply the data.
+	f.writeBytes(s.Off, data, ps)
+
+	// OST service, striped.
+	done := t
+	for _, p := range fs.stripePortions(s) {
+		ost := &fs.osts[p.ost]
+		svc := fs.cfg.ServerTransferTime(p.seg.Len)
+		if ost.lastEnd[f.name] != p.seg.Off {
+			svc += fs.cfg.SeekCost
+		}
+		if rmwPages > 0 {
+			// Charge the extra page reads on the first portion only.
+			svc += sim.Time(fs.cfg.RMWPenalty*float64(rmwPages)) * fs.cfg.ServerTransferTime(ps)
+			rmwPages = 0
+		}
+		svc += conflictSvc
+		conflictSvc = 0
+		end := ost.serve(t, svc)
+		ost.lastEnd[f.name] = p.seg.End()
+		c.rec.AddTime(stats.PServe, svc)
+		if end > done {
+			done = end
+		}
+	}
+	return done
+}
+
+// readSeg serves one contiguous read and returns its completion time.
+// Pages present in the client cache are served locally at memory speed.
+func (c *Client) readSeg(f *fileData, s datatype.Seg, buf []byte, t sim.Time) sim.Time {
+	fs := c.fs
+	ps := fs.cfg.PageSize
+
+	f.readBytes(s.Off, buf, ps)
+
+	// Determine the portion actually needing server access.
+	var serverBytes int64
+	firstPage, lastPage := s.Off/ps, (s.Off+s.Len-1)/ps
+	for pi := firstPage; pi <= lastPage; pi++ {
+		if c.cache.has(f.name, pi) {
+			c.rec.Add(stats.CCacheHits, 1)
+			continue
+		}
+		c.cache.put(f.name, pi)
+		lo := pi * ps
+		hi := lo + ps
+		if lo < s.Off {
+			lo = s.Off
+		}
+		if hi > s.End() {
+			hi = s.End()
+		}
+		serverBytes += hi - lo
+	}
+	if serverBytes == 0 {
+		return t + fs.cfg.MemcpyTime(s.Len)
+	}
+
+	done := t
+	for _, p := range fs.stripePortions(s) {
+		ost := &fs.osts[p.ost]
+		// Approximate: scale the portion's transfer by the fraction of
+		// the segment actually served remotely.
+		frac := float64(serverBytes) / float64(s.Len)
+		svc := sim.Time(frac) * fs.cfg.ServerTransferTime(p.seg.Len)
+		if ost.lastEnd[f.name] != p.seg.Off {
+			svc += fs.cfg.SeekCost
+		}
+		end := ost.serve(t, svc)
+		ost.lastEnd[f.name] = p.seg.End()
+		c.rec.AddTime(stats.PServe, svc)
+		if end > done {
+			done = end
+		}
+	}
+	return done
+}
+
+// stripePortion is the part of a segment living on one OST.
+type stripePortion struct {
+	ost int
+	seg datatype.Seg
+}
+
+// stripePortions splits a contiguous segment by stripe boundaries.
+func (fs *FileSystem) stripePortions(s datatype.Seg) []stripePortion {
+	ss := fs.cfg.StripeSize
+	var out []stripePortion
+	off := s.Off
+	remain := s.Len
+	for remain > 0 {
+		stripe := off / ss
+		inStripe := ss - off%ss
+		n := remain
+		if n > inStripe {
+			n = inStripe
+		}
+		out = append(out, stripePortion{
+			ost: int(stripe % int64(fs.cfg.StripeCount)),
+			seg: datatype.Seg{Off: off, Len: n},
+		})
+		off += n
+		remain -= n
+	}
+	return out
+}
+
+// writeBytes applies data into the sparse page store.
+func (f *fileData) writeBytes(off int64, data []byte, pageSize int64) {
+	pos := int64(0)
+	for pos < int64(len(data)) {
+		abs := off + pos
+		pi := abs / pageSize
+		inPage := abs % pageSize
+		n := pageSize - inPage
+		if rem := int64(len(data)) - pos; n > rem {
+			n = rem
+		}
+		page := f.pages[pi]
+		if page == nil {
+			page = make([]byte, pageSize)
+			f.pages[pi] = page
+		}
+		copy(page[inPage:inPage+n], data[pos:pos+n])
+		pos += n
+	}
+	if end := off + int64(len(data)); end > f.size {
+		f.size = end
+	}
+}
+
+// readBytes fills buf from the sparse page store (zeros where unwritten).
+func (f *fileData) readBytes(off int64, buf []byte, pageSize int64) {
+	pos := int64(0)
+	for pos < int64(len(buf)) {
+		abs := off + pos
+		pi := abs / pageSize
+		inPage := abs % pageSize
+		n := pageSize - inPage
+		if rem := int64(len(buf)) - pos; n > rem {
+			n = rem
+		}
+		if page := f.pages[pi]; page != nil {
+			copy(buf[pos:pos+n], page[inPage:inPage+n])
+		} else {
+			for i := pos; i < pos+n; i++ {
+				buf[i] = 0
+			}
+		}
+		pos += n
+	}
+}
+
+// OSTBusy reports each OST's busy-until time (diagnostics).
+func (fs *FileSystem) OSTBusy() []sim.Time {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]sim.Time, len(fs.osts))
+	for i := range fs.osts {
+		out[i] = fs.osts[i].busyUntil
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package pfs
+
+import (
+	"math/rand"
+	"testing"
+
+	"flexio/internal/sim"
+)
+
+// TestServeOrderTolerance: rank goroutines race to the file system, so the
+// wall-clock order of admissions is arbitrary. Individual completions see
+// only the work admitted before them (prefix effects), but the makespan of
+// a burst — the property bandwidth measurements rest on — must be stable
+// under permutation: within the burst's own service quantum of the
+// in-order makespan, with no unbounded "ladder" amplification.
+func TestServeOrderTolerance(t *testing.T) {
+	type req struct {
+		t, svc sim.Time
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(20)
+		reqs := make([]req, n)
+		var maxSvc sim.Time
+		for i := range reqs {
+			reqs[i] = req{
+				t:   sim.Time(rng.Float64() * 0.02),
+				svc: sim.Time(rng.Float64() * 0.005),
+			}
+			if reqs[i].svc > maxSvc {
+				maxSvc = reqs[i].svc
+			}
+		}
+		var totalSvc sim.Time
+		for _, r := range reqs {
+			totalSvc += r.svc
+		}
+		makespan := func(perm []int) sim.Time {
+			var o ostState
+			var last sim.Time
+			for _, k := range perm {
+				if done := o.serve(reqs[k].t, reqs[k].svc); done > last {
+					last = done
+				}
+			}
+			return last
+		}
+		base := make([]int, n)
+		for i := range base {
+			base[i] = i
+		}
+		want := makespan(base)
+		for shuffle := 0; shuffle < 5; shuffle++ {
+			perm := rng.Perm(n)
+			got := makespan(perm)
+			diff := float64(got - want)
+			if diff < 0 {
+				diff = -diff
+			}
+			// Prefix effects allow bounded wobble (who sees the
+			// backlog), but never ladder amplification beyond the
+			// burst's own total service demand.
+			if diff > float64(totalSvc+maxSvc)+1e-9 {
+				t.Fatalf("trial %d: makespan order-sensitive beyond burst demand: %v vs %v (demand %v)",
+					trial, got, want, totalSvc)
+			}
+		}
+	}
+}
+
+// TestServeLightLoadNoDelay: sequential requests below capacity complete at
+// arrival + service.
+func TestServeLightLoadNoDelay(t *testing.T) {
+	var o ostState
+	for i := 0; i < 100; i++ {
+		at := sim.Time(i) * 0.050 // one 1ms request every 50ms
+		done := o.serve(at, 0.001)
+		if done != at+0.001 {
+			t.Fatalf("request %d delayed: %v", i, done)
+		}
+	}
+}
+
+// TestServeBurstQueues: a burst of work far exceeding the queue window
+// must be serialized to roughly the total service demand.
+func TestServeBurstQueues(t *testing.T) {
+	var o ostState
+	const n = 1000
+	const svc = sim.Time(0.001)
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		done := o.serve(0.001, svc) // all arriving at the same instant
+		if done > last {
+			last = done
+		}
+	}
+	total := sim.Time(n) * svc
+	if last < total/2 {
+		t.Fatalf("burst of %v service finished at %v: queue not modelled", total, last)
+	}
+	if last > total*2 {
+		t.Fatalf("burst of %v service finished at %v: over-serialized", total, last)
+	}
+}
+
+// TestServeOldWorkExpires: work far in the virtual past does not delay new
+// requests.
+func TestServeOldWorkExpires(t *testing.T) {
+	var o ostState
+	for i := 0; i < 500; i++ {
+		o.serve(0.001, 0.002) // 1s of backlog around t=0
+	}
+	done := o.serve(100.0, 0.001)
+	if done != 100.001 {
+		t.Fatalf("stale backlog leaked into the future: %v", done)
+	}
+}
+
+// TestServeBusyUntilMonotone: the diagnostic busy-until never regresses.
+func TestServeBusyUntilMonotone(t *testing.T) {
+	var o ostState
+	rng := rand.New(rand.NewSource(9))
+	var prev sim.Time
+	for i := 0; i < 200; i++ {
+		o.serve(sim.Time(rng.Float64()), sim.Time(rng.Float64()*0.01))
+		if o.busyUntil < prev {
+			t.Fatalf("busyUntil regressed: %v -> %v", prev, o.busyUntil)
+		}
+		prev = o.busyUntil
+	}
+}

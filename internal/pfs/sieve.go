@@ -1,0 +1,129 @@
+package pfs
+
+import (
+	"fmt"
+
+	"flexio/internal/datatype"
+	"flexio/internal/sim"
+	"flexio/internal/stats"
+)
+
+// SieveWrite models a data-sieving write window: the cost is that of a
+// contiguous read of the covering span (skipped when the segments leave no
+// holes) followed by one contiguous write of the span, while only the
+// useful segments' bytes are actually modified — so concurrent writers of
+// interleaved byte ranges (e.g. cyclic file realms) are never clobbered by
+// the gap data the sieve buffer carries.
+func (h *Handle) SieveWrite(span datatype.Seg, segs []datatype.Seg, data []byte, now sim.Time) (sim.Time, error) {
+	var useful int64
+	for _, s := range segs {
+		if s.Off < span.Off || s.End() > span.End() {
+			return now, fmt.Errorf("pfs: SieveWrite: segment [%d,%d) outside span [%d,%d)",
+				s.Off, s.End(), span.Off, span.End())
+		}
+		useful += s.Len
+	}
+	if useful != int64(len(data)) {
+		return now, fmt.Errorf("pfs: SieveWrite: %d segment bytes but %d data bytes", useful, len(data))
+	}
+	if span.Len == 0 {
+		return now, nil
+	}
+	t := now
+	if useful < span.Len {
+		// Holes: fetch the span first (read-modify-write at sieve
+		// granularity). The read populates the client cache, so the
+		// write below pays no per-page RMW.
+		var err error
+		t, err = h.c.access("read", h.f, []datatype.Seg{span}, nil, make([]byte, span.Len), t)
+		if err != nil {
+			return now, err
+		}
+	}
+	// Apply the useful bytes, but charge the write as one contiguous span.
+	return h.c.accessSieveSpan(h.f, span, segs, data, t)
+}
+
+// accessSieveSpan performs the write-back half of a sieve window: data is
+// scattered to segs, timing is that of one contiguous span write.
+func (c *Client) accessSieveSpan(f *fileData, span datatype.Seg, segs []datatype.Seg, data []byte, now sim.Time) (sim.Time, error) {
+	fs := c.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+
+	if fs.fault != nil {
+		if err := fs.fault(Op{Kind: "write", Client: c.id, Name: f.name, Off: span.Off, Len: span.Len}); err != nil {
+			return now, fmt.Errorf("pfs: write %q: %w", f.name, err)
+		}
+	}
+
+	t := now + fs.cfg.IOCallOverhead
+	c.rec.Add(stats.CIOCalls, 1)
+	c.rec.Add(stats.CBytesIO, span.Len)
+	t += c.lockSpan(f, []datatype.Seg{span}, true)
+	conflictSvc := c.stripeConflicts(f, span)
+
+	// Scatter the data.
+	pos := int64(0)
+	for _, s := range segs {
+		f.writeBytes(s.Off, data[pos:pos+s.Len], fs.cfg.PageSize)
+		pos += s.Len
+	}
+	if span.End() > f.size {
+		f.size = span.End()
+	}
+
+	// Timing: one contiguous span write (the sieve buffer holds the gap
+	// data, so the whole span streams out). The preceding span read (or
+	// cache) covers partial pages, so no RMW penalty here.
+	done := t
+	for pi := span.Off / fs.cfg.PageSize; pi <= (span.End()-1)/fs.cfg.PageSize; pi++ {
+		c.cache.put(f.name, pi)
+	}
+	for _, p := range fs.stripePortions(span) {
+		ost := &fs.osts[p.ost]
+		svc := fs.cfg.ServerTransferTime(p.seg.Len)
+		if ost.lastEnd[f.name] != p.seg.Off {
+			svc += fs.cfg.SeekCost
+		}
+		svc += conflictSvc
+		conflictSvc = 0
+		end := ost.serve(t, svc)
+		ost.lastEnd[f.name] = p.seg.End()
+		c.rec.AddTime(stats.PServe, svc)
+		if end > done {
+			done = end
+		}
+	}
+	return done, nil
+}
+
+// SieveRead models a data-sieving read window: one contiguous read of the
+// span, with the useful bytes gathered into buf.
+func (h *Handle) SieveRead(span datatype.Seg, segs []datatype.Seg, buf []byte, now sim.Time) (sim.Time, error) {
+	var useful int64
+	for _, s := range segs {
+		if s.Off < span.Off || s.End() > span.End() {
+			return now, fmt.Errorf("pfs: SieveRead: segment [%d,%d) outside span [%d,%d)",
+				s.Off, s.End(), span.Off, span.End())
+		}
+		useful += s.Len
+	}
+	if useful != int64(len(buf)) {
+		return now, fmt.Errorf("pfs: SieveRead: %d segment bytes but %d buffer bytes", useful, len(buf))
+	}
+	if span.Len == 0 {
+		return now, nil
+	}
+	tmp := make([]byte, span.Len)
+	done, err := h.c.access("read", h.f, []datatype.Seg{span}, nil, tmp, now)
+	if err != nil {
+		return now, err
+	}
+	pos := int64(0)
+	for _, s := range segs {
+		copy(buf[pos:pos+s.Len], tmp[s.Off-span.Off:s.End()-span.Off])
+		pos += s.Len
+	}
+	return done, nil
+}

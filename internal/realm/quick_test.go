@@ -1,0 +1,143 @@
+package realm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"flexio/internal/datatype"
+)
+
+// genCtx draws a random valid assignment context.
+func genCtx(rng *rand.Rand) Context {
+	start := int64(rng.Intn(1 << 20))
+	span := int64(1 + rng.Intn(1<<22))
+	ctx := Context{
+		NAggs: 1 + rng.Intn(12),
+		Start: start,
+		End:   start + span,
+	}
+	if rng.Intn(2) == 0 {
+		ctx.Align = int64(1) << (10 + rng.Intn(5)) // 1K..16K
+	}
+	return ctx
+}
+
+// PropCoverage: every assigner covers [Start, End) with disjoint realms,
+// and also covers arbitrary bytes beyond End (files grow).
+func TestQuickAssignersCover(t *testing.T) {
+	assigners := []Assigner{
+		Even{},
+		Even{Align: 8192},
+		Cyclic{Block: 4096},
+		Cyclic{Block: 100000},
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctx := genCtx(rng)
+		for _, as := range assigners {
+			realms, err := as.Assign(ctx)
+			if err != nil {
+				return false
+			}
+			if len(realms) != ctx.NAggs {
+				return false
+			}
+			// Spot-check coverage with random probes, plus the full
+			// interval when small.
+			if ctx.End-ctx.Start < 1<<16 {
+				if Coverage(realms, ctx.Start, ctx.End) != nil {
+					return false
+				}
+			}
+			for probe := 0; probe < 8; probe++ {
+				off := ctx.Start + int64(rng.Intn(int(ctx.End-ctx.Start+1000)))
+				owners := 0
+				for _, r := range realms {
+					c := r.Cursor()
+					if c.SeekOffset(off) && c.Offset() == off {
+						owners++
+					}
+				}
+				if owners != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PropLoadBalancedCoverage: with random sparse access sets the
+// load-balanced assigner still partitions the region.
+func TestQuickLoadBalancedCovers(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctx := genCtx(rng)
+		ctx.Align = 0
+		var segs []datatype.Seg
+		off := ctx.Start
+		for off < ctx.End {
+			l := int64(1 + rng.Intn(4096))
+			if off+l > ctx.End {
+				l = ctx.End - off
+			}
+			segs = append(segs, datatype.Seg{Off: off, Len: l})
+			off += l + int64(rng.Intn(1<<16))
+		}
+		ctx.AllSegs = segs
+		realms, err := LoadBalanced{}.Assign(ctx)
+		if err != nil {
+			return false
+		}
+		if len(realms) != ctx.NAggs {
+			return false
+		}
+		for probe := 0; probe < 16; probe++ {
+			o := ctx.Start + int64(rng.Intn(int(ctx.End-ctx.Start)))
+			owners := 0
+			for _, r := range realms {
+				c := r.Cursor()
+				if c.SeekOffset(o) && c.Offset() == o {
+					owners++
+				}
+			}
+			if owners != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PropDeterminism: assignment is a pure function of the context — every
+// rank must compute identical realms.
+func TestQuickAssignersDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctx := genCtx(rng)
+		for _, as := range []Assigner{Even{}, Even{Align: 4096}, Cyclic{Block: 8192}} {
+			a, err1 := as.Assign(ctx)
+			b, err2 := as.Assign(ctx)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			for i := range a {
+				if !reflect.DeepEqual(a[i].Flat(), b[i].Flat()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package stats provides MPE-style per-rank instrumentation: named virtual
+// time buckets and event counters. The paper used MPE logging to attribute
+// the new implementation's overheads to datatype processing and double
+// buffering; the same breakdown is exposed here through phase timers.
+//
+// A nil *Recorder is valid and records nothing, so instrumentation can be
+// left in place unconditionally.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexio/internal/sim"
+)
+
+// Recorder accumulates phase times and counters for a single rank. It is
+// not safe for concurrent use; each rank owns its own Recorder.
+type Recorder struct {
+	Times    map[string]sim.Time
+	Counters map[string]int64
+}
+
+// New returns an empty recorder.
+func New() *Recorder {
+	return &Recorder{
+		Times:    make(map[string]sim.Time),
+		Counters: make(map[string]int64),
+	}
+}
+
+// AddTime accumulates d into the named phase bucket.
+func (r *Recorder) AddTime(phase string, d sim.Time) {
+	if r == nil {
+		return
+	}
+	r.Times[phase] += d
+}
+
+// Add accumulates n into the named counter.
+func (r *Recorder) Add(counter string, n int64) {
+	if r == nil {
+		return
+	}
+	r.Counters[counter] += n
+}
+
+// Time returns the accumulated time for a phase (zero if absent or nil).
+func (r *Recorder) Time(phase string) sim.Time {
+	if r == nil {
+		return 0
+	}
+	return r.Times[phase]
+}
+
+// Counter returns the accumulated count (zero if absent or nil).
+func (r *Recorder) Counter(counter string) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.Counters[counter]
+}
+
+// Reset clears all buckets.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	for k := range r.Times {
+		delete(r.Times, k)
+	}
+	for k := range r.Counters {
+		delete(r.Counters, k)
+	}
+}
+
+// Merge sums a set of per-rank recorders into one aggregate view.
+func Merge(rs ...*Recorder) *Recorder {
+	out := New()
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		for k, v := range r.Times {
+			out.Times[k] += v
+		}
+		for k, v := range r.Counters {
+			out.Counters[k] += v
+		}
+	}
+	return out
+}
+
+// String renders the recorder sorted by key for stable output.
+func (r *Recorder) String() string {
+	if r == nil {
+		return "stats(nil)"
+	}
+	var b strings.Builder
+	keys := make([]string, 0, len(r.Times))
+	for k := range r.Times {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "time[%s]=%v ", k, r.Times[k])
+	}
+	keys = keys[:0]
+	for k := range r.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "n[%s]=%d ", k, r.Counters[k])
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// Common counter and phase names used across the I/O stack, collected here
+// so tools and tests agree on spelling.
+const (
+	// Counters.
+	CBytesIO         = "bytes_io"         // bytes moved to/from the file system
+	CIOCalls         = "io_calls"         // file system calls issued
+	CBytesComm       = "bytes_comm"       // bytes exchanged between ranks
+	CPairsProcessed  = "pairs_processed"  // offset/length pairs evaluated
+	CReqBytes        = "req_bytes"        // bytes of access-description metadata exchanged
+	CLockGrants      = "lock_grants"      // page locks acquired
+	CLockRevokes     = "lock_revokes"     // page locks revoked from other clients
+	CStripeConflicts = "stripe_conflicts" // stripe extent-lock transfers between writers
+	CCacheHits       = "cache_hits"       // client cache page hits
+	CCacheFlushes    = "cache_flushes"    // dirty pages flushed
+	CRMWPages        = "rmw_pages"        // read-modify-write page penalties
+
+	// Phases.
+	PFlatten  = "flatten"     // datatype flattening / request generation
+	PExchange = "exchange"    // access-description exchange
+	PComm     = "comm"        // data shuffle between clients and aggregators
+	PIO       = "io"          // file system access (client-observed, incl. queueing)
+	PServe    = "ost_service" // raw OST service time consumed by this client's requests
+	PCopy     = "copy"        // pack/unpack and buffer copies
+)

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"flexio/internal/sim"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := New()
+	r.AddTime(PIO, 1.5)
+	r.AddTime(PIO, 0.5)
+	r.Add(CIOCalls, 3)
+	if r.Time(PIO) != 2.0 {
+		t.Fatalf("time = %v", r.Time(PIO))
+	}
+	if r.Counter(CIOCalls) != 3 {
+		t.Fatalf("counter = %d", r.Counter(CIOCalls))
+	}
+	if r.Time("absent") != 0 || r.Counter("absent") != 0 {
+		t.Fatal("absent keys not zero")
+	}
+	r.Reset()
+	if r.Time(PIO) != 0 || r.Counter(CIOCalls) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.AddTime(PIO, 1)
+	r.Add(CIOCalls, 1)
+	r.Reset()
+	if r.Time(PIO) != 0 || r.Counter(CIOCalls) != 0 {
+		t.Fatal("nil recorder returned nonzero")
+	}
+	if r.String() != "stats(nil)" {
+		t.Fatalf("nil String = %q", r.String())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	a.Add(CBytesIO, 10)
+	b.Add(CBytesIO, 32)
+	a.AddTime(PComm, sim.Time(1))
+	b.AddTime(PComm, sim.Time(2))
+	m := Merge(a, nil, b)
+	if m.Counter(CBytesIO) != 42 {
+		t.Fatalf("merged counter = %d", m.Counter(CBytesIO))
+	}
+	if m.Time(PComm) != 3 {
+		t.Fatalf("merged time = %v", m.Time(PComm))
+	}
+}
+
+func TestStringIsStable(t *testing.T) {
+	r := New()
+	r.Add("b", 2)
+	r.Add("a", 1)
+	r.AddTime("z", 1)
+	s1, s2 := r.String(), r.String()
+	if s1 != s2 {
+		t.Fatal("String not deterministic")
+	}
+	if !strings.Contains(s1, "n[a]=1") || !strings.Contains(s1, "time[z]=") {
+		t.Fatalf("String = %q", s1)
+	}
+}

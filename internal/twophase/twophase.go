@@ -1,0 +1,443 @@
+// Package twophase is the baseline: a faithful model of the original
+// ROMIO-style two-phase collective I/O implementation the paper compares
+// against (Thakur, Gropp, Lusk — "Data sieving and collective I/O in
+// ROMIO").
+//
+// Its defining characteristics, all modelled here:
+//
+//   - The entire access is flattened into offset/length pairs (M pairs) and
+//     the pairs themselves are exchanged: O(M) memory and communication,
+//     but only O(M) computation.
+//   - File domains (realms) are an even partition of the aggregate access
+//     region — contiguous byte ranges only.
+//   - Data sieving is integrated directly into the collective buffer: the
+//     buffer holds gap data and the aggregator issues one contiguous
+//     read(-modify)-write per round, with no second pass through a
+//     separate sieve buffer.
+//   - All communication of a round is posted at once (all MPI_Irecvs, then
+//     all MPI_Isends, then a wait for everything).
+package twophase
+
+import (
+	"fmt"
+	"sort"
+
+	"flexio/internal/datatype"
+	"flexio/internal/mpi"
+	"flexio/internal/mpiio"
+	"flexio/internal/stats"
+)
+
+const (
+	tagReq  = 1000
+	tagData = 2000
+)
+
+// Impl implements mpiio.Collective.
+type Impl struct{}
+
+// New returns the baseline implementation.
+func New() *Impl { return &Impl{} }
+
+// Name implements mpiio.Collective.
+func (*Impl) Name() string { return "romio-twophase" }
+
+// WriteAll implements mpiio.Collective.
+func (i *Impl) WriteAll(f *mpiio.File, buf []byte, memtype datatype.Type, count int64) error {
+	return i.collective(f, buf, memtype, count, true)
+}
+
+// ReadAll implements mpiio.Collective.
+func (i *Impl) ReadAll(f *mpiio.File, buf []byte, memtype datatype.Type, count int64) error {
+	return i.collective(f, buf, memtype, count, false)
+}
+
+// portion is a contiguous piece of this rank's access together with its
+// position in the rank's linearized data stream.
+type portion struct {
+	seg       datatype.Seg
+	streamOff int64
+}
+
+// clipState walks a sorted portion list through consecutive windows.
+type clipState struct {
+	ps    []portion
+	idx   int
+	intra int64 // bytes of ps[idx] already consumed
+}
+
+// next returns the sub-portions with file offsets in [lo, hi). Windows must
+// be visited in increasing order.
+func (cs *clipState) next(lo, hi int64) []portion {
+	var out []portion
+	for cs.idx < len(cs.ps) {
+		p := cs.ps[cs.idx]
+		off := p.seg.Off + cs.intra
+		if off >= hi {
+			break
+		}
+		n := p.seg.End() - off
+		if off+n > hi {
+			n = hi - off
+		}
+		if off+n <= lo { // entirely before the window (shouldn't happen when windows tile)
+			cs.intra += n
+			if cs.intra == p.seg.Len {
+				cs.idx++
+				cs.intra = 0
+			}
+			continue
+		}
+		out = append(out, portion{
+			seg:       datatype.Seg{Off: off, Len: n},
+			streamOff: p.streamOff + cs.intra,
+		})
+		cs.intra += n
+		if cs.intra == p.seg.Len {
+			cs.idx++
+			cs.intra = 0
+		}
+		if off+n == hi {
+			break
+		}
+	}
+	return out
+}
+
+func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, count int64, write bool) error {
+	p := f.Proc()
+	cfg := p.Config()
+	info := f.Info()
+
+	// Linearize the user data and flatten the whole access: the O(M)
+	// flattened-access representation is this implementation's currency.
+	var stream []byte
+	dataLen := datatype.TotalSize(memtype, count)
+	if write {
+		var err error
+		stream, err = f.PackMemory(buf, memtype, count)
+		if err != nil {
+			return err
+		}
+	} else {
+		stream = make([]byte, dataLen)
+	}
+	mySegs := f.ResolveAccess(dataLen)
+
+	// Aggregate access region.
+	var st, en int64 = 1 << 62, -1
+	if len(mySegs) > 0 {
+		st = mySegs[0].Off
+		en = mySegs[len(mySegs)-1].End()
+	}
+	t0 := p.Clock()
+	allSt := p.AllgatherInt64(st)
+	allEn := p.AllgatherInt64(en)
+	aarSt, aarEn := int64(1<<62), int64(-1)
+	for r := 0; r < p.Size(); r++ {
+		if allSt[r] < aarSt {
+			aarSt = allSt[r]
+		}
+		if allEn[r] > aarEn {
+			aarEn = allEn[r]
+		}
+	}
+	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+	if aarEn <= aarSt {
+		return nil // no process accesses any data
+	}
+
+	// Even file domains over the aggregate access region.
+	naggs := info.CbNodes
+	if naggs == 0 {
+		naggs = p.Size()
+	}
+	span := aarEn - aarSt
+	chunk := (span + int64(naggs) - 1) / int64(naggs)
+	fdStart := make([]int64, naggs)
+	fdEnd := make([]int64, naggs)
+	for a := 0; a < naggs; a++ {
+		fdStart[a] = aarSt + int64(a)*chunk
+		fdEnd[a] = fdStart[a] + chunk
+		if fdEnd[a] > aarEn {
+			fdEnd[a] = aarEn
+		}
+		if fdStart[a] > aarEn {
+			fdStart[a] = aarEn
+		}
+	}
+
+	// Split my access per aggregator and ship the offset/length pairs.
+	// O(M) processing, O(M) request bytes on the wire.
+	t0 = p.Clock()
+	prefix := make([]int64, len(mySegs)+1)
+	for k, s := range mySegs {
+		prefix[k+1] = prefix[k] + s.Len
+	}
+	myPortions := make([][]portion, naggs)
+	{
+		a := 0
+		for k, s := range mySegs {
+			off, pos := s.Off, prefix[k]
+			for off < s.End() {
+				for a < naggs-1 && off >= fdEnd[a] {
+					a++
+				}
+				n := s.End() - off
+				if lim := fdEnd[a] - off; a < naggs-1 && n > lim {
+					n = lim
+				}
+				myPortions[a] = append(myPortions[a], portion{
+					seg:       datatype.Seg{Off: off, Len: n},
+					streamOff: pos,
+				})
+				off += n
+				pos += n
+			}
+		}
+	}
+	f.ChargePairs(int64(len(mySegs)))
+	for a := 0; a < naggs; a++ {
+		segs := make([]datatype.Seg, len(myPortions[a]))
+		for k, pt := range myPortions[a] {
+			segs[k] = pt.seg
+		}
+		enc := datatype.EncodeSegs(segs)
+		p.Stats.Add(stats.CReqBytes, int64(len(enc)))
+		p.Send(a, tagReq, enc)
+	}
+
+	// Aggregators receive every rank's request list.
+	var reqs [][]datatype.Seg // per client
+	amAgg := p.Rank() < naggs
+	if amAgg {
+		reqs = make([][]datatype.Seg, p.Size())
+		var pairs int64
+		for c := 0; c < p.Size(); c++ {
+			enc, _ := p.Recv(c, tagReq)
+			segs, err := datatype.DecodeSegs(enc)
+			if err != nil {
+				return fmt.Errorf("twophase: bad request from rank %d: %w", c, err)
+			}
+			reqs[c] = segs
+			pairs += int64(len(segs))
+		}
+		f.ChargePairs(pairs)
+	}
+	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+
+	// Round count: every rank can compute it from the global domain
+	// bounds.
+	cb := info.CollBufSize
+	ntimes := 0
+	for a := 0; a < naggs; a++ {
+		if r := int((fdEnd[a] - fdStart[a] + cb - 1) / cb); r > ntimes {
+			ntimes = r
+		}
+	}
+
+	// Walk state per aggregator (client side) and per client (agg side).
+	myClip := make([]*clipState, naggs)
+	for a := 0; a < naggs; a++ {
+		myClip[a] = &clipState{ps: myPortions[a]}
+	}
+	var aggClip []*clipState
+	if amAgg {
+		aggClip = make([]*clipState, p.Size())
+		for c := 0; c < p.Size(); c++ {
+			ps := make([]portion, len(reqs[c]))
+			for k, s := range reqs[c] {
+				ps[k] = portion{seg: s}
+			}
+			aggClip[c] = &clipState{ps: ps}
+		}
+	}
+
+	// On an I/O error the rank keeps participating in every round's
+	// exchange (deserting a collective deadlocks the communicator) and
+	// reports the first error at the end.
+	var firstErr error
+
+	for r := 0; r < ntimes; r++ {
+		tag := tagData + r%1024
+
+		// Aggregator: figure out this round's window pieces per client
+		// and post all receives first (for writes) — the original
+		// code's "all Irecvs, then all Isends" structure.
+		var wlo, whi int64
+		var perClient [][]portion
+		if amAgg {
+			wlo = fdStart[p.Rank()] + int64(r)*cb
+			whi = wlo + cb
+			if whi > fdEnd[p.Rank()] {
+				whi = fdEnd[p.Rank()]
+			}
+			if wlo < whi {
+				perClient = make([][]portion, p.Size())
+				for c := 0; c < p.Size(); c++ {
+					perClient[c] = aggClip[c].next(wlo, whi)
+				}
+			}
+		}
+		var recvReqs []*mpi.Request
+		var recvFrom []int
+		if write && perClient != nil {
+			for c := 0; c < p.Size(); c++ {
+				if len(perClient[c]) > 0 {
+					recvReqs = append(recvReqs, p.Irecv(c, tag))
+					recvFrom = append(recvFrom, c)
+				}
+			}
+		}
+
+		// Client: send my data for each aggregator's window r.
+		type sentPiece struct {
+			agg      int
+			portions []portion
+		}
+		var sent []sentPiece
+		for a := 0; a < naggs; a++ {
+			alo := fdStart[a] + int64(r)*cb
+			ahi := alo + cb
+			if ahi > fdEnd[a] {
+				ahi = fdEnd[a]
+			}
+			if alo >= ahi {
+				continue
+			}
+			pieces := myClip[a].next(alo, ahi)
+			if len(pieces) == 0 {
+				continue
+			}
+			if write {
+				var total int64
+				for _, pt := range pieces {
+					total += pt.seg.Len
+				}
+				msg := make([]byte, 0, total)
+				for _, pt := range pieces {
+					msg = append(msg, stream[pt.streamOff:pt.streamOff+pt.seg.Len]...)
+				}
+				p.Isend(a, tag, msg)
+			} else {
+				sent = append(sent, sentPiece{agg: a, portions: pieces})
+			}
+		}
+
+		// Aggregator: complete the exchange and do the I/O for this
+		// round through the integrated sieve buffer.
+		if perClient != nil {
+			// Merge all clients' pieces in file-offset order.
+			type entry struct {
+				seg    datatype.Seg
+				client int
+				data   []byte
+			}
+			var entries []entry
+			if write {
+				payloads := mpi.Waitall(recvReqs)
+				for k, c := range recvFrom {
+					data := payloads[k]
+					pos := int64(0)
+					for _, pt := range perClient[c] {
+						entries = append(entries, entry{
+							seg:    pt.seg,
+							client: c,
+							data:   data[pos : pos+pt.seg.Len],
+						})
+						pos += pt.seg.Len
+					}
+				}
+			} else {
+				for c := 0; c < p.Size(); c++ {
+					for _, pt := range perClient[c] {
+						entries = append(entries, entry{seg: pt.seg, client: c})
+					}
+				}
+			}
+			if len(entries) > 0 {
+				sort.Slice(entries, func(x, y int) bool { return entries[x].seg.Off < entries[y].seg.Off })
+				segs := make([]datatype.Seg, 0, len(entries))
+				var total int64
+				for _, e := range entries {
+					if n := len(segs); n > 0 && segs[n-1].End() == e.seg.Off {
+						segs[n-1].Len += e.seg.Len
+					} else {
+						segs = append(segs, e.seg)
+					}
+					total += e.seg.Len
+				}
+				lo := entries[0].seg.Off
+				hi := segs[len(segs)-1].End()
+				span := datatype.Seg{Off: lo, Len: hi - lo}
+
+				// Single pass into the integrated buffer.
+				d := cfg.MemcpyTime(total)
+				p.AdvanceClock(d)
+				p.Stats.AddTime(stats.PCopy, d)
+
+				tio := p.Clock()
+				if write {
+					concat := make([]byte, 0, total)
+					for _, e := range entries {
+						concat = append(concat, e.data...)
+					}
+					if firstErr == nil {
+						done, err := f.Handle().SieveWrite(span, segs, concat, p.Clock())
+						if err != nil {
+							firstErr = fmt.Errorf("twophase: round %d: %w", r, err)
+						} else {
+							p.SyncClock(done)
+						}
+					}
+				} else {
+					rbuf := make([]byte, total)
+					if firstErr == nil {
+						done, err := f.Handle().SieveRead(span, segs, rbuf, p.Clock())
+						if err != nil {
+							firstErr = fmt.Errorf("twophase: round %d: %w", r, err)
+						} else {
+							p.SyncClock(done)
+						}
+					}
+					// Ship each client its pieces.
+					pos := int64(0)
+					perMsg := make(map[int][]byte)
+					for _, e := range entries {
+						perMsg[e.client] = append(perMsg[e.client], rbuf[pos:pos+e.seg.Len]...)
+						pos += e.seg.Len
+					}
+					for c := 0; c < p.Size(); c++ {
+						if msg, ok := perMsg[c]; ok {
+							p.Isend(c, tag, msg)
+						}
+					}
+				}
+				p.Stats.AddTime(stats.PIO, p.Clock()-tio)
+			}
+		}
+
+		// Client (read): collect my pieces back from the aggregators.
+		if !write {
+			for _, sp := range sent {
+				data, _ := p.Recv(sp.agg, tag)
+				pos := int64(0)
+				for _, pt := range sp.portions {
+					copy(stream[pt.streamOff:pt.streamOff+pt.seg.Len], data[pos:pos+pt.seg.Len])
+					pos += pt.seg.Len
+				}
+			}
+		}
+	}
+
+	// Collective calls leave all ranks synchronized.
+	p.Barrier()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	if !write {
+		return f.UnpackMemory(stream, buf, memtype, count)
+	}
+	return nil
+}
