@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"flexio/internal/experiments"
+	"flexio/internal/trace"
 )
 
 func main() {
@@ -27,7 +28,13 @@ func main() {
 	fig5file := flag.Int64("fig5file", 1<<30, "figure 5 file size in bytes")
 	fig5every := flag.Int("fig5every", 1, "keep every k-th figure 5 fraction point")
 	fig4aggs := flag.Int("fig4aggs", 0, "restrict figure 4 to one aggregator count (0 = all panels)")
+	tracePath := flag.String("trace", "", "write the last experiment's Chrome trace JSON (Perfetto-loadable) to this file")
+	breakdown := flag.Bool("breakdown", false, "print the last experiment's per-phase/per-round trace breakdown")
 	flag.Parse()
+
+	if *tracePath != "" || *breakdown {
+		experiments.TraceCapacity = trace.DefaultCapacity
+	}
 
 	want := strings.ToLower(*fig)
 	run := func(name string) bool { return want == "all" || want == strings.ToLower(name) }
@@ -101,6 +108,24 @@ func main() {
 	if run("A5") {
 		tables, err := experiments.AblationHeap(ab)
 		emit("A5", tables, err)
+	}
+
+	if *tracePath != "" {
+		if experiments.LastTrace == nil {
+			fmt.Fprintln(os.Stderr, "trace: no experiment ran, nothing to export")
+			failed = true
+		} else if err := experiments.LastTrace.WriteChromeTraceFile(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			failed = true
+		} else {
+			fmt.Printf("wrote Chrome trace (%d events, %d ranks) to %s\n",
+				experiments.LastTrace.Events(), experiments.LastTrace.Ranks(), *tracePath)
+		}
+	}
+	if *breakdown && experiments.LastTrace != nil {
+		fmt.Println(experiments.LastTrace.Breakdown().Format(experiments.LastStats))
+		fmt.Println()
+		fmt.Println(experiments.LastStats.Table())
 	}
 
 	if failed {

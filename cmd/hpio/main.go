@@ -12,7 +12,6 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"sort"
 
 	"flexio/internal/colltest"
 	"flexio/internal/core"
@@ -40,6 +39,8 @@ func main() {
 	memContig := flag.Bool("memcontig", false, "contiguous memory layout")
 	steps := flag.Int("steps", 1, "number of repeated collective writes")
 	verify := flag.Bool("verify", true, "verify the file image")
+	tracePath := flag.String("trace", "", "write the run's Chrome trace JSON (Perfetto-loadable) to this file")
+	breakdown := flag.Bool("breakdown", false, "print the per-phase/per-round trace breakdown")
 	flag.Parse()
 
 	wl := hpio.Pattern{
@@ -113,22 +114,18 @@ func main() {
 		float64(total)/1e6, res.Elapsed, res.BandwidthMBs(total))
 
 	agg := stats.Merge(res.World.Recorders()...)
-	fmt.Println("\nphase time across ranks (virtual seconds):")
-	keys := make([]string, 0, len(agg.Times))
-	for k := range agg.Times {
-		keys = append(keys, k)
+	fmt.Println()
+	fmt.Println(agg.Table())
+
+	if *tracePath != "" {
+		if err := res.Trace.WriteChromeTraceFile(*tracePath); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("\nwrote Chrome trace (%d events, %d ranks) to %s\n",
+			res.Trace.Events(), res.Trace.Ranks(), *tracePath)
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Printf("  %-10s %v\n", k, agg.Times[k])
-	}
-	fmt.Println("counters:")
-	keys = keys[:0]
-	for k := range agg.Counters {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Printf("  %-18s %d\n", k, agg.Counters[k])
+	if *breakdown {
+		fmt.Println()
+		fmt.Println(res.Trace.Breakdown().Format(agg))
 	}
 }

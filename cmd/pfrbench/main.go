@@ -15,6 +15,7 @@ import (
 
 	"flexio/internal/experiments"
 	"flexio/internal/stats"
+	"flexio/internal/trace"
 )
 
 func main() {
@@ -26,7 +27,13 @@ func main() {
 	pfr := flag.Bool("pfr", false, "persistent file realms")
 	align := flag.Int64("align", 0, "file realm alignment in bytes (0 = off; the paper uses the 2MB stripe)")
 	verify := flag.Bool("verify", false, "verify the final file image")
+	tracePath := flag.String("trace", "", "write the run's Chrome trace JSON (Perfetto-loadable) to this file")
+	breakdown := flag.Bool("breakdown", false, "print the per-phase/per-round trace breakdown")
 	flag.Parse()
+
+	if *tracePath != "" || *breakdown {
+		experiments.TraceCapacity = trace.DefaultCapacity
+	}
 
 	p := experiments.DefaultFig7()
 	p.Clients = []int{*clients}
@@ -56,4 +63,16 @@ func main() {
 	fmt.Printf("I/O calls:        %d\n", agg.Counter(stats.CIOCalls))
 	fmt.Printf("bytes to storage: %.2f MB (vs %.2f MB useful)\n",
 		float64(agg.Counter(stats.CBytesIO))/1e6, float64(total)/1e6)
+
+	if *tracePath != "" {
+		if err := experiments.LastTrace.WriteChromeTraceFile(*tracePath); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Printf("\nwrote Chrome trace (%d events, %d ranks) to %s\n",
+			experiments.LastTrace.Events(), experiments.LastTrace.Ranks(), *tracePath)
+	}
+	if *breakdown {
+		fmt.Println()
+		fmt.Println(experiments.LastTrace.Breakdown().Format(agg))
+	}
 }

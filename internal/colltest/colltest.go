@@ -14,6 +14,7 @@ import (
 	"flexio/internal/mpiio"
 	"flexio/internal/pfs"
 	"flexio/internal/sim"
+	"flexio/internal/trace"
 )
 
 // Workload is an HPIO-style regular interleaved collective access; see
@@ -34,6 +35,19 @@ type Result struct {
 	World *mpi.World
 	// FS is the file system, for follow-on inspection.
 	FS *pfs.FileSystem
+	// Trace is the virtual-time event record of the measured phase (the
+	// harness always traces, so equivalence tests can assert
+	// well-formedness alongside data correctness).
+	Trace *trace.Sink
+}
+
+// CheckTrace verifies the recorded trace is well formed: balanced spans and
+// monotone non-decreasing virtual time on every rank.
+func (r Result) CheckTrace() error {
+	if r.Trace == nil {
+		return fmt.Errorf("colltest: no trace recorded")
+	}
+	return r.Trace.Check()
 }
 
 // BandwidthMBs converts a byte count and elapsed time to MB/s.
@@ -90,6 +104,9 @@ func RunReadBack(cfg *sim.Config, wl Workload, info mpiio.Info) (Result, error) 
 		}
 	}
 
+	// Trace only the measured phase: timestamps restart at zero with the
+	// clocks.
+	sink := w.EnableTracing(0)
 	w.ResetClocks()
 	fs.ResetTiming()
 	errs := make(chan error, wl.Ranks)
@@ -125,11 +142,12 @@ func RunReadBack(cfg *sim.Config, wl Workload, info mpiio.Info) (Result, error) 
 			return Result{}, err
 		}
 	}
-	return Result{Elapsed: w.MaxClock() - start, World: w, FS: fs}, nil
+	return Result{Elapsed: w.MaxClock() - start, World: w, FS: fs, Trace: sink}, nil
 }
 
 func run(cfg *sim.Config, wl Workload, info mpiio.Info, write bool, steps int) (Result, error) {
 	w := mpi.NewWorld(wl.Ranks, cfg)
+	sink := w.EnableTracing(0)
 	fs := pfs.NewFileSystem(cfg)
 	errs := make(chan error, wl.Ranks)
 	w.Run(func(p *mpi.Proc) {
@@ -162,6 +180,7 @@ func run(cfg *sim.Config, wl Workload, info mpiio.Info, write bool, steps int) (
 		Elapsed: w.MaxClock(),
 		World:   w,
 		FS:      fs,
+		Trace:   sink,
 	}
 	res.Image = fs.Snapshot("coll.dat", int64(len(wl.Reference())))
 	return res, nil

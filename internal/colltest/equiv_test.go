@@ -10,6 +10,7 @@ import (
 	"flexio/internal/mpiio"
 	"flexio/internal/realm"
 	"flexio/internal/sim"
+	"flexio/internal/stats"
 	"flexio/internal/twophase"
 )
 
@@ -96,6 +97,72 @@ func TestRandomizedWriteCorrectness(t *testing.T) {
 		if err := VerifyImage(wl, res.Image); err != nil {
 			t.Fatalf("trial %d (%s, %s, cb=%d naggs=%d): %v",
 				trial, wl, name, info.CollBufSize, info.CbNodes, err)
+		}
+		if err := res.CheckTrace(); err != nil {
+			t.Fatalf("trial %d (%s, %s): %v", trial, wl, name, err)
+		}
+	}
+}
+
+// TestTraceDeterministicExport: serializing the same recorded trace twice
+// must produce byte-identical Chrome trace JSON — the exporter has no map
+// iteration, wall-clock stamps, or other nondeterminism. (Two separate
+// simulation runs are deliberately not compared: virtual times depend on
+// the real-time order in which rank goroutines reach the shared file
+// system mutex, so re-runs can legitimately differ under perturbed
+// goroutine scheduling, e.g. with -race.)
+func TestTraceDeterministicExport(t *testing.T) {
+	wl := Workload{Ranks: 4, RegionSize: 97, RegionCount: 23, Spacing: 31, Disp: 5, MemNoncontig: true, MemGap: 7}
+	info := mpiio.Info{Collective: core.New(core.Options{Validate: true}), CollBufSize: 1 << 10}
+	res, err := RunWrite(sim.DefaultConfig(), wl, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exports [2][]byte
+	for i := range exports {
+		var buf bytes.Buffer
+		if err := res.Trace.WriteChromeTrace(&buf); err != nil {
+			t.Fatalf("export %d: %v", i, err)
+		}
+		exports[i] = buf.Bytes()
+	}
+	if len(exports[0]) == 0 {
+		t.Fatal("empty export")
+	}
+	if !bytes.Equal(exports[0], exports[1]) {
+		t.Fatalf("trace export is nondeterministic: %d vs %d bytes", len(exports[0]), len(exports[1]))
+	}
+}
+
+// TestTraceMatchesStats: per-phase span sums from the trace must agree with
+// the flat stats time buckets of the same names — the two accountings are
+// recorded at the same call sites over the same clock intervals.
+func TestTraceMatchesStats(t *testing.T) {
+	wl := Workload{Ranks: 5, RegionSize: 64, RegionCount: 40, Spacing: 16, MemNoncontig: true, MemGap: 3}
+	for _, coll := range []mpiio.Collective{twophase.New(), core.New(core.Options{Validate: true})} {
+		res, err := RunWrite(sim.DefaultConfig(), wl, mpiio.Info{Collective: coll, CollBufSize: 1 << 10})
+		if err != nil {
+			t.Fatalf("%s: %v", coll.Name(), err)
+		}
+		flat := stats.Merge(res.World.Recorders()...)
+		bd := res.Trace.Breakdown()
+		for _, phase := range []string{stats.PFlatten, stats.PExchange, stats.PComm, stats.PIO, stats.PCopy} {
+			ref := flat.Time(phase)
+			got := bd.PhaseTotal(phase)
+			diff := (got - ref).Seconds()
+			if diff < 0 {
+				diff = -diff
+			}
+			if ref.Seconds() == 0 {
+				if got.Seconds() != 0 {
+					t.Errorf("%s: phase %q: spans total %v but stats bucket is zero", coll.Name(), phase, got)
+				}
+				continue
+			}
+			if diff/ref.Seconds() > 0.01 {
+				t.Errorf("%s: phase %q: spans total %v, stats bucket %v (>1%% apart)",
+					coll.Name(), phase, got, ref)
+			}
 		}
 	}
 }

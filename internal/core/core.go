@@ -9,6 +9,7 @@ import (
 	"flexio/internal/mpiio"
 	"flexio/internal/realm"
 	"flexio/internal/stats"
+	"flexio/internal/trace"
 )
 
 const (
@@ -210,6 +211,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		st, en = f.AccessBounds(dataLen)
 	}
 	t0 := p.Clock()
+	p.Trace.Begin(t0, stats.PExchange, trace.S("what", "bounds"))
 	allSt := p.AllgatherInt64(st)
 	allEn := p.AllgatherInt64(en)
 	aarSt, aarEn := int64(1<<62), int64(-1)
@@ -222,6 +224,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		}
 	}
 	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+	p.Trace.End(p.Clock())
 	if aarEn <= aarSt {
 		return nil
 	}
@@ -240,6 +243,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	// --- Request exchange: flattened filetypes (O(D) on the wire) or
 	// constructor trees (smaller still for regular nested types). ---
 	t0 = p.Clock()
+	p.Trace.Begin(t0, stats.PExchange, trace.S("what", "requests"))
 	var enc []byte
 	if i.o.TreeRequests {
 		enc = encodeTreeRequest(view.Filetype, myFlat.Disp, myFlat.Count, myFlat.Limit)
@@ -273,9 +277,11 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		f.ChargePairs(expand)
 	}
 	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+	p.Trace.End(p.Clock())
 
 	// --- Client-side intersection: my access against every realm. ---
-	t0 = p.Clock()
+	// Flatten time is charged (and traced) by the ChargePairs calls below;
+	// no blanket interval here, or the pair processing would count twice.
 	myPieces := make([]*roundPieces, naggs)
 	if dataLen > 0 {
 		if i.o.HeapMerge {
@@ -330,7 +336,6 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			}
 		}
 	}
-	p.Stats.AddTime(stats.PFlatten, p.Clock()-t0)
 
 	ntimes := int(p.AllreduceMaxInt64(int64(myRounds)))
 	if ntimes == 0 {
@@ -518,6 +523,12 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 	}
 
 	for r := 0; r < ntimes; r++ {
+		if amAgg {
+			p.Trace.Begin(p.Clock(), trace.RoundSpan,
+				trace.I(trace.RoundTag, int64(r)), trace.I(trace.AggTag, int64(p.Rank())))
+		} else {
+			p.Trace.Begin(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(r)))
+		}
 		var payload map[int][]byte
 
 		if i.o.Comm == Alltoallw {
@@ -528,8 +539,10 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 				}
 			}
 			t0 := p.Clock()
+			p.Trace.Begin(t0, stats.PComm, trace.S("what", "alltoallv"))
 			recv := p.Alltoallv(send)
 			p.Stats.AddTime(stats.PComm, p.Clock()-t0)
+			p.Trace.End(p.Clock())
 			if amAgg {
 				payload = make(map[int][]byte)
 				for c := 0; c < p.Size(); c++ {
@@ -542,6 +555,7 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 			// Nonblocking: post receives, send, then overlap the
 			// previous round's file I/O with the incoming data.
 			t0 := p.Clock()
+			p.Trace.Begin(t0, stats.PComm, trace.S("what", "post+send"))
 			var reqs []*mpi.Request
 			var from []int
 			if amAgg {
@@ -558,18 +572,22 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 				}
 				if msg := clientPayload(stream, myPieces[a], r); msg != nil {
 					d := cfg.MemcpyTime(int64(len(msg)))
+					p.Trace.Begin(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, int64(len(msg))))
 					p.AdvanceClock(d)
 					p.Stats.AddTime(stats.PCopy, d)
+					p.Trace.End(p.Clock())
 					p.Isend(a, tagData+r%1024, msg)
 				}
 			}
 			p.Stats.AddTime(stats.PComm, p.Clock()-t0)
+			p.Trace.End(p.Clock())
 
 			// Overlap: previous round's I/O happens while this
 			// round's data is in flight.
 			flush(r - 1)
 
 			t0 = p.Clock()
+			p.Trace.Begin(t0, stats.PComm, trace.S("what", "waitall"))
 			if amAgg {
 				payload = make(map[int][]byte)
 				data := mpi.Waitall(reqs)
@@ -578,11 +596,14 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 				}
 			}
 			p.Stats.AddTime(stats.PComm, p.Clock()-t0)
+			p.Trace.End(p.Clock())
 		}
 
 		if amAgg {
 			entries, segs, total := mergeEntries(aggPieces, r, payload)
 			if total > 0 {
+				p.Trace.Instant(p.Clock(), "round_bytes",
+					trace.I(trace.RoundTag, int64(r)), trace.I(trace.BytesTag, total))
 				// Assemble the collective buffer (gap-free: only
 				// useful data, unlike the integrated sieve buffer).
 				concat := make([]byte, 0, total)
@@ -591,8 +612,10 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 				}
 				if i.o.Comm != Alltoallw {
 					d := cfg.MemcpyTime(total)
+					p.Trace.Begin(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, total))
 					p.AdvanceClock(d)
 					p.Stats.AddTime(stats.PCopy, d)
+					p.Trace.End(p.Clock())
 				}
 				pendSegs, pendData = segs, concat
 				if i.o.Comm == Alltoallw {
@@ -601,8 +624,13 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 				}
 			}
 		}
+		p.Trace.End(p.Clock()) // round span
 	}
+	// The last round's pipelined write lands outside the loop; give it its
+	// own round wrapper so the breakdown attributes the I/O correctly.
+	p.Trace.Begin(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(ntimes-1)))
 	flush(ntimes - 1)
+	p.Trace.End(p.Clock())
 	return firstErr
 }
 
@@ -615,6 +643,12 @@ func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 	var firstErr error
 
 	for r := 0; r < ntimes; r++ {
+		if amAgg {
+			p.Trace.Begin(p.Clock(), trace.RoundSpan,
+				trace.I(trace.RoundTag, int64(r)), trace.I(trace.AggTag, int64(p.Rank())))
+		} else {
+			p.Trace.Begin(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(r)))
+		}
 		// Aggregator: read this round's realm window and carve it up.
 		// On an I/O error the rank still serves (zero-filled) payloads
 		// so the collective protocol completes; the error is reported
@@ -623,6 +657,8 @@ func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 		if amAgg {
 			entries, segs, total := mergeEntries(aggPieces, r, nil)
 			if total > 0 {
+				p.Trace.Instant(p.Clock(), "round_bytes",
+					trace.I(trace.RoundTag, int64(r)), trace.I(trace.BytesTag, total))
 				rbuf := make([]byte, total)
 				if firstErr == nil {
 					if err := f.ReadStream(segs, rbuf, method); err != nil {
@@ -636,14 +672,17 @@ func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 				}
 				if i.o.Comm != Alltoallw {
 					d := cfg.MemcpyTime(total)
+					p.Trace.Begin(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, total))
 					p.AdvanceClock(d)
 					p.Stats.AddTime(stats.PCopy, d)
+					p.Trace.End(p.Clock())
 				}
 			}
 		}
 
 		// Exchange.
 		t0 := p.Clock()
+		p.Trace.Begin(t0, stats.PComm, trace.S("what", "exchange"))
 		if i.o.Comm == Alltoallw {
 			send := make([][]byte, p.Size())
 			for c, msg := range perClient {
@@ -678,6 +717,8 @@ func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 			}
 		}
 		p.Stats.AddTime(stats.PComm, p.Clock()-t0)
+		p.Trace.End(p.Clock())
+		p.Trace.End(p.Clock()) // round span
 	}
 	return firstErr
 }

@@ -13,6 +13,19 @@ import (
 	"flexio/internal/mpiio"
 	"flexio/internal/pfs"
 	"flexio/internal/sim"
+	"flexio/internal/stats"
+	"flexio/internal/trace"
+)
+
+// TraceCapacity, when positive, makes every harness run record a virtual-time
+// trace with that per-rank event capacity. The sink and merged stats of the
+// most recent successful run land in LastTrace and LastStats, so a sweep
+// driver (cmd/flexio-bench) can export the final experiment's trace without
+// threading a sink through every figure's signature.
+var (
+	TraceCapacity int
+	LastTrace     *trace.Sink
+	LastStats     *stats.Recorder
 )
 
 // Point is one measurement: X is the sweep coordinate label, Value the
@@ -93,6 +106,9 @@ func RunSteps(cfg *sim.Config, ranks int, info mpiio.Info, steps int,
 	spec func(step, rank int) StepSpec) (RunResult, error) {
 
 	w := mpi.NewWorld(ranks, cfg)
+	if TraceCapacity > 0 {
+		w.EnableTracing(TraceCapacity)
+	}
 	fs := pfs.NewFileSystem(cfg)
 	errs := make(chan error, ranks)
 	w.Run(func(p *mpi.Proc) {
@@ -118,6 +134,10 @@ func RunSteps(cfg *sim.Config, ranks int, info mpiio.Info, steps int,
 		if err := <-errs; err != nil {
 			return RunResult{}, err
 		}
+	}
+	if TraceCapacity > 0 {
+		LastTrace = w.TraceSink()
+		LastStats = stats.Merge(w.Recorders()...)
 	}
 	return RunResult{Elapsed: w.MaxClock(), World: w, FS: fs}, nil
 }

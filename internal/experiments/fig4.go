@@ -8,6 +8,7 @@ import (
 	"flexio/internal/hpio"
 	"flexio/internal/mpiio"
 	"flexio/internal/sim"
+	"flexio/internal/stats"
 	"flexio/internal/twophase"
 )
 
@@ -119,6 +120,10 @@ func Fig4(p Fig4Params) ([]Table, error) {
 					}
 					if bw := res.BandwidthMBs(wl.TotalBytes()); bw > best {
 						best = bw
+					}
+					if TraceCapacity > 0 {
+						LastTrace = res.Trace
+						LastStats = stats.Merge(res.World.Recorders()...)
 					}
 				}
 				s.Points = append(s.Points, Point{

@@ -18,6 +18,7 @@ import (
 
 	"flexio/internal/sim"
 	"flexio/internal/stats"
+	"flexio/internal/trace"
 )
 
 // Any matches any source rank or any tag in Recv/Irecv.
@@ -31,6 +32,7 @@ type World struct {
 	boxes []*mailbox
 	coll  *collSync
 	procs []*Proc
+	sink  *trace.Sink
 }
 
 // NewWorld creates a communicator with size ranks using the given cost
@@ -104,8 +106,23 @@ func (w *World) Run(fn func(p *Proc)) {
 	}
 }
 
+// EnableTracing attaches a virtual-time trace sink with the given per-rank
+// event capacity (non-positive means trace.DefaultCapacity) and hands each
+// rank its tracer. Call it before Run; it returns the sink for export.
+func (w *World) EnableTracing(capacity int) *trace.Sink {
+	w.sink = trace.NewSink(w.size, capacity)
+	for i, p := range w.procs {
+		p.Trace = w.sink.Tracer(i)
+	}
+	return w.sink
+}
+
+// TraceSink returns the attached trace sink (nil when tracing is off).
+func (w *World) TraceSink() *trace.Sink { return w.sink }
+
 // ResetClocks zeroes every rank's virtual clock and drops undelivered
-// messages, making the world ready for an independent experiment.
+// messages, making the world ready for an independent experiment. Any
+// attached trace sink is cleared too: its timestamps restart from zero.
 func (w *World) ResetClocks() {
 	for _, p := range w.procs {
 		p.clock = 0
@@ -114,6 +131,7 @@ func (w *World) ResetClocks() {
 	for _, b := range w.boxes {
 		b.drain()
 	}
+	w.sink.Reset()
 }
 
 // MaxClock returns the latest virtual clock across ranks.
@@ -159,6 +177,10 @@ type Proc struct {
 	// effect that makes aggregator load balancing matter.
 	nicBusy sim.Time
 	Stats   *stats.Recorder
+	// Trace records this rank's virtual-time spans and events; nil (the
+	// default) records nothing, so instrumentation stays in place
+	// unconditionally. Set for all ranks by World.EnableTracing.
+	Trace *trace.Tracer
 }
 
 // Rank returns this process's rank in the world.

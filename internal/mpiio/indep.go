@@ -6,6 +6,7 @@ import (
 	"flexio/internal/datatype"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
+	"flexio/internal/trace"
 )
 
 // ResolveAccess materializes the file segments a dataLen-byte transfer
@@ -75,6 +76,10 @@ func (f *File) WriteStream(segs []datatype.Seg, data []byte, m Method) error {
 		return nil
 	}
 	start := f.proc.Clock()
+	f.proc.Trace.Begin(start, stats.PIO,
+		trace.S("op", "write"), trace.S("method", m.String()),
+		trace.I("segs", int64(len(segs))), trace.I(trace.BytesTag, total))
+	defer func() { f.proc.Trace.End(f.proc.Clock()) }()
 	var err error
 	// Contiguous fast path: "contiguous in memory to contiguous in file".
 	if len(segs) == 1 {
@@ -121,6 +126,10 @@ func (f *File) ReadStream(segs []datatype.Seg, buf []byte, m Method) error {
 		return nil
 	}
 	start := f.proc.Clock()
+	f.proc.Trace.Begin(start, stats.PIO,
+		trace.S("op", "read"), trace.S("method", m.String()),
+		trace.I("segs", int64(len(segs))), trace.I(trace.BytesTag, total))
+	defer func() { f.proc.Trace.End(f.proc.Clock()) }()
 	var err error
 	if len(segs) == 1 {
 		err = f.oneCall(func(now sim.Time) (sim.Time, error) {
@@ -200,8 +209,10 @@ func (f *File) sieveWindows(segs []datatype.Seg, data []byte, write bool) error 
 
 		// The copy through the sieve buffer.
 		d := cfg.MemcpyTime(useful)
+		f.proc.Trace.Begin(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, useful))
 		f.proc.AdvanceClock(d)
 		f.proc.Stats.AddTime(stats.PCopy, d)
+		f.proc.Trace.End(f.proc.Clock())
 
 		var err error
 		if write {

@@ -19,6 +19,7 @@ import (
 	"flexio/internal/pfs"
 	"flexio/internal/realm"
 	"flexio/internal/stats"
+	"flexio/internal/trace"
 )
 
 // Method selects how a noncontiguous independent access reaches the file
@@ -135,6 +136,7 @@ func Open(p *mpi.Proc, fs *pfs.FileSystem, name string, info Info) (*File, error
 		return nil, fmt.Errorf("mpiio: cb_nodes %d out of range [0,%d]", info.CbNodes, p.Size())
 	}
 	client := fs.NewClient(p.Stats)
+	client.SetTracer(p.Trace)
 	f := &File{
 		proc:   p,
 		fs:     fs,
@@ -289,8 +291,10 @@ func (f *File) PackMemory(buf []byte, memtype datatype.Type, count int64) ([]byt
 		return nil, err
 	}
 	d := f.proc.Config().MemcpyTime(int64(len(stream)))
+	f.proc.Trace.Begin(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, int64(len(stream))))
 	f.proc.AdvanceClock(d)
 	f.proc.Stats.AddTime(stats.PCopy, d)
+	f.proc.Trace.End(f.proc.Clock())
 	return stream, nil
 }
 
@@ -300,8 +304,10 @@ func (f *File) UnpackMemory(stream, buf []byte, memtype datatype.Type, count int
 		return err
 	}
 	d := f.proc.Config().MemcpyTime(int64(len(stream)))
+	f.proc.Trace.Begin(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, int64(len(stream))))
 	f.proc.AdvanceClock(d)
 	f.proc.Stats.AddTime(stats.PCopy, d)
+	f.proc.Trace.End(f.proc.Clock())
 	return nil
 }
 
@@ -312,7 +318,9 @@ func (f *File) ChargePairs(n int64) {
 		return
 	}
 	d := f.proc.Config().PairTime(n)
+	f.proc.Trace.Begin(f.proc.Clock(), stats.PFlatten, trace.I("pairs", n))
 	f.proc.AdvanceClock(d)
 	f.proc.Stats.AddTime(stats.PFlatten, d)
 	f.proc.Stats.Add(stats.CPairsProcessed, n)
+	f.proc.Trace.End(f.proc.Clock())
 }

@@ -21,6 +21,7 @@ import (
 	"flexio/internal/datatype"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
+	"flexio/internal/trace"
 )
 
 // Op identifies a file system operation for fault injection and tracing.
@@ -190,7 +191,7 @@ func (fs *FileSystem) ResetTiming() {
 // stripeConflicts charges server-side extent-lock transfers for stripes of
 // s whose last writer is a different client, invalidating that client's
 // cached pages in the stripe. Returns the total transfer cost.
-func (c *Client) stripeConflicts(f *fileData, s datatype.Seg) sim.Time {
+func (c *Client) stripeConflicts(f *fileData, s datatype.Seg, now sim.Time) sim.Time {
 	fs := c.fs
 	ss := fs.cfg.StripeSize
 	pagesPerStripe := ss / fs.cfg.PageSize
@@ -200,6 +201,8 @@ func (c *Client) stripeConflicts(f *fileData, s datatype.Seg) sim.Time {
 		if ok && prev != c.id {
 			cost += fs.cfg.StripeLockCost
 			c.rec.Add(stats.CStripeConflicts, 1)
+			c.tr.Instant(now, "stripe_conflict",
+				trace.I("stripe", st), trace.I("prev", int64(prev)))
 			if holder := fs.clients[prev]; holder != nil {
 				for pi := st * pagesPerStripe; pi < (st+1)*pagesPerStripe; pi++ {
 					holder.cache.drop(f.name, pi)
@@ -261,6 +264,11 @@ type Client struct {
 	id    int
 	cache *pageCache
 	rec   *stats.Recorder
+	// tr records file-system events (lock revokes, stripe conflicts,
+	// read-modify-writes) on the owning rank's trace; nil records nothing.
+	// A client only ever emits to its own tracer — never to the tracer of
+	// a client it conflicts with — so tracing stays race-free.
+	tr *trace.Tracer
 }
 
 // NewClient registers a client. rec may be nil.
@@ -280,6 +288,9 @@ func (fs *FileSystem) NewClient(rec *stats.Recorder) *Client {
 
 // ID returns the client's unique id.
 func (c *Client) ID() int { return c.id }
+
+// SetTracer attaches the owning rank's tracer (nil disables tracing).
+func (c *Client) SetTracer(t *trace.Tracer) { c.tr = t }
 
 // Handle is an open file from one client's perspective.
 type Handle struct {
@@ -353,12 +364,14 @@ func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []b
 	}
 
 	// One call overhead for the whole (possibly list) request.
+	c.tr.Instant(now, "io_call", trace.S("kind", kind),
+		trace.I("off", segs[0].Off), trace.I("len", total), trace.I("segs", int64(len(segs))))
 	t := now + fs.cfg.IOCallOverhead
 	c.rec.Add(stats.CIOCalls, 1)
 	c.rec.Add(stats.CBytesIO, total)
 
 	// Lock acquisition for the whole request, then per-OST service.
-	t += c.lockSpan(f, segs, kind == "write")
+	t += c.lockSpan(f, segs, kind == "write", now)
 
 	completion := t
 	pos := int64(0)
@@ -385,7 +398,7 @@ func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []b
 // owned (extent locks); revocations are charged per distinct conflicting
 // owner run. Reads do not take ownership but must still revoke a writer's
 // exclusive lock.
-func (c *Client) lockSpan(f *fileData, segs []datatype.Seg, write bool) sim.Time {
+func (c *Client) lockSpan(f *fileData, segs []datatype.Seg, write bool, now sim.Time) sim.Time {
 	fs := c.fs
 	ps := fs.cfg.PageSize
 	var cost sim.Time
@@ -419,6 +432,8 @@ func (c *Client) lockSpan(f *fileData, segs []datatype.Seg, write bool) sim.Time
 				if owner != lastRevokedOwner || !inGrantRun {
 					cost += fs.cfg.LockRevokeCost
 					c.rec.Add(stats.CLockRevokes, 1)
+					c.tr.Instant(now, "lock_revoke",
+						trace.I("page", pi), trace.I("owner", int64(owner)))
 					lastRevokedOwner = owner
 				}
 				fs.evictClientPage(owner, f.name, pi)
@@ -466,7 +481,7 @@ func (c *Client) writeSeg(f *fileData, s datatype.Seg, data []byte, t sim.Time) 
 	ps := fs.cfg.PageSize
 	// Extent-lock transfers occupy the server, not just the client:
 	// fold them into the first portion's service time.
-	conflictSvc := c.stripeConflicts(f, s)
+	conflictSvc := c.stripeConflicts(f, s, t)
 
 	// Read-modify-write penalty: a partially covered page that is not in
 	// the client cache must be fetched before it can be written.
@@ -483,6 +498,9 @@ func (c *Client) writeSeg(f *fileData, s datatype.Seg, data []byte, t sim.Time) 
 		}
 	}
 	c.rec.Add(stats.CRMWPages, rmwPages)
+	if rmwPages > 0 {
+		c.tr.Instant(t, "rmw", trace.I("pages", rmwPages))
+	}
 
 	// The written pages are now cached at this client.
 	for pi := firstPage; pi <= lastPage; pi++ {

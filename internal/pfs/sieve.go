@@ -6,6 +6,7 @@ import (
 	"flexio/internal/datatype"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
+	"flexio/internal/trace"
 )
 
 // SieveWrite models a data-sieving write window: the cost is that of a
@@ -34,6 +35,8 @@ func (h *Handle) SieveWrite(span datatype.Seg, segs []datatype.Seg, data []byte,
 		// Holes: fetch the span first (read-modify-write at sieve
 		// granularity). The read populates the client cache, so the
 		// write below pays no per-page RMW.
+		h.c.tr.Instant(now, "sieve_rmw",
+			trace.I("span", span.Len), trace.I("useful", useful))
 		var err error
 		t, err = h.c.access("read", h.f, []datatype.Seg{span}, nil, make([]byte, span.Len), t)
 		if err != nil {
@@ -57,11 +60,13 @@ func (c *Client) accessSieveSpan(f *fileData, span datatype.Seg, segs []datatype
 		}
 	}
 
+	c.tr.Instant(now, "io_call", trace.S("kind", "sieve_write"),
+		trace.I("off", span.Off), trace.I("len", span.Len), trace.I("segs", int64(len(segs))))
 	t := now + fs.cfg.IOCallOverhead
 	c.rec.Add(stats.CIOCalls, 1)
 	c.rec.Add(stats.CBytesIO, span.Len)
-	t += c.lockSpan(f, []datatype.Seg{span}, true)
-	conflictSvc := c.stripeConflicts(f, span)
+	t += c.lockSpan(f, []datatype.Seg{span}, true, now)
+	conflictSvc := c.stripeConflicts(f, span, t)
 
 	// Scatter the data.
 	pos := int64(0)

@@ -9,6 +9,7 @@ package stats
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -115,6 +116,195 @@ func (r *Recorder) String() string {
 		fmt.Fprintf(&b, "n[%s]=%d ", k, r.Counters[k])
 	}
 	return strings.TrimSpace(b.String())
+}
+
+// Table renders the recorder as an aligned, sorted, column-formatted
+// table: one row per phase time (virtual seconds) and per counter. Unlike
+// the String() one-liner it stays readable past a handful of buckets.
+func (r *Recorder) Table() string {
+	if r == nil {
+		return "stats(nil)"
+	}
+	var b strings.Builder
+	width := 0
+	timeKeys := make([]string, 0, len(r.Times))
+	for k := range r.Times {
+		timeKeys = append(timeKeys, k)
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	counterKeys := make([]string, 0, len(r.Counters))
+	for k := range r.Counters {
+		counterKeys = append(counterKeys, k)
+		if len(k) > width {
+			width = len(k)
+		}
+	}
+	sort.Strings(timeKeys)
+	sort.Strings(counterKeys)
+	if len(timeKeys) > 0 {
+		b.WriteString("phase times (virtual seconds):\n")
+		for _, k := range timeKeys {
+			fmt.Fprintf(&b, "  %-*s  %12.6f\n", width, k, r.Times[k].Seconds())
+		}
+	}
+	if len(counterKeys) > 0 {
+		b.WriteString("counters:\n")
+		for _, k := range counterKeys {
+			fmt.Fprintf(&b, "  %-*s  %12d\n", width, k, r.Counters[k])
+		}
+	}
+	if b.Len() == 0 {
+		return "stats(empty)"
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// histBase is the lower edge of the first histogram bucket: 1 ns of
+// virtual time. histSub sub-buckets per octave give ~9% value resolution.
+const (
+	histBase    = 1e-9
+	histSub     = 8
+	histBuckets = 512 // covers histBase .. histBase*2^(512/8) and beyond
+)
+
+// Histogram is a log-bucketed distribution of non-negative samples
+// (virtual-time durations, byte counts, ...). It backs the percentile
+// columns of the trace breakdown tables. The zero value is ready to use; a
+// nil *Histogram observes nothing and reports zeros.
+type Histogram struct {
+	counts   [histBuckets]int64
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// histIndex maps a sample to its bucket.
+func histIndex(v float64) int {
+	if v < histBase {
+		return 0
+	}
+	i := int(math.Floor(math.Log2(v/histBase) * histSub))
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// histUpper is the upper edge of bucket i.
+func histUpper(i int) float64 {
+	return histBase * math.Exp2(float64(i+1)/histSub)
+}
+
+// Observe records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)]++
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of all samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Min returns the smallest sample (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest sample (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1): the upper
+// edge of the bucket holding the q-th sample, clamped to the observed
+// [min, max]. With ~9% bucket resolution the estimate is table-grade, not
+// audit-grade.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := int64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i]
+		if cum >= target {
+			v := histUpper(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// MergeHist folds o's samples into h.
+func (h *Histogram) MergeHist(o *Histogram) {
+	if h == nil || o == nil || o.n == 0 {
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+	h.sum += o.sum
 }
 
 // Common counter and phase names used across the I/O stack, collected here

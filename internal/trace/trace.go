@@ -1,0 +1,344 @@
+// Package trace is the virtual-time tracing subsystem: a per-rank event
+// recorder for begin/end spans, instant events, and counter samples, all
+// stamped with simulated time (sim.Time). The paper attributed the new
+// implementation's overheads (datatype processing, double buffering) with
+// MPE logging and Jumpshot timelines; this package plays the same role for
+// the simulation — every two-phase round's flatten / exchange / comm / io /
+// copy phases become spans on one track per rank, exportable as Chrome
+// trace-event JSON (chrome.go) or as an MPE-style breakdown table
+// (breakdown.go).
+//
+// A nil *Tracer (and a nil *Sink) is valid and records nothing, mirroring
+// stats.Recorder, so instrumentation can be left in place unconditionally.
+// Each rank owns its Tracer and must call it only from that rank's
+// goroutine; the Sink itself is immutable after creation, so concurrent
+// ranks never share mutable state.
+package trace
+
+import (
+	"fmt"
+
+	"flexio/internal/sim"
+)
+
+// DefaultCapacity is the per-rank event capacity used when a caller passes
+// a non-positive capacity. The buffer grows lazily, so the capacity is only
+// a ceiling, not an allocation.
+const DefaultCapacity = 1 << 20
+
+// Kind classifies an event.
+type Kind uint8
+
+const (
+	// KindBegin opens a span.
+	KindBegin Kind = iota
+	// KindEnd closes the innermost open span.
+	KindEnd
+	// KindInstant marks a point in time.
+	KindInstant
+	// KindCounter samples a named value.
+	KindCounter
+)
+
+// Well-known span, tag, and event names shared by the instrumented layers
+// and the breakdown exporter. Phase spans use the stats.P* names directly
+// so span sums line up with the flat time buckets.
+const (
+	// RoundSpan wraps one two-phase round on a rank.
+	RoundSpan = "round"
+	// RoundTag carries the round index on a span or instant.
+	RoundTag = "round"
+	// AggTag carries the aggregator id on a span.
+	AggTag = "agg"
+	// BytesTag carries a byte count on a span or instant; on an instant
+	// inside (or tagged with) a round it is summed into the round's
+	// "bytes moved" column.
+	BytesTag = "bytes"
+)
+
+// Tag is one key/value annotation on an event. Values are either int64 or
+// string; fixed fields keep events allocation-light and exports
+// deterministic (tags render in call-site order, never map order).
+type Tag struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsStr bool
+}
+
+// I makes an integer tag.
+func I(key string, v int64) Tag { return Tag{Key: key, Int: v} }
+
+// S makes a string tag.
+func S(key, v string) Tag { return Tag{Key: key, Str: v, IsStr: true} }
+
+// Event is one recorded trace event.
+type Event struct {
+	Kind  Kind
+	Name  string
+	TS    sim.Time
+	Tags  []Tag
+	Value float64 // counter sample value (KindCounter only)
+}
+
+// Tracer records one rank's events into a bounded ring buffer. When the
+// buffer is full the oldest events are overwritten and Dropped counts them;
+// exporters sanitize the resulting orphan ends.
+type Tracer struct {
+	rank    int
+	cap     int
+	buf     []Event
+	start   int // index of the oldest event once the ring has wrapped
+	dropped int64
+	open    []string // names of currently open spans, innermost last
+}
+
+// NewTracer returns a tracer for one rank with the given event capacity
+// (non-positive means DefaultCapacity). Most callers get tracers from a
+// Sink instead.
+func NewTracer(rank, capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Tracer{rank: rank, cap: capacity}
+}
+
+// Rank returns the rank this tracer records for.
+func (t *Tracer) Rank() int {
+	if t == nil {
+		return -1
+	}
+	return t.rank
+}
+
+func (t *Tracer) push(e Event) {
+	if len(t.buf) < t.cap {
+		t.buf = append(t.buf, e)
+		return
+	}
+	t.buf[t.start] = e
+	t.start = (t.start + 1) % t.cap
+	t.dropped++
+}
+
+// Begin opens a span named name at virtual time at. Spans nest: End closes
+// the innermost open span.
+func (t *Tracer) Begin(at sim.Time, name string, tags ...Tag) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Kind: KindBegin, Name: name, TS: at, Tags: tags})
+	t.open = append(t.open, name)
+}
+
+// End closes the innermost open span at virtual time at. Calling End with
+// no open span is a harness bug and panics loudly.
+func (t *Tracer) End(at sim.Time) {
+	if t == nil {
+		return
+	}
+	if len(t.open) == 0 {
+		panic(fmt.Sprintf("trace: rank %d: End with no open span", t.rank))
+	}
+	name := t.open[len(t.open)-1]
+	t.open = t.open[:len(t.open)-1]
+	t.push(Event{Kind: KindEnd, Name: name, TS: at})
+}
+
+// Instant records a point event at virtual time at.
+func (t *Tracer) Instant(at sim.Time, name string, tags ...Tag) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Kind: KindInstant, Name: name, TS: at, Tags: tags})
+}
+
+// Counter records a sample of a named value at virtual time at.
+func (t *Tracer) Counter(at sim.Time, name string, v float64) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Kind: KindCounter, Name: name, TS: at, Value: v})
+}
+
+// Depth returns the number of currently open spans.
+func (t *Tracer) Depth() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.open)
+}
+
+// Dropped returns the number of events lost to ring-buffer overflow.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Events returns the buffered events in record order (oldest first).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.start:]...)
+	out = append(out, t.buf[:t.start]...)
+	return out
+}
+
+// Reset discards all buffered events and open-span state, making the
+// tracer ready for an independent experiment (pairs with
+// mpi.World.ResetClocks, which rewinds virtual time to zero).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.buf = t.buf[:0]
+	t.start = 0
+	t.dropped = 0
+	t.open = t.open[:0]
+}
+
+// Check verifies well-formedness: timestamps are monotone non-decreasing
+// and spans are balanced (no End without a Begin, nothing left open). The
+// balance checks are skipped when events were dropped, since overwriting a
+// Begin legitimately orphans its End.
+func (t *Tracer) Check() error {
+	if t == nil {
+		return nil
+	}
+	var last sim.Time
+	depth := 0
+	for i, e := range t.Events() {
+		if e.TS < last {
+			return fmt.Errorf("trace: rank %d: event %d (%s %q) at %v is before %v",
+				t.rank, i, kindName(e.Kind), e.Name, e.TS, last)
+		}
+		last = e.TS
+		switch e.Kind {
+		case KindBegin:
+			depth++
+		case KindEnd:
+			depth--
+			if depth < 0 {
+				if t.dropped > 0 {
+					depth = 0
+					continue
+				}
+				return fmt.Errorf("trace: rank %d: event %d: End %q with no open span", t.rank, i, e.Name)
+			}
+		}
+	}
+	if t.dropped == 0 && (depth != 0 || len(t.open) != 0) {
+		return fmt.Errorf("trace: rank %d: %d span(s) left open", t.rank, depth)
+	}
+	return nil
+}
+
+func kindName(k Kind) string {
+	switch k {
+	case KindBegin:
+		return "begin"
+	case KindEnd:
+		return "end"
+	case KindInstant:
+		return "instant"
+	case KindCounter:
+		return "counter"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Sink holds one tracer per rank of a simulated world. It is created once,
+// before the ranks run, and read (exported) after they finish; the rank
+// goroutines only ever touch their own tracers.
+type Sink struct {
+	tracers []*Tracer
+}
+
+// NewSink creates a sink with one tracer per rank, each with the given
+// event capacity (non-positive means DefaultCapacity).
+func NewSink(ranks, capacity int) *Sink {
+	if ranks <= 0 {
+		panic(fmt.Sprintf("trace: sink needs a positive rank count, got %d", ranks))
+	}
+	s := &Sink{tracers: make([]*Tracer, ranks)}
+	for i := range s.tracers {
+		s.tracers[i] = NewTracer(i, capacity)
+	}
+	return s
+}
+
+// Ranks returns the number of tracks.
+func (s *Sink) Ranks() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.tracers)
+}
+
+// Tracer returns rank's tracer (nil for a nil sink).
+func (s *Sink) Tracer(rank int) *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.tracers[rank]
+}
+
+// Dropped sums dropped events across ranks.
+func (s *Sink) Dropped() int64 {
+	if s == nil {
+		return 0
+	}
+	var n int64
+	for _, t := range s.tracers {
+		n += t.Dropped()
+	}
+	return n
+}
+
+// Events returns the total buffered event count across ranks.
+func (s *Sink) Events() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, t := range s.tracers {
+		n += t.Len()
+	}
+	return n
+}
+
+// Reset clears every rank's tracer.
+func (s *Sink) Reset() {
+	if s == nil {
+		return
+	}
+	for _, t := range s.tracers {
+		t.Reset()
+	}
+}
+
+// Check verifies well-formedness of every rank's track.
+func (s *Sink) Check() error {
+	if s == nil {
+		return nil
+	}
+	for _, t := range s.tracers {
+		if err := t.Check(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -26,6 +26,7 @@ import (
 	"flexio/internal/mpi"
 	"flexio/internal/mpiio"
 	"flexio/internal/stats"
+	"flexio/internal/trace"
 )
 
 const (
@@ -131,6 +132,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		en = mySegs[len(mySegs)-1].End()
 	}
 	t0 := p.Clock()
+	p.Trace.Begin(t0, stats.PExchange, trace.S("what", "bounds"))
 	allSt := p.AllgatherInt64(st)
 	allEn := p.AllgatherInt64(en)
 	aarSt, aarEn := int64(1<<62), int64(-1)
@@ -143,6 +145,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		}
 	}
 	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+	p.Trace.End(p.Clock())
 	if aarEn <= aarSt {
 		return nil // no process accesses any data
 	}
@@ -170,6 +173,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	// Split my access per aggregator and ship the offset/length pairs.
 	// O(M) processing, O(M) request bytes on the wire.
 	t0 = p.Clock()
+	p.Trace.Begin(t0, stats.PExchange, trace.S("what", "requests"))
 	prefix := make([]int64, len(mySegs)+1)
 	for k, s := range mySegs {
 		prefix[k+1] = prefix[k] + s.Len
@@ -225,6 +229,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		f.ChargePairs(pairs)
 	}
 	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+	p.Trace.End(p.Clock())
 
 	// Round count: every rank can compute it from the global domain
 	// bounds.
@@ -260,6 +265,12 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 
 	for r := 0; r < ntimes; r++ {
 		tag := tagData + r%1024
+		if amAgg {
+			p.Trace.Begin(p.Clock(), trace.RoundSpan,
+				trace.I(trace.RoundTag, int64(r)), trace.I(trace.AggTag, int64(p.Rank())))
+		} else {
+			p.Trace.Begin(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(r)))
+		}
 
 		// Aggregator: figure out this round's window pieces per client
 		// and post all receives first (for writes) — the original
@@ -296,6 +307,10 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			portions []portion
 		}
 		var sent []sentPiece
+		tSend := p.Clock()
+		if write {
+			p.Trace.Begin(tSend, stats.PComm, trace.S("what", "send"))
+		}
 		for a := 0; a < naggs; a++ {
 			alo := fdStart[a] + int64(r)*cb
 			ahi := alo + cb
@@ -323,6 +338,10 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 				sent = append(sent, sentPiece{agg: a, portions: pieces})
 			}
 		}
+		if write {
+			p.Stats.AddTime(stats.PComm, p.Clock()-tSend)
+			p.Trace.End(p.Clock())
+		}
 
 		// Aggregator: complete the exchange and do the I/O for this
 		// round through the integrated sieve buffer.
@@ -335,7 +354,11 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			}
 			var entries []entry
 			if write {
+				tWait := p.Clock()
+				p.Trace.Begin(tWait, stats.PComm, trace.S("what", "waitall"))
 				payloads := mpi.Waitall(recvReqs)
+				p.Stats.AddTime(stats.PComm, p.Clock()-tWait)
+				p.Trace.End(p.Clock())
 				for k, c := range recvFrom {
 					data := payloads[k]
 					pos := int64(0)
@@ -373,11 +396,16 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 
 				// Single pass into the integrated buffer.
 				d := cfg.MemcpyTime(total)
+				p.Trace.Begin(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, total))
 				p.AdvanceClock(d)
 				p.Stats.AddTime(stats.PCopy, d)
+				p.Trace.End(p.Clock())
+				p.Trace.Instant(p.Clock(), "round_bytes",
+					trace.I(trace.RoundTag, int64(r)), trace.I(trace.BytesTag, total))
 
 				tio := p.Clock()
 				if write {
+					p.Trace.Begin(tio, stats.PIO, trace.S("op", "write"), trace.I(trace.BytesTag, total))
 					concat := make([]byte, 0, total)
 					for _, e := range entries {
 						concat = append(concat, e.data...)
@@ -390,7 +418,10 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 							p.SyncClock(done)
 						}
 					}
+					p.Stats.AddTime(stats.PIO, p.Clock()-tio)
+					p.Trace.End(p.Clock())
 				} else {
+					p.Trace.Begin(tio, stats.PIO, trace.S("op", "read"), trace.I(trace.BytesTag, total))
 					rbuf := make([]byte, total)
 					if firstErr == nil {
 						done, err := f.Handle().SieveRead(span, segs, rbuf, p.Clock())
@@ -400,7 +431,11 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 							p.SyncClock(done)
 						}
 					}
+					p.Stats.AddTime(stats.PIO, p.Clock()-tio)
+					p.Trace.End(p.Clock())
 					// Ship each client its pieces.
+					tc := p.Clock()
+					p.Trace.Begin(tc, stats.PComm, trace.S("what", "send-back"))
 					pos := int64(0)
 					perMsg := make(map[int][]byte)
 					for _, e := range entries {
@@ -412,13 +447,16 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 							p.Isend(c, tag, msg)
 						}
 					}
+					p.Stats.AddTime(stats.PComm, p.Clock()-tc)
+					p.Trace.End(p.Clock())
 				}
-				p.Stats.AddTime(stats.PIO, p.Clock()-tio)
 			}
 		}
 
 		// Client (read): collect my pieces back from the aggregators.
 		if !write {
+			tRecv := p.Clock()
+			p.Trace.Begin(tRecv, stats.PComm, trace.S("what", "recv"))
 			for _, sp := range sent {
 				data, _ := p.Recv(sp.agg, tag)
 				pos := int64(0)
@@ -427,7 +465,10 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 					pos += pt.seg.Len
 				}
 			}
+			p.Stats.AddTime(stats.PComm, p.Clock()-tRecv)
+			p.Trace.End(p.Clock())
 		}
+		p.Trace.End(p.Clock()) // round span
 	}
 
 	// Collective calls leave all ranks synchronized.
