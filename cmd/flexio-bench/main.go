@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"flexio/internal/chaos"
 	"flexio/internal/experiments"
 	"flexio/internal/trace"
 )
@@ -30,7 +31,19 @@ func main() {
 	fig4aggs := flag.Int("fig4aggs", 0, "restrict figure 4 to one aggregator count (0 = all panels)")
 	tracePath := flag.String("trace", "", "write the last experiment's Chrome trace JSON (Perfetto-loadable) to this file")
 	breakdown := flag.Bool("breakdown", false, "print the last experiment's per-phase/per-round trace breakdown")
+	chaosRun := flag.Bool("chaos", false, "run the deterministic fault-injection scenario matrix instead of the figures")
+	chaosTraces := flag.String("chaostraces", "", "directory to write failing chaos scenarios' Chrome traces into")
 	flag.Parse()
+
+	if *chaosRun {
+		logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+		if failures := chaos.Soak(chaos.Matrix(), *chaosTraces, logf); failures > 0 {
+			fmt.Fprintf(os.Stderr, "chaos: %d scenario(s) violated invariants\n", failures)
+			os.Exit(1)
+		}
+		fmt.Println("chaos: all scenarios held their invariants")
+		return
+	}
 
 	if *tracePath != "" || *breakdown {
 		experiments.TraceCapacity = trace.DefaultCapacity

@@ -1,0 +1,435 @@
+// Package chaos is a deterministic fault-injection harness for the
+// collective I/O implementations. It enumerates seeded fault scenarios
+// across both engines, both transfer directions, and the buffered I/O
+// methods, and checks the robustness invariants the fault model promises:
+//
+//   - Agreement: a collective either completes on every rank or returns an
+//     error of the same class on every rank (wrapping ErrCollectiveAbort) —
+//     and it always returns: no deadlock.
+//   - Integrity: when the collective reports success, the bytes are right,
+//     verified against an independently computed reference image.
+//   - Accounting: recovery work is visible in virtual time — the trace and
+//     the stats agree on the backoff cost to within 1% — and the trace
+//     stays well formed (balanced spans, monotone clocks).
+//
+// Every scenario is seeded and virtual-timed, so a failure reproduces
+// exactly and its Chrome trace can be exported for inspection.
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+
+	"flexio/internal/core"
+	"flexio/internal/datatype"
+	"flexio/internal/hpio"
+	"flexio/internal/mpi"
+	"flexio/internal/mpiio"
+	"flexio/internal/pfs"
+	"flexio/internal/sim"
+	"flexio/internal/stats"
+	"flexio/internal/trace"
+	"flexio/internal/twophase"
+)
+
+// Fault names the injection pattern a scenario applies.
+type Fault string
+
+const (
+	// FaultTransient injects a bounded burst of EAGAIN-style errors that
+	// the retry layer must absorb.
+	FaultTransient Fault = "transient"
+	// FaultPartial injects short transfers whose tails must be resumed.
+	FaultPartial Fault = "partial"
+	// FaultRound1 injects a hard error confined to collective round 1;
+	// the collective must abort on every rank with the io class.
+	FaultRound1 Fault = "hard-round1"
+	// FaultBrownout slows every OST; the collective must still complete.
+	FaultBrownout Fault = "brownout"
+	// FaultStorm runs a lock-revoke storm; the collective must complete.
+	FaultStorm Fault = "storm"
+	// FaultGiveup injects unhealing transient errors so the retry ladder
+	// exhausts; the collective must abort with the transient class.
+	FaultGiveup Fault = "giveup"
+	// FaultSieveHard injects hard errors only into sieve operations; with
+	// Degraded set the engine falls back to naive I/O and completes,
+	// otherwise it aborts with the io class.
+	FaultSieveHard Fault = "sieve-hard"
+)
+
+// Scenario is one deterministic chaos experiment.
+type Scenario struct {
+	// Engine selects the collective: "core-nb" (nonblocking pipeline),
+	// "core-a2a" (Alltoallw), or "twophase" (ROMIO-style baseline).
+	Engine string
+	// Write selects the transfer direction.
+	Write bool
+	// Method is the buffered I/O method the core engine drains rounds
+	// with (ignored by twophase, which integrates its own sieve).
+	Method mpiio.Method
+	// Degraded enables the core engine's fall-back-to-naive recovery.
+	Degraded bool
+	// Fault is the injection pattern.
+	Fault Fault
+	// Seed drives the fault schedule's probability coins.
+	Seed int64
+}
+
+// Name is a stable identifier for logs, subtests, and trace file names.
+func (s Scenario) Name() string {
+	dir := "read"
+	if s.Write {
+		dir = "write"
+	}
+	n := fmt.Sprintf("%s-%s-%s-%s", s.Engine, dir, s.Method, s.Fault)
+	if s.Degraded {
+		n += "-degraded"
+	}
+	return n
+}
+
+// wantClass is the error class the scenario must agree on (ClassOK means
+// the collective must succeed).
+func (s Scenario) wantClass() int64 {
+	switch s.Fault {
+	case FaultRound1:
+		return mpiio.ClassIO
+	case FaultGiveup:
+		return mpiio.ClassTransient
+	case FaultSieveHard:
+		if s.Degraded && s.Write && s.Engine != "twophase" {
+			return mpiio.ClassOK
+		}
+		return mpiio.ClassIO
+	default:
+		return mpiio.ClassOK
+	}
+}
+
+// wantCounter names a stat that must be nonzero after the run, proving the
+// injection actually exercised the path under test.
+func (s Scenario) wantCounter() string {
+	switch s.Fault {
+	case FaultTransient:
+		return stats.CRetries
+	case FaultPartial:
+		return stats.CPartialResumes
+	case FaultBrownout:
+		return stats.CBrownoutServes
+	case FaultStorm:
+		return stats.CStormRevokes
+	case FaultGiveup:
+		return stats.CGiveups
+	default:
+		return stats.CFaultsInjected
+	}
+}
+
+// schedule builds the scenario's seeded fault plan.
+func (s Scenario) schedule() *pfs.FaultSchedule {
+	sched := pfs.NewFaultSchedule(s.Seed)
+	switch s.Fault {
+	case FaultTransient:
+		sched.Add(pfs.Rule{Class: pfs.ClassTransient, Count: 2})
+	case FaultPartial:
+		// Scoped to the transfer direction: an unscoped rule would spend
+		// its injections on the sieve RMW prefetch reads, which the pfs
+		// layer reports as transient (no data bytes lost), not partial.
+		kind := "read"
+		if s.Write {
+			kind = "write"
+		}
+		sched.Add(pfs.Rule{Kind: kind, Class: pfs.ClassPartial, PartialFrac: 0.5, Count: 2})
+	case FaultRound1:
+		sched.Add(pfs.Rule{Rounds: []int{1}, Class: pfs.ClassIO})
+	case FaultBrownout:
+		sched.AddBrownout(pfs.Brownout{OST: -1, Slowdown: 4, ExtraLatency: 1e-4})
+	case FaultStorm:
+		sched.AddStorm(pfs.RevokeStorm{PerGrant: 2})
+	case FaultGiveup:
+		sched.Add(pfs.Rule{Class: pfs.ClassTransient})
+	case FaultSieveHard:
+		sched.Add(pfs.Rule{Kind: "write", Class: pfs.ClassIO,
+			Match: func(op pfs.Op) bool { return op.Sieve }})
+	}
+	return sched
+}
+
+// collective instantiates the engine under test.
+func (s Scenario) collective() mpiio.Collective {
+	switch s.Engine {
+	case "core-a2a":
+		return core.New(core.Options{Comm: core.Alltoallw, Method: s.Method, Degraded: s.Degraded})
+	case "twophase":
+		return twophase.New()
+	default:
+		return core.New(core.Options{Method: s.Method, Degraded: s.Degraded})
+	}
+}
+
+// Outcome reports what one scenario run observed.
+type Outcome struct {
+	Scenario Scenario
+	// Class is the agreed error class (ClassOK when the collective
+	// succeeded on every rank).
+	Class int64
+	// Injected counts faults the schedule fired.
+	Injected int64
+	// Stats is the merged per-rank recorder.
+	Stats *stats.Recorder
+	// Elapsed is the collective's virtual wall time.
+	Elapsed sim.Time
+	// Trace is the virtual-time event record, exportable as a Chrome
+	// trace for postmortems.
+	Trace *trace.Sink
+}
+
+// Run executes the scenario and checks every invariant. The returned error
+// is an invariant violation (nil means the scenario behaved); the Outcome
+// is returned even on violation so the caller can export the trace.
+func (s Scenario) Run() (*Outcome, error) {
+	// A gapped interleaved tile: holes keep aggregator accesses
+	// noncontiguous (exercising data sieving and its RMW prefetch) and the
+	// small collective buffer splits each access into several rounds.
+	wl := hpio.Pattern{Ranks: 4, RegionSize: 64, RegionCount: 32, Spacing: 64}
+	cfg := sim.DefaultConfig()
+	w := mpi.NewWorld(wl.Ranks, cfg)
+	fs := pfs.NewFileSystem(cfg)
+	const fname = "chaos.dat"
+
+	// Reads verify against a file seeded through the trusted, fault-free
+	// independent path.
+	if !s.Write {
+		seedErr := make(chan error, wl.Ranks)
+		w.Run(func(p *mpi.Proc) {
+			f, err := mpiio.Open(p, fs, fname, mpiio.Info{IndepMethod: mpiio.ListIO})
+			if err != nil {
+				seedErr <- err
+				return
+			}
+			ft, disp := wl.Filetype(p.Rank())
+			if err := f.SetView(disp, datatype.Bytes(1), ft); err != nil {
+				seedErr <- err
+				return
+			}
+			mt, _ := wl.Memtype()
+			if err := f.WriteIndependent(wl.FillBuffer(p.Rank()), mt, wl.RegionCount); err != nil {
+				seedErr <- err
+				return
+			}
+			seedErr <- f.Close()
+		})
+		for i := 0; i < wl.Ranks; i++ {
+			if err := <-seedErr; err != nil {
+				return nil, fmt.Errorf("chaos: seeding %s: %w", s.Name(), err)
+			}
+		}
+	}
+
+	// Trace and time only the faulted phase.
+	sink := w.EnableTracing(0)
+	w.ResetClocks()
+	fs.ResetTiming()
+	sched := s.schedule()
+	fs.SetFaultSchedule(sched)
+
+	errs := make([]error, wl.Ranks)
+	mism := make([]bool, wl.Ranks)
+	w.Run(func(p *mpi.Proc) {
+		f, err := mpiio.Open(p, fs, fname, mpiio.Info{
+			Collective:  s.collective(),
+			CollBufSize: 1024,
+			RetryLimit:  6,
+		})
+		if err != nil {
+			errs[p.Rank()] = err
+			return
+		}
+		ft, disp := wl.Filetype(p.Rank())
+		if err := f.SetView(disp, datatype.Bytes(1), ft); err != nil {
+			errs[p.Rank()] = err
+			return
+		}
+		mt, bufLen := wl.Memtype()
+		if s.Write {
+			errs[p.Rank()] = f.WriteAll(wl.FillBuffer(p.Rank()), mt, wl.RegionCount)
+		} else {
+			buf := make([]byte, bufLen)
+			if err := f.ReadAll(buf, mt, wl.RegionCount); err != nil {
+				errs[p.Rank()] = err
+			} else {
+				got, _ := datatype.Pack(buf, mt, 0, wl.RegionCount)
+				exp, _ := datatype.Pack(wl.FillBuffer(p.Rank()), mt, 0, wl.RegionCount)
+				mism[p.Rank()] = !bytes.Equal(got, exp)
+			}
+		}
+		f.Close()
+	})
+
+	out := &Outcome{
+		Scenario: s,
+		Injected: sched.Injected(),
+		Stats:    stats.Merge(w.Recorders()...),
+		Elapsed:  w.MaxClock(),
+		Trace:    sink,
+	}
+
+	// Invariant 1: agreement. All ranks succeed, or all ranks fail with
+	// the same class wrapping ErrCollectiveAbort.
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed != 0 && failed != wl.Ranks {
+		return out, fmt.Errorf("agreement violated: %d of %d ranks errored: %v", failed, wl.Ranks, errs)
+	}
+	out.Class = mpiio.ErrorClass(errs[0])
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, mpiio.ErrCollectiveAbort) {
+			return out, fmt.Errorf("rank %d error does not wrap ErrCollectiveAbort: %v", r, err)
+		}
+		if c := mpiio.ErrorClass(err); c != out.Class {
+			return out, fmt.Errorf("rank %d agreed class %s, rank 0 %s",
+				r, mpiio.ClassName(c), mpiio.ClassName(out.Class))
+		}
+	}
+	if want := s.wantClass(); out.Class != want {
+		return out, fmt.Errorf("agreed class %s, want %s (rank 0: %v)",
+			mpiio.ClassName(out.Class), mpiio.ClassName(want), errs[0])
+	}
+
+	// Invariant 2: integrity on success.
+	if out.Class == mpiio.ClassOK {
+		if s.Write {
+			img := fs.Snapshot(fname, wl.FileSize())
+			ref := wl.Reference()
+			for i := range ref {
+				if img[i] != ref[i] {
+					return out, fmt.Errorf("file byte %d = %d, want %d", i, img[i], ref[i])
+				}
+			}
+		} else {
+			for r, bad := range mism {
+				if bad {
+					return out, fmt.Errorf("rank %d: read-back data mismatch", r)
+				}
+			}
+		}
+	}
+
+	// Invariant 3: the injection actually exercised the intended path.
+	if s.Fault != FaultBrownout && s.Fault != FaultStorm && out.Injected == 0 {
+		return out, fmt.Errorf("fault schedule never fired")
+	}
+	if c := s.wantCounter(); out.Stats.Counter(c) == 0 {
+		return out, fmt.Errorf("counter %q stayed zero", c)
+	}
+
+	// Invariant 4: accounting. The trace is well formed and agrees with
+	// the stats on the virtual-time cost of backoff to within 1%.
+	if err := sink.Check(); err != nil {
+		return out, fmt.Errorf("trace malformed: %w", err)
+	}
+	sb := out.Stats.Time(stats.PBackoff)
+	tb := sink.Breakdown().PhaseTotal(stats.PBackoff)
+	if drift := math.Abs(float64(sb - tb)); sb > 0 && drift > 0.01*float64(sb) {
+		return out, fmt.Errorf("backoff drift: stats %v vs trace %v", sb, tb)
+	}
+	return out, nil
+}
+
+// Matrix enumerates the full scenario grid: both engines (and both core
+// exchange protocols), both directions, the buffered I/O methods, and every
+// fault pattern — plus the degraded-mode recovery scenarios. Seeds are a
+// deterministic function of the scenario index.
+func Matrix() []Scenario {
+	engines := []struct {
+		name   string
+		method mpiio.Method
+	}{
+		{"core-nb", mpiio.DataSieve},
+		{"core-nb", mpiio.ListIO},
+		{"core-a2a", mpiio.DataSieve},
+		{"twophase", mpiio.DataSieve},
+	}
+	faults := []Fault{FaultTransient, FaultPartial, FaultRound1, FaultBrownout, FaultStorm, FaultGiveup}
+	var ms []Scenario
+	i := int64(0)
+	for _, e := range engines {
+		for _, write := range []bool{true, false} {
+			for _, f := range faults {
+				i++
+				ms = append(ms, Scenario{
+					Engine: e.name, Write: write, Method: e.method,
+					Fault: f, Seed: 1000 + i,
+				})
+			}
+		}
+	}
+	// Degraded-mode recovery: hard sieve faults, with and without the
+	// fallback, on both core exchange protocols.
+	for _, e := range []string{"core-nb", "core-a2a"} {
+		for _, degraded := range []bool{false, true} {
+			i++
+			ms = append(ms, Scenario{
+				Engine: e, Write: true, Method: mpiio.DataSieve,
+				Degraded: degraded, Fault: FaultSieveHard, Seed: 1000 + i,
+			})
+		}
+	}
+	return ms
+}
+
+// Quick is the short-mode subset: one scenario per fault pattern.
+func Quick() []Scenario {
+	seen := map[Fault]bool{}
+	var qs []Scenario
+	for _, s := range Matrix() {
+		if !seen[s.Fault] {
+			seen[s.Fault] = true
+			qs = append(qs, s)
+		}
+	}
+	return qs
+}
+
+// Soak runs the scenarios, logging one line each via logf. Failing
+// scenarios export their Chrome trace into traceDir (when non-empty) as
+// <name>.trace.json. It returns the number of invariant violations.
+func Soak(scenarios []Scenario, traceDir string, logf func(format string, args ...any)) int {
+	failures := 0
+	for _, s := range scenarios {
+		out, err := s.Run()
+		status := "ok"
+		if err != nil {
+			failures++
+			status = "FAIL: " + err.Error()
+		}
+		var class string
+		var elapsed sim.Time
+		var injected, retries, resumes int64
+		if out != nil {
+			class = mpiio.ClassName(out.Class)
+			elapsed = out.Elapsed
+			injected = out.Injected
+			retries = out.Stats.Counter(stats.CRetries)
+			resumes = out.Stats.Counter(stats.CPartialResumes)
+		}
+		logf("%-44s class=%-9s inj=%-3d retry=%-3d resume=%-3d t=%8.3fms  %s",
+			s.Name(), class, injected, retries, resumes, float64(elapsed)*1e3, status)
+		if err != nil && traceDir != "" && out != nil && out.Trace != nil {
+			path := traceDir + "/" + s.Name() + ".trace.json"
+			if werr := out.Trace.WriteChromeTraceFile(path); werr == nil {
+				logf("  trace written to %s", path)
+			}
+		}
+	}
+	return failures
+}

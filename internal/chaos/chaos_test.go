@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+
+	"flexio/internal/stats"
+)
+
+// TestChaosMatrix runs the seeded scenario grid (the short-mode subset
+// covers one scenario per fault pattern) and asserts every robustness
+// invariant. On violation the scenario's Chrome trace is exported to
+// $CHAOS_TRACE_DIR when set, so CI can attach it as an artifact.
+func TestChaosMatrix(t *testing.T) {
+	scenarios := Matrix()
+	if testing.Short() {
+		scenarios = Quick()
+	}
+	traceDir := os.Getenv("CHAOS_TRACE_DIR")
+	for _, s := range scenarios {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			out, err := s.Run()
+			if err != nil {
+				if traceDir != "" && out != nil && out.Trace != nil {
+					path := traceDir + "/" + s.Name() + ".trace.json"
+					if werr := out.Trace.WriteChromeTraceFile(path); werr == nil {
+						t.Logf("chrome trace written to %s", path)
+					}
+				}
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestChaosDeterministic reruns a retry-heavy scenario and checks the fault
+// decisions and recovery work reproduce exactly. (Virtual elapsed time is
+// not compared: lock-revoke arrival order can wobble it within a round.)
+func TestChaosDeterministic(t *testing.T) {
+	s := Scenario{Engine: "core-nb", Write: true, Fault: FaultTransient, Seed: 7}
+	a, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class != b.Class || a.Injected != b.Injected {
+		t.Errorf("outcome not deterministic: class %d/%d injected %d/%d",
+			a.Class, b.Class, a.Injected, b.Injected)
+	}
+	for _, c := range []string{stats.CRetries, stats.CPartialResumes, stats.CGiveups, stats.CFaultsInjected} {
+		if x, y := a.Stats.Counter(c), b.Stats.Counter(c); x != y {
+			t.Errorf("counter %q not deterministic: %d vs %d", c, x, y)
+		}
+	}
+}

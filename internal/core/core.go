@@ -75,6 +75,13 @@ type Options struct {
 	// level description"): smaller still for regular nested types, at
 	// the cost of the aggregator expanding the tree on arrival.
 	TreeRequests bool
+	// Degraded enables graceful degradation: when a round's buffer
+	// access fails under data sieving, the aggregator re-issues that
+	// round with naive per-segment I/O before reporting an error
+	// (conditional sieving repurposed as fault recovery — naive I/O
+	// touches only the useful bytes, so it sidesteps faults on the
+	// sieve path).
+	Degraded bool
 	// Validate checks realm coverage of the aggregate access region
 	// before every call (debugging aid; O(realms) per call).
 	Validate bool
@@ -504,9 +511,10 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 	amAgg := p.Rank() < naggs && aggPieces != nil
 
 	// Pending I/O from the previous round (nonblocking pipeline). On an
-	// I/O error the rank keeps participating in every round's exchange
-	// (deserting a collective would deadlock the communicator) and
-	// reports the first error at the end, like ROMIO's error codes.
+	// I/O error the rank keeps participating in the round's exchange
+	// (deserting a collective would deadlock the communicator); at each
+	// round boundary all ranks agree on the worst error class and either
+	// all continue or all abort with the same error.
 	var pendSegs []datatype.Seg
 	var pendData []byte
 	var firstErr error
@@ -516,13 +524,21 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 			pendSegs, pendData = nil, nil
 			return
 		}
-		if err := f.WriteStream(pendSegs, pendData, method); err != nil {
+		err := f.WriteStream(pendSegs, pendData, method)
+		if err != nil && i.o.Degraded && method == mpiio.DataSieve {
+			p.Stats.Add(stats.CDegradedRounds, 1)
+			p.Trace.Instant(p.Clock(), "degrade",
+				trace.I(trace.RoundTag, int64(round)), trace.S("op", "write"))
+			err = f.WriteStream(pendSegs, pendData, mpiio.Naive)
+		}
+		if err != nil {
 			firstErr = fmt.Errorf("core: write round %d: %w", round, err)
 		}
 		pendSegs, pendData = nil, nil
 	}
 
 	for r := 0; r < ntimes; r++ {
+		f.SetRound(r)
 		if amAgg {
 			p.Trace.Begin(p.Clock(), trace.RoundSpan,
 				trace.I(trace.RoundTag, int64(r)), trace.I(trace.AggTag, int64(p.Rank())))
@@ -625,13 +641,22 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 			}
 		}
 		p.Trace.End(p.Clock()) // round span
+
+		// Round boundary: agree on the worst error class so every rank
+		// aborts (or continues) together.
+		if err := mpiio.AgreeError(p, firstErr); err != nil {
+			f.SetRound(-1)
+			return err
+		}
 	}
 	// The last round's pipelined write lands outside the loop; give it its
 	// own round wrapper so the breakdown attributes the I/O correctly.
+	f.SetRound(ntimes - 1)
 	p.Trace.Begin(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(ntimes-1)))
 	flush(ntimes - 1)
 	p.Trace.End(p.Clock())
-	return firstErr
+	f.SetRound(-1)
+	return mpiio.AgreeError(p, firstErr)
 }
 
 func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
@@ -643,6 +668,7 @@ func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 	var firstErr error
 
 	for r := 0; r < ntimes; r++ {
+		f.SetRound(r)
 		if amAgg {
 			p.Trace.Begin(p.Clock(), trace.RoundSpan,
 				trace.I(trace.RoundTag, int64(r)), trace.I(trace.AggTag, int64(p.Rank())))
@@ -651,8 +677,8 @@ func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 		}
 		// Aggregator: read this round's realm window and carve it up.
 		// On an I/O error the rank still serves (zero-filled) payloads
-		// so the collective protocol completes; the error is reported
-		// at the end.
+		// so the round's exchange completes; the round-boundary
+		// agreement below then aborts every rank together.
 		perClient := map[int][]byte{}
 		if amAgg {
 			entries, segs, total := mergeEntries(aggPieces, r, nil)
@@ -661,7 +687,14 @@ func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 					trace.I(trace.RoundTag, int64(r)), trace.I(trace.BytesTag, total))
 				rbuf := make([]byte, total)
 				if firstErr == nil {
-					if err := f.ReadStream(segs, rbuf, method); err != nil {
+					err := f.ReadStream(segs, rbuf, method)
+					if err != nil && i.o.Degraded && method == mpiio.DataSieve {
+						p.Stats.Add(stats.CDegradedRounds, 1)
+						p.Trace.Instant(p.Clock(), "degrade",
+							trace.I(trace.RoundTag, int64(r)), trace.S("op", "read"))
+						err = f.ReadStream(segs, rbuf, mpiio.Naive)
+					}
+					if err != nil {
 						firstErr = fmt.Errorf("core: read round %d: %w", r, err)
 					}
 				}
@@ -719,8 +752,16 @@ func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 		p.Stats.AddTime(stats.PComm, p.Clock()-t0)
 		p.Trace.End(p.Clock())
 		p.Trace.End(p.Clock()) // round span
+
+		// Round boundary: agree on the worst error class so every rank
+		// aborts (or continues) together.
+		if err := mpiio.AgreeError(p, firstErr); err != nil {
+			f.SetRound(-1)
+			return err
+		}
 	}
-	return firstErr
+	f.SetRound(-1)
+	return nil
 }
 
 // place scatters an aggregator's round payload into the client's linear

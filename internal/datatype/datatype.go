@@ -34,6 +34,33 @@ type Seg struct {
 // End returns the first offset past the segment.
 func (s Seg) End() int64 { return s.Off + s.Len }
 
+// SplitSegs cuts a segment list at n data bytes: head covers the first n
+// bytes of the concatenated data stream, tail the remainder. A segment
+// straddling the cut is split; the input is never mutated. n <= 0 yields
+// (nil, segs); n >= the total yields (segs, nil).
+func SplitSegs(segs []Seg, n int64) (head, tail []Seg) {
+	if n <= 0 {
+		return nil, segs
+	}
+	var acc int64
+	for i, s := range segs {
+		if acc+s.Len < n {
+			acc += s.Len
+			continue
+		}
+		if acc+s.Len == n {
+			return segs[:i+1], segs[i+1:]
+		}
+		// Straddler: split without touching the shared backing array.
+		cut := n - acc
+		head = append(append(head, segs[:i]...), Seg{Off: s.Off, Len: cut})
+		tail = append(tail, Seg{Off: s.Off + cut, Len: s.Len - cut})
+		tail = append(tail, segs[i+1:]...)
+		return head, tail
+	}
+	return segs, nil
+}
+
 // Type is an immutable derived datatype.
 type Type interface {
 	// Size is the number of data bytes in one instance.

@@ -1,0 +1,46 @@
+package datatype
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitSegs(t *testing.T) {
+	segs := []Seg{{Off: 0, Len: 10}, {Off: 20, Len: 10}, {Off: 40, Len: 10}}
+	for _, tc := range []struct {
+		n          int64
+		head, tail []Seg
+	}{
+		{0, nil, segs},
+		{-5, nil, segs},
+		{10, []Seg{{0, 10}}, []Seg{{20, 10}, {40, 10}}},
+		{15, []Seg{{0, 10}, {20, 5}}, []Seg{{25, 5}, {40, 10}}},
+		{20, []Seg{{0, 10}, {20, 10}}, []Seg{{40, 10}}},
+		{30, segs, nil},
+		{99, segs, nil},
+	} {
+		head, tail := SplitSegs(segs, tc.n)
+		eq := func(a, b []Seg) bool {
+			return len(a) == len(b) && (len(a) == 0 || reflect.DeepEqual(a, b))
+		}
+		if !eq(head, tc.head) || !eq(tail, tc.tail) {
+			t.Errorf("SplitSegs(%d): head %v tail %v, want %v / %v",
+				tc.n, head, tail, tc.head, tc.tail)
+		}
+		var h, tl int64
+		for _, s := range head {
+			h += s.Len
+		}
+		for _, s := range tail {
+			tl += s.Len
+		}
+		if want := min(max(tc.n, 0), 30); h != want || h+tl != 30 {
+			t.Errorf("SplitSegs(%d): %d head bytes (+%d tail), want %d (+%d)",
+				tc.n, h, tl, want, 30-want)
+		}
+	}
+	// Splitting must not mutate the input.
+	if !reflect.DeepEqual(segs, []Seg{{0, 10}, {20, 10}, {40, 10}}) {
+		t.Error("SplitSegs mutated its input")
+	}
+}

@@ -1,0 +1,100 @@
+package mpiio
+
+import (
+	"errors"
+	"fmt"
+
+	"flexio/internal/mpi"
+	"flexio/internal/pfs"
+	"flexio/internal/stats"
+	"flexio/internal/trace"
+)
+
+// Error classes, ordered by severity so collective agreement can take the
+// max across ranks. The ordering is part of the protocol: every rank must
+// compute the same class for the same error.
+const (
+	ClassOK        int64 = iota // no error
+	ClassTransient              // pfs.ErrTransient after exhausting retries
+	ClassPartial                // pfs.ErrPartial with an unrecovered tail
+	ClassIO                     // pfs.ErrIO, a hard storage error
+	ClassInternal               // anything else (protocol bugs, bad arguments)
+)
+
+// ErrCollectiveAbort is wrapped by every error the collective
+// error-agreement protocol returns, on every rank — including ranks whose
+// own I/O succeeded but whose peers failed.
+var ErrCollectiveAbort = errors.New("mpiio: collective operation failed on a peer rank")
+
+// ErrorClass maps an error onto the agreement taxonomy.
+func ErrorClass(err error) int64 {
+	switch {
+	case err == nil:
+		return ClassOK
+	case errors.Is(err, pfs.ErrIO):
+		return ClassIO
+	case errors.Is(err, pfs.ErrPartial):
+		return ClassPartial
+	case errors.Is(err, pfs.ErrTransient):
+		return ClassTransient
+	default:
+		return ClassInternal
+	}
+}
+
+// ClassName names a class for traces and tables.
+func ClassName(c int64) string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	case ClassTransient:
+		return "transient"
+	case ClassPartial:
+		return "partial"
+	case ClassIO:
+		return "io"
+	case ClassInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("class(%d)", c)
+	}
+}
+
+// ClassError materializes the canonical error for an agreed class, such
+// that ErrorClass(ClassError(c)) == c and every non-OK class wraps
+// ErrCollectiveAbort.
+func ClassError(c int64) error {
+	switch c {
+	case ClassOK:
+		return nil
+	case ClassTransient:
+		return fmt.Errorf("%w: %w", ErrCollectiveAbort, pfs.ErrTransient)
+	case ClassPartial:
+		return fmt.Errorf("%w: %w", ErrCollectiveAbort, pfs.ErrPartial)
+	case ClassIO:
+		return fmt.Errorf("%w: %w", ErrCollectiveAbort, pfs.ErrIO)
+	default:
+		return ErrCollectiveAbort
+	}
+}
+
+// AgreeError is the collective error-agreement step: ranks allreduce the
+// worst error class among them and either all proceed (nil) or all return
+// an error of the agreed class. Every rank of the communicator must call
+// it at the same point of the collective, like any MPI collective.
+func AgreeError(p *mpi.Proc, local error) error {
+	t0 := p.Clock()
+	p.Trace.Begin(t0, stats.PExchange, trace.S("what", "err_agree"))
+	agreed := p.AllreduceMaxInt64(ErrorClass(local))
+	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+	p.Trace.End(p.Clock())
+	if agreed == ClassOK {
+		return nil
+	}
+	p.Trace.Instant(p.Clock(), "err_agree", trace.S("class", ClassName(agreed)))
+	if local != nil && ErrorClass(local) == agreed {
+		// Keep the local detail on the rank that observed it.
+		return fmt.Errorf("%w (rank %d: %v)", ClassError(agreed), p.Rank(), local)
+	}
+	return ClassError(agreed)
+}

@@ -83,8 +83,8 @@ func (f *File) WriteStream(segs []datatype.Seg, data []byte, m Method) error {
 	var err error
 	// Contiguous fast path: "contiguous in memory to contiguous in file".
 	if len(segs) == 1 {
-		err = f.oneCall(func(now sim.Time) (sim.Time, error) {
-			return f.handle.WriteAt(segs[0].Off, data, now)
+		err = f.withRetry("write", func(skip int64, now sim.Time) (sim.Time, error) {
+			return f.handle.WriteAt(segs[0].Off+skip, data[skip:], now)
 		})
 	} else {
 		switch m {
@@ -92,16 +92,18 @@ func (f *File) WriteStream(segs []datatype.Seg, data []byte, m Method) error {
 			pos := int64(0)
 			for _, s := range segs {
 				chunk := data[pos : pos+s.Len]
-				if err = f.oneCall(func(now sim.Time) (sim.Time, error) {
-					return f.handle.WriteAt(s.Off, chunk, now)
+				off := s.Off
+				if err = f.withRetry("write", func(skip int64, now sim.Time) (sim.Time, error) {
+					return f.handle.WriteAt(off+skip, chunk[skip:], now)
 				}); err != nil {
 					break
 				}
 				pos += s.Len
 			}
 		case ListIO:
-			err = f.oneCall(func(now sim.Time) (sim.Time, error) {
-				return f.handle.WriteList(segs, data, now)
+			err = f.withRetry("write", func(skip int64, now sim.Time) (sim.Time, error) {
+				_, tail := datatype.SplitSegs(segs, skip)
+				return f.handle.WriteList(tail, data[skip:], now)
 			})
 		case DataSieve:
 			err = f.sieveWindows(segs, data, true)
@@ -132,8 +134,8 @@ func (f *File) ReadStream(segs []datatype.Seg, buf []byte, m Method) error {
 	defer func() { f.proc.Trace.End(f.proc.Clock()) }()
 	var err error
 	if len(segs) == 1 {
-		err = f.oneCall(func(now sim.Time) (sim.Time, error) {
-			return f.handle.ReadAt(segs[0].Off, buf, now)
+		err = f.withRetry("read", func(skip int64, now sim.Time) (sim.Time, error) {
+			return f.handle.ReadAt(segs[0].Off+skip, buf[skip:], now)
 		})
 	} else {
 		switch m {
@@ -141,16 +143,18 @@ func (f *File) ReadStream(segs []datatype.Seg, buf []byte, m Method) error {
 			pos := int64(0)
 			for _, s := range segs {
 				chunk := buf[pos : pos+s.Len]
-				if err = f.oneCall(func(now sim.Time) (sim.Time, error) {
-					return f.handle.ReadAt(s.Off, chunk, now)
+				off := s.Off
+				if err = f.withRetry("read", func(skip int64, now sim.Time) (sim.Time, error) {
+					return f.handle.ReadAt(off+skip, chunk[skip:], now)
 				}); err != nil {
 					break
 				}
 				pos += s.Len
 			}
 		case ListIO:
-			err = f.oneCall(func(now sim.Time) (sim.Time, error) {
-				return f.handle.ReadList(segs, buf, now)
+			err = f.withRetry("read", func(skip int64, now sim.Time) (sim.Time, error) {
+				_, tail := datatype.SplitSegs(segs, skip)
+				return f.handle.ReadList(tail, buf[skip:], now)
 			})
 		case DataSieve:
 			err = f.sieveWindows(segs, buf, false)
@@ -160,17 +164,6 @@ func (f *File) ReadStream(segs []datatype.Seg, buf []byte, m Method) error {
 	}
 	f.proc.Stats.AddTime(stats.PIO, f.proc.Clock()-start)
 	return err
-}
-
-// oneCall issues a single file system operation at the rank's current
-// clock and advances it to the completion time.
-func (f *File) oneCall(op func(sim.Time) (sim.Time, error)) error {
-	done, err := op(f.proc.Clock())
-	if err != nil {
-		return err
-	}
-	f.proc.SyncClock(done)
-	return nil
 }
 
 // sieveWindows splits a noncontiguous access into sieve-buffer-sized
@@ -216,13 +209,9 @@ func (f *File) sieveWindows(segs []datatype.Seg, data []byte, write bool) error 
 
 		var err error
 		if write {
-			err = f.oneCall(func(now sim.Time) (sim.Time, error) {
-				return f.handle.SieveWrite(span, group, chunk, now)
-			})
+			err = f.WriteSieve(span, group, chunk)
 		} else {
-			err = f.oneCall(func(now sim.Time) (sim.Time, error) {
-				return f.handle.SieveRead(span, group, chunk, now)
-			})
+			err = f.ReadSieve(span, group, chunk)
 		}
 		if err != nil {
 			return err

@@ -18,6 +18,7 @@ import (
 	"flexio/internal/mpi"
 	"flexio/internal/pfs"
 	"flexio/internal/realm"
+	"flexio/internal/sim"
 	"flexio/internal/stats"
 	"flexio/internal/trace"
 )
@@ -80,6 +81,18 @@ type Info struct {
 	// CbNodes is the number of I/O aggregators (cb_nodes). Zero means
 	// every rank aggregates.
 	CbNodes int
+	// RetryLimit bounds transparent retries of transient storage errors
+	// per independent operation. Zero means 4; negative disables retries
+	// (errors surface immediately).
+	RetryLimit int
+	// RetryBackoff is the initial virtual-time backoff before the first
+	// retry, doubled on each subsequent retry of the same operation.
+	// Zero means 500 microseconds.
+	RetryBackoff sim.Time
+	// RetryDeadline caps the total virtual time (first attempt included)
+	// one independent operation may spend across retries and partial
+	// resumptions. Zero means 250 milliseconds.
+	RetryDeadline sim.Time
 }
 
 func (i Info) withDefaults() Info {
@@ -88,6 +101,15 @@ func (i Info) withDefaults() Info {
 	}
 	if i.CollBufSize <= 0 {
 		i.CollBufSize = 4 << 20
+	}
+	if i.RetryLimit == 0 {
+		i.RetryLimit = 4
+	}
+	if i.RetryBackoff <= 0 {
+		i.RetryBackoff = 500e-6
+	}
+	if i.RetryDeadline <= 0 {
+		i.RetryDeadline = 0.25
 	}
 	return i
 }
@@ -202,6 +224,12 @@ func (f *File) View() View { return f.view }
 
 // Name returns the file name.
 func (f *File) Name() string { return f.handle.Name() }
+
+// SetRound tags subsequent storage operations with the collective
+// two-phase round, for fault targeting and tracing; -1 (the default)
+// means "outside a collective round". Collective implementations set it at
+// each round boundary and clear it before returning.
+func (f *File) SetRound(r int) { f.client.SetRound(r) }
 
 // PFR returns the persistent file realms established by an earlier
 // collective call (nil if none).

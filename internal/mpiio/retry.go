@@ -1,0 +1,122 @@
+package mpiio
+
+import (
+	"errors"
+	"fmt"
+
+	"flexio/internal/datatype"
+	"flexio/internal/pfs"
+	"flexio/internal/sim"
+	"flexio/internal/stats"
+	"flexio/internal/trace"
+)
+
+// withRetry drives one logical storage operation through the retry policy.
+// attempt issues the operation at virtual time now, skipping the first skip
+// data bytes (the prefix already durable from earlier partial transfers),
+// and returns the completion time. Failed attempts still charge the clock;
+// backoff waits charge it too (PBackoff spans and stats), so retry cost is
+// visible in virtual time. Transient errors retry up to the hinted limit
+// with doubling backoff; partial transfers resume the unwritten tail
+// immediately; everything is bounded by the per-op virtual-time deadline;
+// hard errors surface at once.
+func (f *File) withRetry(kind string, attempt func(skip int64, now sim.Time) (sim.Time, error)) error {
+	p := f.proc
+	if f.info.RetryLimit < 0 {
+		done, err := attempt(0, p.Clock())
+		if err != nil {
+			p.SyncClock(done)
+			return err
+		}
+		p.SyncClock(done)
+		return nil
+	}
+	start := p.Clock()
+	deadline := start + f.info.RetryDeadline
+	backoff := f.info.RetryBackoff
+	var skip int64
+	retries := 0
+	for {
+		done, err := attempt(skip, p.Clock())
+		p.SyncClock(done)
+		if err == nil {
+			return nil
+		}
+
+		var pe *pfs.PartialError
+		isPartial := errors.As(err, &pe)
+		if !isPartial && !errors.Is(err, pfs.ErrTransient) {
+			return err // hard error: not retryable
+		}
+		if isPartial && pe.Written > 0 {
+			// Progress was made: resume the unwritten tail immediately.
+			// Resumptions do not count against the retry limit (each one
+			// strictly shrinks the remaining work) but do respect the
+			// deadline.
+			skip += pe.Written
+			p.Stats.Add(stats.CPartialResumes, 1)
+			p.Trace.Instant(p.Clock(), "resume", trace.S("op", kind),
+				trace.I(trace.BytesTag, pe.Written), trace.I("skip", skip))
+			if p.Clock() < deadline {
+				continue
+			}
+		} else if retries < f.info.RetryLimit && p.Clock()+backoff < deadline {
+			retries++
+			p.Stats.Add(stats.CRetries, 1)
+			p.Trace.Begin(p.Clock(), stats.PBackoff,
+				trace.S("op", kind), trace.I("attempt", int64(retries)))
+			p.AdvanceClock(backoff)
+			p.Stats.AddTime(stats.PBackoff, backoff)
+			p.Trace.End(p.Clock())
+			p.Trace.Instant(p.Clock(), "retry",
+				trace.S("op", kind), trace.I("attempt", int64(retries)))
+			backoff *= 2
+			continue
+		}
+
+		p.Stats.Add(stats.CGiveups, 1)
+		p.Trace.Instant(p.Clock(), "gaveup", trace.S("op", kind),
+			trace.I("attempt", int64(retries)), trace.I("skip", skip))
+		return fmt.Errorf("mpiio: %s gave up after %d retries (%v virtual seconds): %w",
+			kind, retries, p.Clock()-start, err)
+	}
+}
+
+// WriteSieve performs one data-sieving write window (span covering segs,
+// data holding the useful bytes) under the retry policy, advancing the
+// rank's clock. The ROMIO-style collective engine drains its integrated
+// collective buffer through this call.
+func (f *File) WriteSieve(span datatype.Seg, segs []datatype.Seg, data []byte) error {
+	return f.withRetry("write", func(skip int64, now sim.Time) (sim.Time, error) {
+		sp, group, chunk := shrinkSieveWindow(span, segs, data, skip)
+		if len(group) == 0 {
+			return now, nil
+		}
+		return f.handle.SieveWrite(sp, group, chunk, now)
+	})
+}
+
+// ReadSieve is the read counterpart of WriteSieve.
+func (f *File) ReadSieve(span datatype.Seg, segs []datatype.Seg, buf []byte) error {
+	return f.withRetry("read", func(skip int64, now sim.Time) (sim.Time, error) {
+		sp, group, chunk := shrinkSieveWindow(span, segs, buf, skip)
+		if len(group) == 0 {
+			return now, nil
+		}
+		return f.handle.SieveRead(sp, group, chunk, now)
+	})
+}
+
+// shrinkSieveWindow drops the first skip useful bytes from a sieve window,
+// narrowing the span to the surviving segments.
+func shrinkSieveWindow(span datatype.Seg, segs []datatype.Seg, data []byte, skip int64) (datatype.Seg, []datatype.Seg, []byte) {
+	if skip <= 0 {
+		return span, segs, data
+	}
+	_, tail := datatype.SplitSegs(segs, skip)
+	if len(tail) == 0 {
+		return datatype.Seg{}, nil, nil
+	}
+	sp := datatype.Seg{Off: tail[0].Off, Len: span.End() - tail[0].Off}
+	return sp, tail, data[skip:]
+}

@@ -1,0 +1,253 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"flexio/internal/datatype"
+	"flexio/internal/sim"
+	"flexio/internal/stats"
+)
+
+func faultFS(t *testing.T) (*FileSystem, *Client, *stats.Recorder) {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	fs := NewFileSystem(cfg)
+	rec := stats.New()
+	return fs, fs.NewClient(rec), rec
+}
+
+func TestSentinelClassification(t *testing.T) {
+	pe := &PartialError{Written: 7}
+	if !errors.Is(pe, ErrPartial) {
+		t.Error("PartialError does not match ErrPartial")
+	}
+	for _, tc := range []struct {
+		err  error
+		want Class
+	}{
+		{nil, ClassNone},
+		{ErrTransient, ClassTransient},
+		{pe, ClassPartial},
+		{ErrIO, ClassIO},
+		{errors.New("mystery"), ClassIO}, // unknown errors count as hard
+	} {
+		if got := classifyErr(tc.err); got != tc.want {
+			t.Errorf("classifyErr(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestCoinDeterministic(t *testing.T) {
+	op := Op{Kind: "write", Off: 4096, Len: 128, Seq: 3}
+	a := coin(42, 0, op)
+	if b := coin(42, 0, op); a != b {
+		t.Errorf("same inputs, different coins: %v vs %v", a, b)
+	}
+	if a < 0 || a >= 1 {
+		t.Errorf("coin out of [0,1): %v", a)
+	}
+	if b := coin(43, 0, op); a == b {
+		t.Error("different seeds produced the same coin")
+	}
+	if b := coin(42, 1, op); a == b {
+		t.Error("different rules produced the same coin")
+	}
+	// Client id must not influence the coin: ids are assigned in Open
+	// order, which goroutine scheduling can permute.
+	op2 := op
+	op2.Client = 99
+	if b := coin(42, 0, op2); a != b {
+		t.Error("client id influenced the coin")
+	}
+}
+
+func TestRulePerClientCount(t *testing.T) {
+	fs, c1, _ := faultFS(t)
+	c2 := fs.NewClient(stats.New())
+	sched := NewFaultSchedule(1).Add(Rule{Kind: "write", Class: ClassTransient, Count: 2})
+	fs.SetFaultSchedule(sched)
+	h1, h2 := c1.Open("a.dat"), c2.Open("a.dat")
+	fails := func(h *Handle) int {
+		n := 0
+		var now sim.Time
+		for i := 0; i < 5; i++ {
+			done, err := h.WriteAt(int64(i)*100, make([]byte, 10), now)
+			if err != nil {
+				if !errors.Is(err, ErrTransient) {
+					t.Fatalf("unexpected error class: %v", err)
+				}
+				n++
+			}
+			now = done
+		}
+		return n
+	}
+	if got := fails(h1); got != 2 {
+		t.Errorf("client 1: %d injections, want 2 (per-client cap)", got)
+	}
+	if got := fails(h2); got != 2 {
+		t.Errorf("client 2: %d injections, want 2 (per-client cap)", got)
+	}
+	if got := sched.Injected(); got != 4 {
+		t.Errorf("Injected() = %d, want 4", got)
+	}
+}
+
+func TestPartialWriteLeavesPrefixOnly(t *testing.T) {
+	fs, c, _ := faultFS(t)
+	fs.SetFaultSchedule(NewFaultSchedule(5).Add(Rule{
+		Kind: "write", Class: ClassPartial, PartialFrac: 0.25, Count: 1,
+	}))
+	h := c.Open("p.dat")
+	data := bytes.Repeat([]byte{0xCD}, 100)
+	_, err := h.WriteAt(0, data, 0)
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want PartialError, got %v", err)
+	}
+	if pe.Written <= 0 || pe.Written >= 100 {
+		t.Fatalf("Written = %d, want a strict prefix", pe.Written)
+	}
+	img := fs.Snapshot("p.dat", 100)
+	for i, b := range img {
+		if int64(i) < pe.Written && b != 0xCD {
+			t.Fatalf("byte %d inside the durable prefix not written", i)
+		}
+		if int64(i) >= pe.Written && b == 0xCD {
+			t.Fatalf("byte %d beyond the reported prefix was written", i)
+		}
+	}
+}
+
+func TestHookMayCallBackIntoFileSystem(t *testing.T) {
+	// The fault hook runs without fs.mu held, so it may inspect the file
+	// system. Under the old implementation this deadlocked.
+	fs, c, _ := faultFS(t)
+	h := c.Open("r.dat")
+	if _, err := h.WriteAt(0, make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	var sawSize int64 = -1
+	fs.SetFaultHook(func(op Op) error {
+		sawSize = fs.Size("r.dat") // reenters the FileSystem
+		return nil
+	})
+	if _, err := h.WriteAt(64, make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	if sawSize != 64 {
+		t.Errorf("hook saw size %d, want 64", sawSize)
+	}
+}
+
+func TestBrownoutSlowsService(t *testing.T) {
+	run := func(sched *FaultSchedule) sim.Time {
+		fs, c, _ := faultFS(t)
+		fs.SetFaultSchedule(sched)
+		h := c.Open("b.dat")
+		done, err := h.WriteAt(0, make([]byte, 1<<20), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return done
+	}
+	base := run(nil)
+	slow := run(NewFaultSchedule(0).AddBrownout(Brownout{OST: -1, Slowdown: 8}))
+	if slow <= base {
+		t.Errorf("brownout did not slow the write: base %v, brownout %v", base, slow)
+	}
+}
+
+func TestBrownoutWindowRespected(t *testing.T) {
+	fs, c, _ := faultFS(t)
+	fs.SetFaultSchedule(NewFaultSchedule(0).AddBrownout(Brownout{
+		OST: -1, From: 1000, Until: 2000, Slowdown: 8,
+	}))
+	h := c.Open("w.dat")
+	done, err := h.WriteAt(0, make([]byte, 1<<20), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2, c2, _ := faultFS(t)
+	_ = fs2
+	done2, err := c2.Open("w.dat").WriteAt(0, make([]byte, 1<<20), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != done2 {
+		t.Errorf("inactive brownout window changed timing: %v vs %v", done, done2)
+	}
+}
+
+func TestRevokeStormCharges(t *testing.T) {
+	fs, c, rec := faultFS(t)
+	fs.SetFaultSchedule(NewFaultSchedule(0).AddStorm(RevokeStorm{PerGrant: 3}))
+	h := c.Open("s.dat")
+	done, err := h.WriteAt(0, make([]byte, 1<<20), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Counter(stats.CStormRevokes) == 0 {
+		t.Error("no storm revokes counted")
+	}
+	fs2, c2, _ := faultFS(t)
+	_ = fs2
+	calm, err := c2.Open("s.dat").WriteAt(0, make([]byte, 1<<20), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= calm {
+		t.Errorf("storm did not cost virtual time: storm %v, calm %v", done, calm)
+	}
+}
+
+func TestRuleSeqAndRoundTargeting(t *testing.T) {
+	fs, c, rec := faultFS(t)
+	fs.SetFaultSchedule(NewFaultSchedule(0).
+		Add(Rule{Kind: "write", MinSeq: 2, MaxSeq: 2, Class: ClassIO}).
+		Add(Rule{Kind: "write", Rounds: []int{1}, Class: ClassTransient}))
+	h := c.Open("t.dat")
+	if _, err := h.WriteAt(0, make([]byte, 8), 0); err != nil { // seq 1
+		t.Fatalf("seq 1 should pass: %v", err)
+	}
+	if _, err := h.WriteAt(8, make([]byte, 8), 0); !errors.Is(err, ErrIO) { // seq 2
+		t.Fatalf("seq 2 should fail hard, got %v", err)
+	}
+	c.SetRound(1)
+	if _, err := h.WriteAt(16, make([]byte, 8), 0); !errors.Is(err, ErrTransient) { // round 1
+		t.Fatalf("round-1 write should be transient, got %v", err)
+	}
+	c.SetRound(-1)
+	if _, err := h.WriteAt(24, make([]byte, 8), 0); err != nil {
+		t.Fatalf("outside round 1 should pass: %v", err)
+	}
+	if rec.Counter(stats.CFaultsInjected) != 2 {
+		t.Errorf("CFaultsInjected = %d, want 2", rec.Counter(stats.CFaultsInjected))
+	}
+}
+
+func TestSieveRMWReadFaultBecomesTransient(t *testing.T) {
+	// A partial fault on the RMW prefetch read inside SieveWrite must not
+	// surface as ErrPartial: no user data bytes were written, so the layer
+	// reports it as transient (fully retryable).
+	fs, c, _ := faultFS(t)
+	h := c.Open("rmw.dat")
+	if _, err := h.WriteAt(0, bytes.Repeat([]byte{0xEE}, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFaultSchedule(NewFaultSchedule(3).Add(Rule{
+		Kind: "read", Class: ClassPartial, Count: 1,
+	}))
+	// A gapped sieve window over existing data forces the RMW prefetch.
+	span := datatype.Seg{Off: 0, Len: 1024}
+	segs := []datatype.Seg{{Off: 0, Len: 256}, {Off: 512, Len: 256}}
+	_, err := h.SieveWrite(span, segs, make([]byte, 512), 0)
+	if err == nil {
+		t.Fatal("RMW read fault vanished")
+	}
+	if !errors.Is(err, ErrTransient) || errors.Is(err, ErrPartial) {
+		t.Errorf("RMW read fault should classify transient, got %v", err)
+	}
+}

@@ -27,14 +27,19 @@ import (
 // Op identifies a file system operation for fault injection and tracing.
 type Op struct {
 	Kind   string // "read", "write"
-	Client int
+	Client int    // client id (assigned in Open order — not run-deterministic)
 	Name   string
-	Off    int64
-	Len    int64
+	Off    int64 // starting file offset (first segment / sieve span start)
+	Len    int64 // data bytes moved (for sieve ops: useful bytes, not span bytes)
+	Segs   int   // number of segments in the (possibly list) request
+	Seq    int64 // 1-based per-client operation sequence number
+	Round  int   // collective two-phase round, -1 outside a collective
+	Sieve  bool  // issued by the data-sieving path (RMW prefetch or span write)
 }
 
 // FaultHook, if non-nil, is consulted before each operation; returning a
-// non-nil error aborts the operation without side effects.
+// non-nil error aborts the operation without side effects. Hooks run
+// without fs.mu held, so they may call back into the FileSystem.
 type FaultHook func(Op) error
 
 // FileSystem is the shared simulated storage system. It is safe for
@@ -46,7 +51,7 @@ type FileSystem struct {
 	osts    []ostState
 	nextID  int
 	clients map[int]*Client
-	fault   FaultHook
+	sched   *FaultSchedule
 }
 
 type ostState struct {
@@ -135,11 +140,34 @@ func NewFileSystem(cfg *sim.Config) *FileSystem {
 	return fs
 }
 
-// SetFaultHook installs (or clears, with nil) the fault injection hook.
+// SetFaultHook installs (or clears, with nil) a legacy fault injection
+// hook, implemented as an adapter over SetFaultSchedule. Installing a hook
+// replaces any current schedule.
 func (fs *FileSystem) SetFaultHook(h FaultHook) {
+	if h == nil {
+		fs.SetFaultSchedule(nil)
+		return
+	}
+	fs.SetFaultSchedule(NewFaultSchedule(0).WithHook(h))
+}
+
+// SetFaultSchedule installs (or clears, with nil) the fault schedule.
+func (fs *FileSystem) SetFaultSchedule(s *FaultSchedule) {
 	fs.mu.Lock()
-	fs.fault = h
+	fs.sched = s
 	fs.mu.Unlock()
+}
+
+// evalFault consults the installed schedule for op. It must be called
+// without fs.mu held: legacy hooks may call back into the file system.
+func (fs *FileSystem) evalFault(op Op, now sim.Time) fault {
+	fs.mu.Lock()
+	s := fs.sched
+	fs.mu.Unlock()
+	if s == nil {
+		return fault{}
+	}
+	return s.evaluate(op, now)
 }
 
 // Config returns the cost model.
@@ -269,6 +297,11 @@ type Client struct {
 	// A client only ever emits to its own tracer — never to the tracer of
 	// a client it conflicts with — so tracing stays race-free.
 	tr *trace.Tracer
+	// seq counts this client's operations (1-based), for fault targeting.
+	seq int64
+	// round is the collective two-phase round tag stamped on ops (-1
+	// outside a collective); set by the MPI-IO layer.
+	round int
 }
 
 // NewClient registers a client. rec may be nil.
@@ -281,6 +314,7 @@ func (fs *FileSystem) NewClient(rec *stats.Recorder) *Client {
 		id:    fs.nextID,
 		cache: newPageCache(fs.cfg.ClientCachePages),
 		rec:   rec,
+		round: -1,
 	}
 	fs.clients[c.id] = c
 	return c
@@ -291,6 +325,10 @@ func (c *Client) ID() int { return c.id }
 
 // SetTracer attaches the owning rank's tracer (nil disables tracing).
 func (c *Client) SetTracer(t *trace.Tracer) { c.tr = t }
+
+// SetRound tags subsequent operations with a collective round number for
+// fault targeting and tracing; -1 means "outside a collective round".
+func (c *Client) SetRound(r int) { c.round = r }
 
 // Handle is an open file from one client's perspective.
 type Handle struct {
@@ -311,30 +349,30 @@ func (h *Handle) Name() string { return h.f.name }
 // WriteAt writes data at off starting at virtual time now and returns the
 // completion time.
 func (h *Handle) WriteAt(off int64, data []byte, now sim.Time) (sim.Time, error) {
-	return h.c.access("write", h.f, []datatype.Seg{{Off: off, Len: int64(len(data))}}, data, nil, now)
+	return h.c.access("write", h.f, []datatype.Seg{{Off: off, Len: int64(len(data))}}, data, nil, false, now)
 }
 
 // ReadAt reads len(buf) bytes at off into buf.
 func (h *Handle) ReadAt(off int64, buf []byte, now sim.Time) (sim.Time, error) {
-	return h.c.access("read", h.f, []datatype.Seg{{Off: off, Len: int64(len(buf))}}, nil, buf, now)
+	return h.c.access("read", h.f, []datatype.Seg{{Off: off, Len: int64(len(buf))}}, nil, buf, false, now)
 }
 
 // WriteList writes the concatenated data stream into the given file
 // segments with a single request (list I/O semantics: one call overhead for
 // the whole batch, as with PVFS's listio interface).
 func (h *Handle) WriteList(segs []datatype.Seg, data []byte, now sim.Time) (sim.Time, error) {
-	return h.c.access("write", h.f, segs, data, nil, now)
+	return h.c.access("write", h.f, segs, data, nil, false, now)
 }
 
 // ReadList reads the given file segments into the concatenated buffer with
 // a single request.
 func (h *Handle) ReadList(segs []datatype.Seg, buf []byte, now sim.Time) (sim.Time, error) {
-	return h.c.access("read", h.f, segs, nil, buf, now)
+	return h.c.access("read", h.f, segs, nil, buf, false, now)
 }
 
 // access is the single entry point for all I/O: it validates, applies fault
 // injection, moves bytes, and computes the completion time.
-func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []byte, rbuf []byte, now sim.Time) (sim.Time, error) {
+func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []byte, rbuf []byte, sieve bool, now sim.Time) (sim.Time, error) {
 	var total int64
 	for _, s := range segs {
 		if s.Off < 0 || s.Len < 0 {
@@ -353,15 +391,44 @@ func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []b
 	}
 
 	fs := c.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 
-	if fs.fault != nil {
-		first := segs[0]
-		if err := fs.fault(Op{Kind: kind, Client: c.id, Name: f.name, Off: first.Off, Len: total}); err != nil {
-			return now, fmt.Errorf("pfs: %s %q: %w", kind, f.name, err)
+	// Fault evaluation happens before fs.mu is taken, so hooks are free to
+	// call back into the file system.
+	c.seq++
+	flt := fs.evalFault(Op{Kind: kind, Client: c.id, Name: f.name, Off: segs[0].Off,
+		Len: total, Segs: len(segs), Seq: c.seq, Round: c.round, Sieve: sieve}, now)
+	var partial *PartialError
+	if flt.class != ClassNone {
+		if flt.class == ClassPartial && flt.err == nil {
+			w := int64(flt.frac * float64(total))
+			if w >= total {
+				w = total - 1
+			}
+			if w < 0 {
+				w = 0
+			}
+			partial = &PartialError{Written: w}
+			c.noteFault(now, kind, flt.class, w)
+			if w == 0 {
+				return now + fs.cfg.IOCallOverhead, fmt.Errorf("pfs: %s %q: %w", kind, f.name, partial)
+			}
+			// Truncate the request to the completed prefix; the caller
+			// sees how far it got and may resume the tail.
+			segs, _ = datatype.SplitSegs(segs, w)
+			if kind == "write" {
+				wdata = wdata[:w]
+			} else {
+				rbuf = rbuf[:w]
+			}
+			total = w
+		} else {
+			c.noteFault(now, kind, flt.class, 0)
+			return now + fs.cfg.IOCallOverhead, fmt.Errorf("pfs: %s %q: %w", kind, f.name, flt.wrapped())
 		}
 	}
+
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 
 	// One call overhead for the whole (possibly list) request.
 	c.tr.Instant(now, "io_call", trace.S("kind", kind),
@@ -390,7 +457,32 @@ func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []b
 		}
 		pos += s.Len
 	}
+	if partial != nil {
+		return completion, fmt.Errorf("pfs: %s %q: %w", kind, f.name, partial)
+	}
 	return completion, nil
+}
+
+// noteFault records an injected fault on the owning rank's stats and trace.
+func (c *Client) noteFault(now sim.Time, kind string, cl Class, written int64) {
+	c.rec.Add(stats.CFaultsInjected, 1)
+	c.tr.Instant(now, "fault", trace.S("kind", kind),
+		trace.S("class", cl.String()), trace.I("written", written), trace.I("seq", c.seq))
+}
+
+// degradeSvc applies any active brownout to one request's OST service time.
+// Called with fs.mu held.
+func (c *Client) degradeSvc(ost int, t, svc sim.Time) sim.Time {
+	s := c.fs.sched
+	if s == nil {
+		return svc
+	}
+	mult, extra := s.slowdown(ost, t)
+	if mult <= 1 && extra <= 0 {
+		return svc
+	}
+	c.rec.Add(stats.CBrownoutServes, 1)
+	return sim.Time(mult)*svc + extra
 }
 
 // lockSpan acquires the page locks covering the request and returns the
@@ -417,6 +509,7 @@ func (c *Client) lockSpan(f *fileData, segs []datatype.Seg, write bool, now sim.
 	lastPage := int64(-2) // avoid double-charging overlapping segment pages
 	inGrantRun := false
 	lastRevokedOwner := 0
+	grants := int64(0)
 	for _, r := range ranges {
 		lo := r.lo
 		if lo <= lastPage {
@@ -446,6 +539,7 @@ func (c *Client) lockSpan(f *fileData, segs []datatype.Seg, write bool, now sim.
 				if !inGrantRun {
 					cost += fs.cfg.LockGrantCost
 					c.rec.Add(stats.CLockGrants, 1)
+					grants++
 					inGrantRun = true
 				}
 			default: // unlocked
@@ -455,12 +549,23 @@ func (c *Client) lockSpan(f *fileData, segs []datatype.Seg, write bool, now sim.
 				if !inGrantRun {
 					cost += fs.cfg.LockGrantCost
 					c.rec.Add(stats.CLockGrants, 1)
+					grants++
 					inGrantRun = true
 				}
 			}
 			lastPage = pi
 		}
 		inGrantRun = false // discontiguous request parts are separate extents
+	}
+	// A lock-revoke storm makes every grant pay extra revocation
+	// round-trips (a competing job churning the lock manager).
+	if grants > 0 && fs.sched != nil {
+		if per := fs.sched.stormRevokes(now); per > 0 {
+			n := grants * int64(per)
+			cost += sim.Time(float64(n)) * fs.cfg.LockRevokeCost
+			c.rec.Add(stats.CStormRevokes, n)
+			c.tr.Instant(now, "revoke_storm", trace.I("revokes", n))
+		}
 	}
 	return cost
 }
@@ -525,6 +630,7 @@ func (c *Client) writeSeg(f *fileData, s datatype.Seg, data []byte, t sim.Time) 
 		}
 		svc += conflictSvc
 		conflictSvc = 0
+		svc = c.degradeSvc(p.ost, t, svc)
 		end := ost.serve(t, svc)
 		ost.lastEnd[f.name] = p.seg.End()
 		c.rec.AddTime(stats.PServe, svc)
@@ -576,6 +682,7 @@ func (c *Client) readSeg(f *fileData, s datatype.Seg, buf []byte, t sim.Time) si
 		if ost.lastEnd[f.name] != p.seg.Off {
 			svc += fs.cfg.SeekCost
 		}
+		svc = c.degradeSvc(p.ost, t, svc)
 		end := ost.serve(t, svc)
 		ost.lastEnd[f.name] = p.seg.End()
 		c.rec.AddTime(stats.PServe, svc)

@@ -1,6 +1,7 @@
 package pfs
 
 import (
+	"errors"
 	"fmt"
 
 	"flexio/internal/datatype"
@@ -38,9 +39,15 @@ func (h *Handle) SieveWrite(span datatype.Seg, segs []datatype.Seg, data []byte,
 		h.c.tr.Instant(now, "sieve_rmw",
 			trace.I("span", span.Len), trace.I("useful", useful))
 		var err error
-		t, err = h.c.access("read", h.f, []datatype.Seg{span}, nil, make([]byte, span.Len), t)
+		t, err = h.c.access("read", h.f, []datatype.Seg{span}, nil, make([]byte, span.Len), true, t)
 		if err != nil {
-			return now, err
+			// A short RMW prefetch is not a short write: its Written is
+			// in span bytes, and no user data landed. Surface it as a
+			// transient whole-window failure the caller can retry.
+			if errors.Is(err, ErrPartial) {
+				return t, fmt.Errorf("pfs: sieve rmw read %q: %w", h.f.name, ErrTransient)
+			}
+			return t, err
 		}
 	}
 	// Apply the useful bytes, but charge the write as one contiguous span.
@@ -51,14 +58,40 @@ func (h *Handle) SieveWrite(span datatype.Seg, segs []datatype.Seg, data []byte,
 // scattered to segs, timing is that of one contiguous span write.
 func (c *Client) accessSieveSpan(f *fileData, span datatype.Seg, segs []datatype.Seg, data []byte, now sim.Time) (sim.Time, error) {
 	fs := c.fs
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 
-	if fs.fault != nil {
-		if err := fs.fault(Op{Kind: "write", Client: c.id, Name: f.name, Off: span.Off, Len: span.Len}); err != nil {
-			return now, fmt.Errorf("pfs: write %q: %w", f.name, err)
+	// Fault evaluation happens before fs.mu is taken, so hooks are free to
+	// call back into the file system. Op.Len and partial progress are in
+	// useful (data) bytes, not span bytes.
+	c.seq++
+	flt := fs.evalFault(Op{Kind: "write", Client: c.id, Name: f.name, Off: span.Off,
+		Len: int64(len(data)), Segs: len(segs), Seq: c.seq, Round: c.round, Sieve: true}, now)
+	var partial *PartialError
+	if flt.class != ClassNone {
+		if flt.class == ClassPartial && flt.err == nil {
+			useful := int64(len(data))
+			w := int64(flt.frac * float64(useful))
+			if w >= useful {
+				w = useful - 1
+			}
+			if w < 0 {
+				w = 0
+			}
+			partial = &PartialError{Written: w}
+			c.noteFault(now, "write", flt.class, w)
+			if w == 0 {
+				return now + fs.cfg.IOCallOverhead, fmt.Errorf("pfs: write %q: %w", f.name, partial)
+			}
+			segs, _ = datatype.SplitSegs(segs, w)
+			data = data[:w]
+			span = datatype.Seg{Off: span.Off, Len: segs[len(segs)-1].End() - span.Off}
+		} else {
+			c.noteFault(now, "write", flt.class, 0)
+			return now + fs.cfg.IOCallOverhead, fmt.Errorf("pfs: write %q: %w", f.name, flt.wrapped())
 		}
 	}
+
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 
 	c.tr.Instant(now, "io_call", trace.S("kind", "sieve_write"),
 		trace.I("off", span.Off), trace.I("len", span.Len), trace.I("segs", int64(len(segs))))
@@ -93,12 +126,16 @@ func (c *Client) accessSieveSpan(f *fileData, span datatype.Seg, segs []datatype
 		}
 		svc += conflictSvc
 		conflictSvc = 0
+		svc = c.degradeSvc(p.ost, t, svc)
 		end := ost.serve(t, svc)
 		ost.lastEnd[f.name] = p.seg.End()
 		c.rec.AddTime(stats.PServe, svc)
 		if end > done {
 			done = end
 		}
+	}
+	if partial != nil {
+		return done, fmt.Errorf("pfs: write %q: %w", f.name, partial)
 	}
 	return done, nil
 }
@@ -121,9 +158,34 @@ func (h *Handle) SieveRead(span datatype.Seg, segs []datatype.Seg, buf []byte, n
 		return now, nil
 	}
 	tmp := make([]byte, span.Len)
-	done, err := h.c.access("read", h.f, []datatype.Seg{span}, nil, tmp, now)
+	done, err := h.c.access("read", h.f, []datatype.Seg{span}, nil, tmp, true, now)
 	if err != nil {
-		return now, err
+		var pe *PartialError
+		if errors.As(err, &pe) {
+			// The span read stopped short. Translate Written from span
+			// bytes into useful bytes: gather the fully-read prefix of
+			// the segments so the caller can resume from there.
+			cut := span.Off + pe.Written
+			var got, pos int64
+			for _, s := range segs {
+				end := s.End()
+				if end > cut {
+					end = cut
+				}
+				if end <= s.Off {
+					break
+				}
+				n := end - s.Off
+				copy(buf[pos:pos+n], tmp[s.Off-span.Off:s.Off-span.Off+n])
+				got += n
+				pos += n
+				if end < s.End() {
+					break
+				}
+			}
+			return done, fmt.Errorf("pfs: read %q: %w", h.f.name, &PartialError{Written: got})
+		}
+		return done, err
 	}
 	pos := int64(0)
 	for _, s := range segs {

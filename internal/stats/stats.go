@@ -323,6 +323,15 @@ const (
 	CCacheFlushes    = "cache_flushes"    // dirty pages flushed
 	CRMWPages        = "rmw_pages"        // read-modify-write page penalties
 
+	// Fault-tolerance counters.
+	CFaultsInjected = "faults_injected" // faults the schedule injected into this rank's ops
+	CRetries        = "io_retries"      // transient-error retries issued
+	CPartialResumes = "io_resumes"      // partial-transfer tail resumptions
+	CGiveups        = "io_giveups"      // operations abandoned after exhausting the retry policy
+	CDegradedRounds = "degraded_rounds" // collective rounds re-issued with naive I/O after a sieve fault
+	CStormRevokes   = "storm_revokes"   // extra lock revokes charged by revoke storms
+	CBrownoutServes = "brownout_serves" // OST requests served slower due to a brownout
+
 	// Phases.
 	PFlatten  = "flatten"     // datatype flattening / request generation
 	PExchange = "exchange"    // access-description exchange
@@ -330,4 +339,5 @@ const (
 	PIO       = "io"          // file system access (client-observed, incl. queueing)
 	PServe    = "ost_service" // raw OST service time consumed by this client's requests
 	PCopy     = "copy"        // pack/unpack and buffer copies
+	PBackoff  = "backoff"     // virtual time spent backing off between retries
 )

@@ -258,12 +258,14 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		}
 	}
 
-	// On an I/O error the rank keeps participating in every round's
-	// exchange (deserting a collective deadlocks the communicator) and
-	// reports the first error at the end.
+	// On an I/O error the rank keeps participating in the round's
+	// exchange (deserting a collective deadlocks the communicator); at
+	// each round boundary all ranks agree on the worst error class and
+	// either all continue or all abort with the same error.
 	var firstErr error
 
 	for r := 0; r < ntimes; r++ {
+		f.SetRound(r)
 		tag := tagData + r%1024
 		if amAgg {
 			p.Trace.Begin(p.Clock(), trace.RoundSpan,
@@ -411,11 +413,8 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 						concat = append(concat, e.data...)
 					}
 					if firstErr == nil {
-						done, err := f.Handle().SieveWrite(span, segs, concat, p.Clock())
-						if err != nil {
+						if err := f.WriteSieve(span, segs, concat); err != nil {
 							firstErr = fmt.Errorf("twophase: round %d: %w", r, err)
-						} else {
-							p.SyncClock(done)
 						}
 					}
 					p.Stats.AddTime(stats.PIO, p.Clock()-tio)
@@ -424,11 +423,8 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 					p.Trace.Begin(tio, stats.PIO, trace.S("op", "read"), trace.I(trace.BytesTag, total))
 					rbuf := make([]byte, total)
 					if firstErr == nil {
-						done, err := f.Handle().SieveRead(span, segs, rbuf, p.Clock())
-						if err != nil {
+						if err := f.ReadSieve(span, segs, rbuf); err != nil {
 							firstErr = fmt.Errorf("twophase: round %d: %w", r, err)
-						} else {
-							p.SyncClock(done)
 						}
 					}
 					p.Stats.AddTime(stats.PIO, p.Clock()-tio)
@@ -469,14 +465,19 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			p.Trace.End(p.Clock())
 		}
 		p.Trace.End(p.Clock()) // round span
+
+		// Round boundary: agree on the worst error class so every rank
+		// aborts (or continues) together.
+		if err := mpiio.AgreeError(p, firstErr); err != nil {
+			f.SetRound(-1)
+			return err
+		}
 	}
+	f.SetRound(-1)
 
 	// Collective calls leave all ranks synchronized.
 	p.Barrier()
 
-	if firstErr != nil {
-		return firstErr
-	}
 	if !write {
 		return f.UnpackMemory(stream, buf, memtype, count)
 	}
