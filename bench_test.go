@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"testing"
 
+	"flexio/internal/benchsuite"
 	"flexio/internal/colltest"
 	"flexio/internal/core"
 	"flexio/internal/datatype"
@@ -21,6 +22,20 @@ import (
 	"flexio/internal/sim"
 	"flexio/internal/twophase"
 )
+
+// --- Tracked collective matrix: the BENCH_PR3.json trajectory ---
+//
+// One sub-benchmark per tracked configuration (2 engines x 2 comm
+// strategies x read/write, plus the PFR steady-state points). Allocation
+// reporting is on; `flexio-bench -benchjson` runs the same matrix and
+// records it to the committed trajectory.
+
+func BenchmarkCollectiveMatrix(b *testing.B) {
+	for _, cfg := range benchsuite.Default() {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) { benchsuite.Run(b, cfg) })
+	}
+}
 
 // benchWrite runs one collective write per iteration and reports the
 // virtual bandwidth of the last run.

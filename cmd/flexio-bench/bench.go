@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+
+	"flexio/internal/benchsuite"
+)
+
+// runBenchSuite measures the tracked benchmark matrix and either records
+// the results under a label in a JSON trajectory (-benchjson) or gates
+// against the committed "after" entries (-benchcheck). Both at once is
+// allowed: CI records its fresh numbers as an artifact and still fails on
+// regression.
+func runBenchSuite(jsonPath, label, checkPath string) error {
+	results, err := benchsuite.MeasureAll(func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		f, err := benchsuite.Load(jsonPath)
+		if err != nil {
+			return err
+		}
+		f.Set(label, results)
+		if err := f.Save(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d benchmark results under %q in %s\n", len(results), label, jsonPath)
+	}
+	if checkPath != "" {
+		f, err := benchsuite.Load(checkPath)
+		if err != nil {
+			return err
+		}
+		baseline := f.Results["after"]
+		if len(baseline) == 0 {
+			return fmt.Errorf("benchcheck: %s has no 'after' entries to regress against", checkPath)
+		}
+		problems := benchsuite.Compare(baseline, results, 0.20, 8)
+		for _, p := range problems {
+			fmt.Printf("benchcheck: %s\n", p)
+		}
+		if len(problems) > 0 {
+			return fmt.Errorf("benchcheck: %d regression(s) against %s", len(problems), checkPath)
+		}
+		fmt.Printf("benchcheck: all %d configurations within 20%% of the committed baseline\n", len(results))
+	}
+	return nil
+}

@@ -33,7 +33,18 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "print the last experiment's per-phase/per-round trace breakdown")
 	chaosRun := flag.Bool("chaos", false, "run the deterministic fault-injection scenario matrix instead of the figures")
 	chaosTraces := flag.String("chaostraces", "", "directory to write failing chaos scenarios' Chrome traces into")
+	benchJSON := flag.String("benchjson", "", "run the tracked benchmark matrix and merge results into this JSON trajectory file")
+	benchLabel := flag.String("benchlabel", "after", "label to store -benchjson results under (e.g. before, after, ci)")
+	benchCheck := flag.String("benchcheck", "", "run the tracked benchmark matrix and fail if allocs/op regress >20% against the 'after' entries of this JSON file")
 	flag.Parse()
+
+	if *benchJSON != "" || *benchCheck != "" {
+		if err := runBenchSuite(*benchJSON, *benchLabel, *benchCheck); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *chaosRun {
 		logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }

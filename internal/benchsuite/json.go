@@ -1,0 +1,158 @@
+package benchsuite
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+)
+
+// Result is one measured benchmark point, as committed to the trajectory
+// file.
+type Result struct {
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	VirtSecPerOp float64 `json:"virt_sec_per_op"`
+}
+
+// File is the on-disk trajectory: label ("before", "after", ...) to the
+// full matrix measured under that label. Labels accumulate, so the file
+// carries the perf history PR over PR.
+type File struct {
+	Note    string              `json:"note,omitempty"`
+	Results map[string][]Result `json:"results"`
+}
+
+// Measure runs one config under testing.Benchmark and extracts the tracked
+// metrics.
+func Measure(cfg Config) (Result, error) {
+	var failed bool
+	r := testing.Benchmark(func(b *testing.B) {
+		defer func() {
+			if recover() != nil {
+				failed = true
+				b.SkipNow()
+			}
+		}()
+		Run(b, cfg)
+	})
+	if failed || r.N == 0 {
+		return Result{}, fmt.Errorf("benchsuite: %s failed to run", cfg.Name)
+	}
+	return Result{
+		Name:         cfg.Name,
+		NsPerOp:      float64(r.NsPerOp()),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+		AllocsPerOp:  r.AllocsPerOp(),
+		VirtSecPerOp: r.Extra["virt-s/op"],
+	}, nil
+}
+
+// MeasureAll measures every config in the default matrix.
+func MeasureAll(logf func(format string, args ...any)) ([]Result, error) {
+	var out []Result
+	for _, cfg := range Default() {
+		res, err := Measure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if logf != nil {
+			logf("%-30s %12.0f ns/op %10d B/op %8d allocs/op %.6f virt-s/op",
+				res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.VirtSecPerOp)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Load reads a trajectory file; a missing file yields an empty trajectory.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &File{Results: map[string][]Result{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchsuite: parse %s: %w", path, err)
+	}
+	if f.Results == nil {
+		f.Results = map[string][]Result{}
+	}
+	return &f, nil
+}
+
+// Save writes the trajectory with stable formatting (sorted labels come
+// free with encoding/json map ordering; results keep measurement order).
+func (f *File) Save(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Set replaces the results stored under label.
+func (f *File) Set(label string, results []Result) {
+	if f.Results == nil {
+		f.Results = map[string][]Result{}
+	}
+	f.Results[label] = results
+}
+
+// Get returns the result for name under label.
+func (f *File) Get(label, name string) (Result, bool) {
+	for _, r := range f.Results[label] {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// Compare checks fresh results against the committed baseline label and
+// returns one error line per regression: allocs/op more than tolFrac worse
+// (with a small absolute grace of graceAllocs to keep tiny counts from
+// flapping). Names present only on one side are reported too, so the gate
+// notices a silently dropped config.
+func Compare(baseline []Result, fresh []Result, tolFrac float64, graceAllocs int64) []string {
+	base := map[string]Result{}
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var problems []string
+	seen := map[string]bool{}
+	for _, r := range fresh {
+		seen[r.Name] = true
+		b, ok := base[r.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: no committed baseline entry", r.Name))
+			continue
+		}
+		limit := b.AllocsPerOp + int64(float64(b.AllocsPerOp)*tolFrac)
+		if limit < b.AllocsPerOp+graceAllocs {
+			limit = b.AllocsPerOp + graceAllocs
+		}
+		if r.AllocsPerOp > limit {
+			problems = append(problems, fmt.Sprintf(
+				"%s: allocs/op regressed: %d > limit %d (baseline %d, tolerance %.0f%%)",
+				r.Name, r.AllocsPerOp, limit, b.AllocsPerOp, tolFrac*100))
+		}
+	}
+	var missing []string
+	for name := range base {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		problems = append(problems, fmt.Sprintf("%s: committed baseline entry was not measured", name))
+	}
+	return problems
+}

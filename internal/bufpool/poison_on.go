@@ -1,0 +1,29 @@
+//go:build bufpooldebug
+
+package bufpool
+
+import "fmt"
+
+// Debug reports whether poison checking is compiled in.
+const Debug = true
+
+// poisonByte fills every released buffer. A holder of a stale alias either
+// reads poison (wrong data, caught by the harness image checks) or writes
+// over it (caught by checkPoison on the next Get of that buffer).
+const poisonByte = 0xDB
+
+func poison(b []byte) {
+	for i := range b {
+		b[i] = poisonByte
+	}
+}
+
+func checkPoison(b []byte) {
+	for i, v := range b {
+		if v != poisonByte {
+			panic(fmt.Sprintf(
+				"bufpool: buffer (cap %d) modified after Put: byte %d is %#02x, want %#02x — a released buffer was written through a stale alias",
+				cap(b), i, v, poisonByte))
+		}
+	}
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
+	"flexio/internal/bufpool"
 	"flexio/internal/datatype"
 	"flexio/internal/mpi"
 	"flexio/internal/mpiio"
@@ -87,9 +89,61 @@ type Options struct {
 	Validate bool
 }
 
-// Impl implements mpiio.Collective.
+// Impl implements mpiio.Collective. One Impl is shared by every rank
+// goroutine of a world; the memo cache is locked, and mutable per-call
+// scratch is segregated per rank. Because scratch is keyed by rank index,
+// a single Impl must not serve two concurrently running worlds — give
+// each simulation its own engine instance (the global buffer pools are
+// still shared).
 type Impl struct {
-	o Options
+	o    Options
+	memo memoCache
+
+	mu      sync.Mutex
+	scratch []*rankScratch
+}
+
+// rankScratch is one rank's reusable working memory across collective
+// calls: the merge outputs, exchange bookkeeping, and iovec tables that
+// would otherwise be reallocated every round. A rank never holds these
+// across a rendezvous where a peer could still read them — everything
+// here is either rank-private or consumed by peers before the round's
+// closing collective (see the ownership notes in writeRounds/readRounds).
+type rankScratch struct {
+	allSt, allEn []int64
+	msgs         [][]byte
+	entries      []entry
+	segs         []datatype.Seg
+	payload      map[int][]byte
+	iov          [][][]byte
+	reqs         []*mpi.Request
+	from         []int
+	heap         realmHeap
+}
+
+func (i *Impl) scratchFor(rank int) *rankScratch {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	for len(i.scratch) <= rank {
+		i.scratch = append(i.scratch, nil)
+	}
+	if i.scratch[rank] == nil {
+		i.scratch[rank] = &rankScratch{payload: make(map[int][]byte)}
+	}
+	return i.scratch[rank]
+}
+
+// sized returns s truncated/grown to n entries, reusing capacity.
+func sized[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for k := range s {
+		s[k] = zero
+	}
+	return s
 }
 
 // New builds an engine with the given options.
@@ -175,29 +229,36 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		naggs = p.Size()
 	}
 	amAgg := p.Rank() < naggs
+	scr := i.scratchFor(p.Rank())
 
 	// --- Linearize user data and describe the access succinctly. ---
+	// The stream is pooled; it is recycled on return, which is safe even
+	// for the exchange paths that hand peers views of it, because the
+	// closing Barrier/AgreeError rendezvous orders every consumer before
+	// the return.
 	dataLen := datatype.TotalSize(memtype, count)
 	var stream []byte
 	if write {
+		stream = bufpool.Get(dataLen)[:0]
+		var err error
 		if i.o.Comm == Alltoallw {
 			// Alltoallw communicates directly from the user buffer:
 			// the linearization is free of charge.
-			var err error
-			stream, err = datatype.Pack(buf, memtype, 0, count)
-			if err != nil {
-				return err
-			}
+			stream, err = datatype.AppendPack(stream, buf, memtype, 0, count)
 		} else {
-			var err error
-			stream, err = f.PackMemory(buf, memtype, count)
-			if err != nil {
-				return err
-			}
+			stream, err = f.PackMemoryInto(stream, buf, memtype, count)
+		}
+		if err != nil {
+			bufpool.Put(stream)
+			return err
 		}
 	} else {
-		stream = make([]byte, dataLen)
+		// Reads scatter aggregator payloads over the whole stream; the
+		// zero fill keeps any byte the realms happen not to cover
+		// byte-identical to a fresh allocation.
+		stream = bufpool.GetZero(dataLen)
 	}
+	defer func() { bufpool.Put(stream) }()
 
 	view := f.View()
 	ftSize := view.Filetype.Size()
@@ -218,9 +279,12 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		st, en = f.AccessBounds(dataLen)
 	}
 	t0 := p.Clock()
-	p.Trace.Begin(t0, stats.PExchange, trace.S("what", "bounds"))
-	allSt := p.AllgatherInt64(st)
-	allEn := p.AllgatherInt64(en)
+	p.Trace.Begin1(t0, stats.PExchange, trace.S("what", "bounds"))
+	scr.allSt = sized(scr.allSt, p.Size())
+	scr.allEn = sized(scr.allEn, p.Size())
+	allSt, allEn := scr.allSt, scr.allEn
+	p.AllgatherInt64Into(st, allSt)
+	p.AllgatherInt64Into(en, allEn)
 	aarSt, aarEn := int64(1<<62), int64(-1)
 	for r := 0; r < p.Size(); r++ {
 		if allSt[r] < aarSt {
@@ -247,41 +311,88 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		}
 	}
 
-	// --- Request exchange: flattened filetypes (O(D) on the wire) or
-	// constructor trees (smaller still for regular nested types). ---
-	t0 = p.Clock()
-	p.Trace.Begin(t0, stats.PExchange, trace.S("what", "requests"))
-	var enc []byte
-	if i.o.TreeRequests {
-		enc = encodeTreeRequest(view.Filetype, myFlat.Disp, myFlat.Count, myFlat.Limit)
+	// --- Memoized layout lookup (client side). The key pins everything
+	// the piece lists depend on; see memo.go for the invalidation rules.
+	// On a hit, the request encoding and intersections are reused and the
+	// ChargePairs sequence the miss path would issue is replayed verbatim,
+	// so virtual time and stats are unaffected.
+	sig := realmSignature(realms)
+	ck := clientKey{rank: p.Rank(), ft: view.Filetype, disp: view.Disp,
+		dataLen: dataLen, cb: cb, naggs: naggs, sig: sig}
+	ce := i.memo.getClient(ck)
+	clientHit := ce != nil
+	if clientHit {
+		p.Stats.Add(stats.CIsectCacheHits, 1)
+		p.Trace.Instant2(p.Clock(), "isect_cache",
+			trace.S("side", "client"), trace.S("result", "hit"))
 	} else {
-		enc = myFlat.Encode()
+		p.Stats.Add(stats.CIsectCacheMisses, 1)
+		p.Trace.Instant2(p.Clock(), "isect_cache",
+			trace.S("side", "client"), trace.S("result", "miss"))
+		ce = &clientEntry{}
+		if i.o.TreeRequests {
+			ce.enc = encodeTreeRequest(view.Filetype, myFlat.Disp, myFlat.Count, myFlat.Limit)
+		} else {
+			ce.enc = myFlat.Encode()
+		}
 	}
+
+	// --- Request exchange: flattened filetypes (O(D) on the wire) or
+	// constructor trees (smaller still for regular nested types). The
+	// exchange itself always happens — only the decoding is memoizable,
+	// keyed by a hash of the bytes actually received. ---
+	t0 = p.Clock()
+	p.Trace.Begin1(t0, stats.PExchange, trace.S("what", "requests"))
 	for a := 0; a < naggs; a++ {
-		p.Stats.Add(stats.CReqBytes, int64(len(enc)))
-		p.Send(a, tagFlat, enc)
+		p.Stats.Add(stats.CReqBytes, int64(len(ce.enc)))
+		p.Send(a, tagFlat, ce.enc)
 	}
+	var ae *aggEntry
+	var ak aggKey
+	aggHit := false
 	var flats []datatype.Flat
 	if amAgg {
-		flats = make([]datatype.Flat, p.Size())
-		var expand int64
+		scr.msgs = sized(scr.msgs, p.Size())
+		h := uint64(fnvOffset)
 		for c := 0; c < p.Size(); c++ {
 			msg, _ := p.Recv(c, tagFlat)
-			var fl datatype.Flat
-			var err error
-			if i.o.TreeRequests {
-				var work int64
-				fl, work, err = decodeTreeRequest(msg)
-				expand += work
-			} else {
-				fl, err = datatype.DecodeFlat(msg)
-			}
-			if err != nil {
-				return fmt.Errorf("core: bad request from rank %d: %w", c, err)
-			}
-			flats[c] = fl
+			scr.msgs[c] = msg
+			h = fnvInt64(h, int64(len(msg)))
+			h = fnvBytes(h, msg)
 		}
-		f.ChargePairs(expand)
+		ak = aggKey{rank: p.Rank(), req: h, cb: cb, naggs: naggs, sig: sig}
+		ae = i.memo.getAgg(ak)
+		aggHit = ae != nil
+		if aggHit {
+			p.Stats.Add(stats.CIsectCacheHits, 1)
+			p.Trace.Instant2(p.Clock(), "isect_cache",
+				trace.S("side", "agg"), trace.S("result", "hit"))
+			f.ChargePairs(ae.charges[0]) // tree-expansion replay
+		} else {
+			p.Stats.Add(stats.CIsectCacheMisses, 1)
+			p.Trace.Instant2(p.Clock(), "isect_cache",
+				trace.S("side", "agg"), trace.S("result", "miss"))
+			ae = &aggEntry{}
+			flats = make([]datatype.Flat, p.Size())
+			var expand int64
+			for c, msg := range scr.msgs {
+				var fl datatype.Flat
+				var err error
+				if i.o.TreeRequests {
+					var work int64
+					fl, work, err = decodeTreeRequest(msg)
+					expand += work
+				} else {
+					fl, err = datatype.DecodeFlat(msg)
+				}
+				if err != nil {
+					return fmt.Errorf("core: bad request from rank %d: %w", c, err)
+				}
+				flats[c] = fl
+			}
+			f.ChargePairs(expand)
+			ae.charges = append(ae.charges, expand)
+		}
 	}
 	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
 	p.Trace.End(p.Clock())
@@ -289,59 +400,82 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	// --- Client-side intersection: my access against every realm. ---
 	// Flatten time is charged (and traced) by the ChargePairs calls below;
 	// no blanket interval here, or the pair processing would count twice.
-	myPieces := make([]*roundPieces, naggs)
-	if dataLen > 0 {
-		if i.o.HeapMerge {
-			perAgg := make([][]piece, naggs)
-			ac := myFlat.Cursor()
-			rcs := make([]*datatype.Cursor, naggs)
-			var rwork int64
-			for a := range realms {
-				rcs[a] = realms[a].Cursor()
-			}
-			hw := heapMerge(ac, rcs, cb, func(a int, pc piece) {
-				perAgg[a] = append(perAgg[a], pc)
-			})
-			for _, rc := range rcs {
-				rwork += rc.Work()
-			}
-			f.ChargePairs(ac.Work() + rwork + hw)
-			for a := range perAgg {
-				myPieces[a] = groupRounds(perAgg[a])
-			}
-		} else {
-			// The paper's base client algorithm: one pass over the
-			// access per aggregator — O(M·A) for enumerated
-			// filetypes, near O(M) for succinct ones thanks to
-			// instance skipping.
-			for a := 0; a < naggs; a++ {
+	if !clientHit {
+		ce.pieces = make([]*roundPieces, naggs)
+		if dataLen > 0 {
+			if i.o.HeapMerge {
+				perAgg := make([][]piece, naggs)
 				ac := myFlat.Cursor()
-				rc := realms[a].Cursor()
-				var ps []piece
-				intersect(ac, rc, cb, func(pc piece) { ps = append(ps, pc) })
-				f.ChargePairs(ac.Work() + rc.Work())
-				myPieces[a] = groupRounds(ps)
+				rcs := make([]*datatype.Cursor, naggs)
+				var rwork int64
+				for a := range realms {
+					rcs[a] = realms[a].Cursor()
+				}
+				hw := heapMerge(&scr.heap, ac, rcs, cb, func(a int, pc piece) {
+					perAgg[a] = append(perAgg[a], pc)
+				})
+				for _, rc := range rcs {
+					rwork += rc.Work()
+				}
+				w := ac.Work() + rwork + hw
+				f.ChargePairs(w)
+				ce.charges = append(ce.charges, w)
+				for a := range perAgg {
+					ce.pieces[a] = groupRounds(perAgg[a])
+				}
+			} else {
+				// The paper's base client algorithm: one pass over the
+				// access per aggregator — O(M·A) for enumerated
+				// filetypes, near O(M) for succinct ones thanks to
+				// instance skipping.
+				for a := 0; a < naggs; a++ {
+					ac := myFlat.Cursor()
+					rc := realms[a].Cursor()
+					var ps []piece
+					intersect(ac, rc, cb, func(pc piece) { ps = append(ps, pc) })
+					w := ac.Work() + rc.Work()
+					f.ChargePairs(w)
+					ce.charges = append(ce.charges, w)
+					ce.pieces[a] = groupRounds(ps)
+				}
 			}
 		}
+		i.memo.putClient(ck, ce)
+	} else {
+		for _, n := range ce.charges {
+			f.ChargePairs(n)
+		}
 	}
+	myPieces := ce.pieces
 
 	// --- Aggregator-side intersection: every client's filetype against
 	// my realm. ---
 	var aggPieces []*roundPieces
 	myRounds := 0
 	if amAgg {
-		aggPieces = make([]*roundPieces, p.Size())
-		for c := 0; c < p.Size(); c++ {
-			ac := flats[c].Cursor()
-			rc := realms[p.Rank()].Cursor()
-			var ps []piece
-			intersect(ac, rc, cb, func(pc piece) { ps = append(ps, pc) })
-			f.ChargePairs(ac.Work() + rc.Work())
-			aggPieces[c] = groupRounds(ps)
-			if aggPieces[c].rounds > myRounds {
-				myRounds = aggPieces[c].rounds
+		if !aggHit {
+			ae.pieces = make([]*roundPieces, p.Size())
+			for c := 0; c < p.Size(); c++ {
+				ac := flats[c].Cursor()
+				rc := realms[p.Rank()].Cursor()
+				var ps []piece
+				intersect(ac, rc, cb, func(pc piece) { ps = append(ps, pc) })
+				w := ac.Work() + rc.Work()
+				f.ChargePairs(w)
+				ae.charges = append(ae.charges, w)
+				ae.pieces[c] = groupRounds(ps)
+				if ae.pieces[c].rounds > ae.rounds {
+					ae.rounds = ae.pieces[c].rounds
+				}
+			}
+			i.memo.putAgg(ak, ae)
+		} else {
+			for _, n := range ae.charges[1:] {
+				f.ChargePairs(n)
 			}
 		}
+		aggPieces = ae.pieces
+		myRounds = ae.rounds
 	}
 
 	ntimes := int(p.AllreduceMaxInt64(int64(myRounds)))
@@ -366,9 +500,9 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	}
 
 	if write {
-		err = i.writeRounds(f, stream, realms, myPieces, aggPieces, ntimes, naggs, method)
+		err = i.writeRounds(f, scr, stream, realms, myPieces, aggPieces, ntimes, naggs, method)
 	} else {
-		err = i.readRounds(f, stream, realms, myPieces, aggPieces, ntimes, naggs, method)
+		err = i.readRounds(f, scr, stream, realms, myPieces, aggPieces, ntimes, naggs, method)
 	}
 
 	// Synchronize before reporting: a rank that hit a local I/O error
@@ -431,7 +565,15 @@ func (i *Impl) gatherAllSegs(f *mpiio.File, dataLen int64) []datatype.Seg {
 		}
 		merged = append(merged, segs...)
 	}
-	sort.Slice(merged, func(a, b int) bool { return merged[a].Off < merged[b].Off })
+	slices.SortFunc(merged, func(a, b datatype.Seg) int {
+		switch {
+		case a.Off < b.Off:
+			return -1
+		case a.Off > b.Off:
+			return 1
+		}
+		return 0
+	})
 	out := merged[:0]
 	for _, s := range merged {
 		if n := len(out); n > 0 && s.Off <= out[n-1].End() {
@@ -453,8 +595,35 @@ type entry struct {
 	data   []byte // write payload slice (nil for reads until filled)
 }
 
-func mergeEntries(perClient []*roundPieces, r int, payload map[int][]byte) ([]entry, []datatype.Seg, int64) {
-	var entries []entry
+// finishEntries sorts the round's entries into file-offset order and
+// coalesces them into I/O segments, persisting the grown slices back into
+// the scratch for the next round.
+func finishEntries(scr *rankScratch, entries []entry) ([]entry, []datatype.Seg, int64) {
+	slices.SortFunc(entries, func(x, y entry) int {
+		switch {
+		case x.seg.Off < y.seg.Off:
+			return -1
+		case x.seg.Off > y.seg.Off:
+			return 1
+		}
+		return 0
+	})
+	segs := scr.segs[:0]
+	var total int64
+	for _, e := range entries {
+		if n := len(segs); n > 0 && segs[n-1].End() == e.seg.Off {
+			segs[n-1].Len += e.seg.Len
+		} else {
+			segs = append(segs, e.seg)
+		}
+		total += e.seg.Len
+	}
+	scr.entries, scr.segs = entries, segs
+	return entries, segs, total
+}
+
+func mergeEntries(scr *rankScratch, perClient []*roundPieces, r int, payload map[int][]byte) ([]entry, []datatype.Seg, int64) {
+	entries := scr.entries[:0]
 	for c, rp := range perClient {
 		ps := rp.of(r)
 		if len(ps) == 0 {
@@ -471,22 +640,29 @@ func mergeEntries(perClient []*roundPieces, r int, payload map[int][]byte) ([]en
 			entries = append(entries, e)
 		}
 	}
-	sort.Slice(entries, func(x, y int) bool { return entries[x].seg.Off < entries[y].seg.Off })
-	segs := make([]datatype.Seg, 0, len(entries))
-	var total int64
-	for _, e := range entries {
-		if n := len(segs); n > 0 && segs[n-1].End() == e.seg.Off {
-			segs[n-1].Len += e.seg.Len
-		} else {
-			segs = append(segs, e.seg)
+	return finishEntries(scr, entries)
+}
+
+// mergeEntriesIov is mergeEntries for the iovec exchange: recv[c] holds
+// one view per round-r piece of client c, in piece order, aliasing the
+// sender's memory.
+func mergeEntriesIov(scr *rankScratch, perClient []*roundPieces, r int, recv [][][]byte) ([]entry, []datatype.Seg, int64) {
+	entries := scr.entries[:0]
+	for c, rp := range perClient {
+		ps := rp.of(r)
+		if len(ps) == 0 {
+			continue
 		}
-		total += e.seg.Len
+		views := recv[c]
+		for k, pc := range ps {
+			entries = append(entries, entry{seg: pc.file, client: c, data: views[k]})
+		}
 	}
-	return entries, segs, total
+	return finishEntries(scr, entries)
 }
 
 // clientPayload builds the data a client contributes to aggregator a in
-// round r.
+// round r, in a pooled buffer whose ownership passes to the receiver.
 func clientPayload(stream []byte, rp *roundPieces, r int) []byte {
 	ps := rp.of(r)
 	if len(ps) == 0 {
@@ -496,14 +672,37 @@ func clientPayload(stream []byte, rp *roundPieces, r int) []byte {
 	for _, pc := range ps {
 		total += pc.file.Len
 	}
-	out := make([]byte, 0, total)
+	out := bufpool.Get(total)[:0]
 	for _, pc := range ps {
 		out = append(out, stream[pc.aStream:pc.aStream+pc.file.Len]...)
 	}
 	return out
 }
 
-func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
+// pieceViews appends one view of the stream per round-r piece: the iovec
+// the Alltoallw transport gathers directly, with no client-side copy.
+func pieceViews(dst [][]byte, stream []byte, rp *roundPieces, r int) [][]byte {
+	for _, pc := range rp.of(r) {
+		dst = append(dst, stream[pc.aStream:pc.aStream+pc.file.Len])
+	}
+	return dst
+}
+
+// roundIov returns the scratch iovec table truncated to one empty
+// per-rank slot, reusing the inner slices' capacity.
+func roundIov(scr *rankScratch, size int) [][][]byte {
+	if cap(scr.iov) < size {
+		scr.iov = make([][][]byte, size)
+	}
+	iov := scr.iov[:size]
+	for k := range iov {
+		iov[k] = iov[k][:0]
+	}
+	scr.iov = iov
+	return iov
+}
+
+func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realms []realm.Realm,
 	myPieces []*roundPieces, aggPieces []*roundPieces, ntimes, naggs int, method mpiio.Method) error {
 
 	p := f.Proc()
@@ -515,65 +714,68 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 	// (deserting a collective would deadlock the communicator); at each
 	// round boundary all ranks agree on the worst error class and either
 	// all continue or all abort with the same error.
+	//
+	// pendSegs aliases the rank scratch; the pipeline is safe because
+	// flush always runs before the next round's merge refills it.
 	var pendSegs []datatype.Seg
 	var pendData []byte
 	var firstErr error
 
 	flush := func(round int) {
 		if len(pendSegs) == 0 || firstErr != nil {
+			bufpool.Put(pendData)
 			pendSegs, pendData = nil, nil
 			return
 		}
 		err := f.WriteStream(pendSegs, pendData, method)
 		if err != nil && i.o.Degraded && method == mpiio.DataSieve {
 			p.Stats.Add(stats.CDegradedRounds, 1)
-			p.Trace.Instant(p.Clock(), "degrade",
+			p.Trace.Instant2(p.Clock(), "degrade",
 				trace.I(trace.RoundTag, int64(round)), trace.S("op", "write"))
 			err = f.WriteStream(pendSegs, pendData, mpiio.Naive)
 		}
 		if err != nil {
 			firstErr = fmt.Errorf("core: write round %d: %w", round, err)
 		}
+		bufpool.Put(pendData)
 		pendSegs, pendData = nil, nil
 	}
 
 	for r := 0; r < ntimes; r++ {
 		f.SetRound(r)
 		if amAgg {
-			p.Trace.Begin(p.Clock(), trace.RoundSpan,
+			p.Trace.Begin2(p.Clock(), trace.RoundSpan,
 				trace.I(trace.RoundTag, int64(r)), trace.I(trace.AggTag, int64(p.Rank())))
 		} else {
-			p.Trace.Begin(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(r)))
+			p.Trace.Begin1(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(r)))
 		}
 		var payload map[int][]byte
+		var recvIov [][][]byte
 
 		if i.o.Comm == Alltoallw {
-			send := make([][]byte, p.Size())
+			// Iovec exchange: the transport gathers views of the user
+			// stream directly — no client-side payload copy at all. The
+			// views are dead before this rank reuses the iovec table or
+			// the stream, because the aggregators consume them before
+			// the round's closing AgreeError.
+			send := roundIov(scr, p.Size())
 			for a := 0; a < naggs; a++ {
 				if myPieces[a] != nil {
-					send[a] = clientPayload(stream, myPieces[a], r)
+					send[a] = pieceViews(send[a], stream, myPieces[a], r)
 				}
 			}
 			t0 := p.Clock()
-			p.Trace.Begin(t0, stats.PComm, trace.S("what", "alltoallv"))
-			recv := p.Alltoallv(send)
+			p.Trace.Begin1(t0, stats.PComm, trace.S("what", "alltoallv"))
+			recvIov = p.AlltoallvIov(send)
 			p.Stats.AddTime(stats.PComm, p.Clock()-t0)
 			p.Trace.End(p.Clock())
-			if amAgg {
-				payload = make(map[int][]byte)
-				for c := 0; c < p.Size(); c++ {
-					if aggPieces[c].bytes(r) > 0 {
-						payload[c] = recv[c]
-					}
-				}
-			}
 		} else {
 			// Nonblocking: post receives, send, then overlap the
 			// previous round's file I/O with the incoming data.
 			t0 := p.Clock()
-			p.Trace.Begin(t0, stats.PComm, trace.S("what", "post+send"))
-			var reqs []*mpi.Request
-			var from []int
+			p.Trace.Begin1(t0, stats.PComm, trace.S("what", "post+send"))
+			reqs := scr.reqs[:0]
+			from := scr.from[:0]
 			if amAgg {
 				for c := 0; c < p.Size(); c++ {
 					if aggPieces[c].bytes(r) > 0 {
@@ -588,10 +790,12 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 				}
 				if msg := clientPayload(stream, myPieces[a], r); msg != nil {
 					d := cfg.MemcpyTime(int64(len(msg)))
-					p.Trace.Begin(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, int64(len(msg))))
+					p.Trace.Begin1(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, int64(len(msg))))
 					p.AdvanceClock(d)
 					p.Stats.AddTime(stats.PCopy, d)
 					p.Trace.End(p.Clock())
+					// Ownership of the pooled msg passes to the
+					// receiving aggregator here.
 					p.Isend(a, tagData+r%1024, msg)
 				}
 			}
@@ -603,9 +807,10 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 			flush(r - 1)
 
 			t0 = p.Clock()
-			p.Trace.Begin(t0, stats.PComm, trace.S("what", "waitall"))
+			p.Trace.Begin1(t0, stats.PComm, trace.S("what", "waitall"))
 			if amAgg {
-				payload = make(map[int][]byte)
+				payload = scr.payload
+				clear(payload)
 				data := mpi.Waitall(reqs)
 				for k, c := range from {
 					payload[c] = data[k]
@@ -613,22 +818,31 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 			}
 			p.Stats.AddTime(stats.PComm, p.Clock()-t0)
 			p.Trace.End(p.Clock())
+			scr.reqs, scr.from = reqs[:0], from[:0]
 		}
 
 		if amAgg {
-			entries, segs, total := mergeEntries(aggPieces, r, payload)
+			var entries []entry
+			var segs []datatype.Seg
+			var total int64
+			if i.o.Comm == Alltoallw {
+				entries, segs, total = mergeEntriesIov(scr, aggPieces, r, recvIov)
+			} else {
+				entries, segs, total = mergeEntries(scr, aggPieces, r, payload)
+			}
 			if total > 0 {
-				p.Trace.Instant(p.Clock(), "round_bytes",
+				p.Trace.Instant2(p.Clock(), "round_bytes",
 					trace.I(trace.RoundTag, int64(r)), trace.I(trace.BytesTag, total))
 				// Assemble the collective buffer (gap-free: only
 				// useful data, unlike the integrated sieve buffer).
-				concat := make([]byte, 0, total)
+				// This is the single gather of the iovec path.
+				concat := bufpool.Get(total)[:0]
 				for _, e := range entries {
 					concat = append(concat, e.data...)
 				}
 				if i.o.Comm != Alltoallw {
 					d := cfg.MemcpyTime(total)
-					p.Trace.Begin(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, total))
+					p.Trace.Begin1(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, total))
 					p.AdvanceClock(d)
 					p.Stats.AddTime(stats.PCopy, d)
 					p.Trace.End(p.Clock())
@@ -639,12 +853,20 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 					flush(r)
 				}
 			}
+			// The received nonblocking payloads are gathered into the
+			// collective buffer above; this rank, as their receiver,
+			// recycles them.
+			for c, b := range payload {
+				bufpool.Put(b)
+				delete(payload, c)
+			}
 		}
 		p.Trace.End(p.Clock()) // round span
 
 		// Round boundary: agree on the worst error class so every rank
 		// aborts (or continues) together.
 		if err := mpiio.AgreeError(p, firstErr); err != nil {
+			bufpool.Put(pendData)
 			f.SetRound(-1)
 			return err
 		}
@@ -652,14 +874,14 @@ func (i *Impl) writeRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 	// The last round's pipelined write lands outside the loop; give it its
 	// own round wrapper so the breakdown attributes the I/O correctly.
 	f.SetRound(ntimes - 1)
-	p.Trace.Begin(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(ntimes-1)))
+	p.Trace.Begin1(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(ntimes-1)))
 	flush(ntimes - 1)
 	p.Trace.End(p.Clock())
 	f.SetRound(-1)
 	return mpiio.AgreeError(p, firstErr)
 }
 
-func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
+func (i *Impl) readRounds(f *mpiio.File, scr *rankScratch, stream []byte, realms []realm.Realm,
 	myPieces []*roundPieces, aggPieces []*roundPieces, ntimes, naggs int, method mpiio.Method) error {
 
 	p := f.Proc()
@@ -670,42 +892,80 @@ func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 	for r := 0; r < ntimes; r++ {
 		f.SetRound(r)
 		if amAgg {
-			p.Trace.Begin(p.Clock(), trace.RoundSpan,
+			p.Trace.Begin2(p.Clock(), trace.RoundSpan,
 				trace.I(trace.RoundTag, int64(r)), trace.I(trace.AggTag, int64(p.Rank())))
 		} else {
-			p.Trace.Begin(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(r)))
+			p.Trace.Begin1(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(r)))
 		}
 		// Aggregator: read this round's realm window and carve it up.
 		// On an I/O error the rank still serves (zero-filled) payloads
 		// so the round's exchange completes; the round-boundary
 		// agreement below then aborts every rank together.
-		perClient := map[int][]byte{}
+		//
+		// Per-client payloads are pooled copies on the nonblocking path
+		// (freed by the receiving client) and views of the pooled read
+		// buffer on the iovec path (the read buffer is retired only after
+		// the round's AgreeError, once every client has placed its data).
+		perClient := scr.payload
+		clear(perClient)
+		var sendIov [][][]byte
+		if i.o.Comm == Alltoallw {
+			sendIov = roundIov(scr, p.Size())
+		}
+		var retire []byte
 		if amAgg {
-			entries, segs, total := mergeEntries(aggPieces, r, nil)
+			entries, segs, total := mergeEntries(scr, aggPieces, r, nil)
 			if total > 0 {
-				p.Trace.Instant(p.Clock(), "round_bytes",
+				p.Trace.Instant2(p.Clock(), "round_bytes",
 					trace.I(trace.RoundTag, int64(r)), trace.I(trace.BytesTag, total))
-				rbuf := make([]byte, total)
-				if firstErr == nil {
+				// ReadStream fills every byte of rbuf on success; on
+				// error the agreement below aborts the collective, so
+				// stale pooled contents are never placed.
+				rbuf := bufpool.Get(total)
+				if firstErr != nil {
+					for k := range rbuf {
+						rbuf[k] = 0
+					}
+				} else {
 					err := f.ReadStream(segs, rbuf, method)
 					if err != nil && i.o.Degraded && method == mpiio.DataSieve {
 						p.Stats.Add(stats.CDegradedRounds, 1)
-						p.Trace.Instant(p.Clock(), "degrade",
+						p.Trace.Instant2(p.Clock(), "degrade",
 							trace.I(trace.RoundTag, int64(r)), trace.S("op", "read"))
 						err = f.ReadStream(segs, rbuf, mpiio.Naive)
 					}
 					if err != nil {
 						firstErr = fmt.Errorf("core: read round %d: %w", r, err)
+						// Serve deterministic zeros, as a fresh buffer
+						// would have; the agreement below aborts every
+						// rank before any of it reaches a user buffer.
+						for k := range rbuf {
+							rbuf[k] = 0
+						}
 					}
 				}
-				pos := int64(0)
-				for _, e := range entries {
-					perClient[e.client] = append(perClient[e.client], rbuf[pos:pos+e.seg.Len]...)
-					pos += e.seg.Len
-				}
-				if i.o.Comm != Alltoallw {
+				if i.o.Comm == Alltoallw {
+					// Iovec exchange: serve views of the read buffer,
+					// one per entry, grouped per client in piece order.
+					pos := int64(0)
+					for _, e := range entries {
+						sendIov[e.client] = append(sendIov[e.client], rbuf[pos:pos+e.seg.Len])
+						pos += e.seg.Len
+					}
+					retire = rbuf
+				} else {
+					pos := int64(0)
+					for _, e := range entries {
+						buf, ok := perClient[e.client]
+						if !ok {
+							buf = bufpool.Get(aggPieces[e.client].bytes(r))[:0]
+						}
+						perClient[e.client] = append(buf, rbuf[pos:pos+e.seg.Len]...)
+						pos += e.seg.Len
+					}
+					bufpool.Put(rbuf)
 					d := cfg.MemcpyTime(total)
-					p.Trace.Begin(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, total))
+					p.Trace.Begin1(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, total))
 					p.AdvanceClock(d)
 					p.Stats.AddTime(stats.PCopy, d)
 					p.Trace.End(p.Clock())
@@ -715,22 +975,18 @@ func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 
 		// Exchange.
 		t0 := p.Clock()
-		p.Trace.Begin(t0, stats.PComm, trace.S("what", "exchange"))
+		p.Trace.Begin1(t0, stats.PComm, trace.S("what", "exchange"))
 		if i.o.Comm == Alltoallw {
-			send := make([][]byte, p.Size())
-			for c, msg := range perClient {
-				send[c] = msg
-			}
-			recv := p.Alltoallv(send)
+			recv := p.AlltoallvIov(sendIov)
 			for a := 0; a < naggs; a++ {
 				if myPieces[a] == nil {
 					continue
 				}
-				i.place(stream, myPieces[a], r, recv[a])
+				placeIov(stream, myPieces[a], r, recv[a])
 			}
 		} else {
-			var reqs []*mpi.Request
-			var from []int
+			reqs := scr.reqs[:0]
+			from := scr.from[:0]
 			for a := 0; a < naggs; a++ {
 				if myPieces[a] != nil && myPieces[a].bytes(r) > 0 {
 					reqs = append(reqs, p.Irecv(a, tagBack+r%1024))
@@ -740,22 +996,30 @@ func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 			if amAgg {
 				for c := 0; c < p.Size(); c++ {
 					if msg, ok := perClient[c]; ok && len(msg) > 0 {
+						// Ownership of the pooled msg passes to the
+						// receiving client.
 						p.Isend(c, tagBack+r%1024, msg)
 					}
 				}
 			}
 			data := mpi.Waitall(reqs)
 			for k, a := range from {
-				i.place(stream, myPieces[a], r, data[k])
+				place(stream, myPieces[a], r, data[k])
+				bufpool.Put(data[k])
 			}
+			scr.reqs, scr.from = reqs[:0], from[:0]
 		}
 		p.Stats.AddTime(stats.PComm, p.Clock()-t0)
 		p.Trace.End(p.Clock())
 		p.Trace.End(p.Clock()) // round span
 
 		// Round boundary: agree on the worst error class so every rank
-		// aborts (or continues) together.
-		if err := mpiio.AgreeError(p, firstErr); err != nil {
+		// aborts (or continues) together. It also proves every client has
+		// consumed its views of this aggregator's read buffer, making it
+		// safe to retire.
+		err := mpiio.AgreeError(p, firstErr)
+		bufpool.Put(retire)
+		if err != nil {
 			f.SetRound(-1)
 			return err
 		}
@@ -766,10 +1030,18 @@ func (i *Impl) readRounds(f *mpiio.File, stream []byte, realms []realm.Realm,
 
 // place scatters an aggregator's round payload into the client's linear
 // stream.
-func (i *Impl) place(stream []byte, rp *roundPieces, r int, data []byte) {
+func place(stream []byte, rp *roundPieces, r int, data []byte) {
 	pos := int64(0)
 	for _, pc := range rp.of(r) {
 		copy(stream[pc.aStream:pc.aStream+pc.file.Len], data[pos:pos+pc.file.Len])
 		pos += pc.file.Len
+	}
+}
+
+// placeIov scatters an aggregator's round views (one per piece, in piece
+// order) into the client's linear stream.
+func placeIov(stream []byte, rp *roundPieces, r int, views [][]byte) {
+	for k, pc := range rp.of(r) {
+		copy(stream[pc.aStream:pc.aStream+pc.file.Len], views[k])
 	}
 }

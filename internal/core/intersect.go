@@ -90,8 +90,14 @@ func (h *realmHeap) Pop() interface{} {
 // aggregator owns each run. emit receives the aggregator index alongside
 // the piece. Returns the total heap work in pair-equivalents (log2(A) per
 // repositioning).
-func heapMerge(ac *datatype.Cursor, realms []*datatype.Cursor, cb int64, emit func(agg int, pc piece)) int64 {
-	h := &realmHeap{}
+// h is reusable scratch (pass nil to allocate fresh): its entry arrays
+// are truncated and refilled, so steady callers re-merge without
+// reallocating the heap.
+func heapMerge(h *realmHeap, ac *datatype.Cursor, realms []*datatype.Cursor, cb int64, emit func(agg int, pc piece)) int64 {
+	if h == nil {
+		h = &realmHeap{}
+	}
+	h.cs, h.aggs = h.cs[:0], h.aggs[:0]
 	for a, rc := range realms {
 		if rc.Done() {
 			continue

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"flexio/internal/realm"
+)
+
+// TestRealmSignatureAssignments: the signature must separate the realm
+// sets the different assignment policies produce over one aggregate
+// access region — Even, stripe-aligned Even, and a PFR-style assignment
+// anchored at byte zero — while being stable across recomputation of the
+// same assignment (assigners return fresh pattern objects each call, so
+// only content hashing can hit).
+func TestRealmSignatureAssignments(t *testing.T) {
+	ctx := realm.Context{NAggs: 4, Start: 100, End: 1<<20 + 12345}
+	assign := func(a realm.Assigner, c realm.Context) uint64 {
+		rs, err := a.Assign(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return realmSignature(rs)
+	}
+	even := assign(realm.Even{}, ctx)
+	aligned := assign(realm.Even{Align: 4096}, ctx)
+	// Persistent file realms anchor the partition at byte zero on the
+	// first call, whatever the current access region is.
+	pfr := assign(realm.Even{}, realm.Context{NAggs: 4, Start: 0, End: ctx.End})
+
+	sigs := map[string]uint64{"even": even, "aligned": aligned, "pfr": pfr}
+	for a, sa := range sigs {
+		for b, sb := range sigs {
+			if a != b && sa == sb {
+				t.Fatalf("assignments %s and %s share signature %#x", a, b, sa)
+			}
+		}
+	}
+	if again := assign(realm.Even{}, ctx); again != even {
+		t.Fatalf("recomputed even assignment changed signature: %#x != %#x", again, even)
+	}
+}

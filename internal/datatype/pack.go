@@ -11,20 +11,30 @@ func Pack(buf []byte, t Type, disp int64, count int64) ([]byte, error) {
 	if total < 0 {
 		return nil, fmt.Errorf("datatype: Pack: unbounded count")
 	}
+	return AppendPack(make([]byte, 0, total), buf, t, disp, count)
+}
+
+// AppendPack is Pack into a caller-provided destination: the gathered
+// bytes are appended to dst and the extended slice returned. Hot paths
+// pass a pooled buffer sliced to length zero so steady-state packing
+// allocates nothing.
+func AppendPack(dst, buf []byte, t Type, disp int64, count int64) ([]byte, error) {
+	if TotalSize(t, count) < 0 {
+		return nil, fmt.Errorf("datatype: Pack: unbounded count")
+	}
 	need := disp + count*t.Extent()
 	if count > 0 && need > int64(len(buf)) {
 		return nil, fmt.Errorf("datatype: Pack: buffer too small: need %d bytes, have %d", need, len(buf))
 	}
-	out := make([]byte, 0, total)
 	cur := NewCursor(t, disp, count)
 	for {
 		seg, _, ok := cur.Next(1 << 62)
 		if !ok {
 			break
 		}
-		out = append(out, buf[seg.Off:seg.End()]...)
+		dst = append(dst, buf[seg.Off:seg.End()]...)
 	}
-	return out, nil
+	return dst, nil
 }
 
 // Unpack scatters a contiguous stream into buf according to count instances

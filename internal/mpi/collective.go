@@ -21,15 +21,19 @@ type collSync struct {
 	vals     []interface{}
 	clocks   []sim.Time
 	snapVals []interface{}
+	i64vals  []int64
+	snapI64  []int64
 	snapMax  sim.Time
 	poisoned bool
 }
 
 func newCollSync(size int) *collSync {
 	c := &collSync{
-		size:   size,
-		vals:   make([]interface{}, size),
-		clocks: make([]sim.Time, size),
+		size:    size,
+		vals:    make([]interface{}, size),
+		clocks:  make([]sim.Time, size),
+		i64vals: make([]int64, size),
+		snapI64: make([]int64, size),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -75,6 +79,43 @@ func (c *collSync) exchange(rank int, clock sim.Time, val interface{}) ([]interf
 		}
 	}
 	return c.snapVals, c.snapMax
+}
+
+// exchangeInt64 is exchange specialized to one int64 per rank. It reuses
+// persistent deposit and snapshot buffers — no interface boxing, no
+// per-generation allocation. Reuse is safe because the next generation's
+// snapshot is only published once every rank has deposited again, which
+// each rank does only after it finished reading the current one. The
+// returned slice is that shared snapshot: callers must copy out what they
+// keep and must not write to it.
+func (c *collSync) exchangeInt64(rank int, clock sim.Time, val int64) ([]int64, sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	gen := c.gen
+	c.i64vals[rank] = val
+	c.clocks[rank] = clock
+	c.arrived++
+	if c.arrived == c.size {
+		copy(c.snapI64, c.i64vals)
+		var m sim.Time
+		for _, t := range c.clocks {
+			if t > m {
+				m = t
+			}
+		}
+		c.snapMax = m
+		c.arrived = 0
+		c.gen++
+		c.cond.Broadcast()
+	} else {
+		for c.gen == gen && !c.poisoned {
+			c.cond.Wait()
+		}
+		if c.poisoned {
+			panic("mpi: collective aborted after peer failure")
+		}
+	}
+	return c.snapI64, c.snapMax
 }
 
 // log2ceil returns ceil(log2(n)), at least 1 for n > 1 and 0 for n <= 1.
@@ -131,49 +172,57 @@ func (p *Proc) Allgather(data []byte) [][]byte {
 	return out
 }
 
-// AllgatherInt64 is Allgather for a single int64 per rank.
+// AllgatherInt64 is Allgather for a single int64 per rank. The result is
+// owned by the caller (it is a copy of the rendezvous snapshot).
 func (p *Proc) AllgatherInt64(v int64) []int64 {
-	vals, m := p.w.coll.exchange(p.rank, p.clock, v)
 	out := make([]int64, p.w.size)
-	for i, x := range vals {
-		out[i] = x.(int64)
+	p.AllgatherInt64Into(v, out)
+	return out
+}
+
+// AllgatherInt64Into is AllgatherInt64 gathering into caller scratch
+// (len must be the world size), so hot paths can reuse a buffer.
+func (p *Proc) AllgatherInt64Into(v int64, out []int64) {
+	snap, m := p.w.coll.exchangeInt64(p.rank, p.clock, v)
+	copy(out, snap)
+	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(int64(8*(p.w.size-1)))
+}
+
+// allreduceInt64 folds the snapshot in place under the rendezvous return,
+// allocating nothing.
+func (p *Proc) allreduceInt64(v int64, fold func(acc, x int64) int64) int64 {
+	snap, m := p.w.coll.exchangeInt64(p.rank, p.clock, v)
+	acc := snap[0]
+	for _, x := range snap[1:] {
+		acc = fold(acc, x)
 	}
 	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(int64(8*(p.w.size-1)))
-	return out
+	return acc
 }
 
 // AllreduceMaxInt64 returns the maximum of v across ranks.
 func (p *Proc) AllreduceMaxInt64(v int64) int64 {
-	all := p.AllgatherInt64(v)
-	m := all[0]
-	for _, x := range all[1:] {
-		if x > m {
-			m = x
+	return p.allreduceInt64(v, func(acc, x int64) int64 {
+		if x > acc {
+			return x
 		}
-	}
-	return m
+		return acc
+	})
 }
 
 // AllreduceMinInt64 returns the minimum of v across ranks.
 func (p *Proc) AllreduceMinInt64(v int64) int64 {
-	all := p.AllgatherInt64(v)
-	m := all[0]
-	for _, x := range all[1:] {
-		if x < m {
-			m = x
+	return p.allreduceInt64(v, func(acc, x int64) int64 {
+		if x < acc {
+			return x
 		}
-	}
-	return m
+		return acc
+	})
 }
 
 // AllreduceSumInt64 returns the sum of v across ranks.
 func (p *Proc) AllreduceSumInt64(v int64) int64 {
-	all := p.AllgatherInt64(v)
-	var s int64
-	for _, x := range all {
-		s += x
-	}
-	return s
+	return p.allreduceInt64(v, func(acc, x int64) int64 { return acc + x })
 }
 
 // Alltoallv exchanges per-destination buffers: send[d] goes to rank d, and
@@ -198,6 +247,48 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 		out[s] = row[p.rank]
 		if s != p.rank {
 			recvd += int64(len(out[s]))
+		}
+	}
+	vol := sent
+	if recvd > vol {
+		vol = recvd
+	}
+	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(vol)
+	p.Stats.Add(stats.CBytesComm, sent)
+	return out
+}
+
+// AlltoallvIov is Alltoallv with iovec-style payloads: send[d] is a list
+// of segments for rank d, gathered by the transport without the sender
+// concatenating them first (MPI_Alltoallw with derived types). out[s] is
+// the segment list rank s sent here, aliasing the sender's memory — the
+// receiver must consume it before the sender reuses those buffers, which
+// the collective engines guarantee by recycling only at rendezvous
+// boundaries. Cost accounting is identical to Alltoallv for the same
+// total bytes.
+func (p *Proc) AlltoallvIov(send [][][]byte) [][][]byte {
+	if len(send) != p.w.size {
+		panic("mpi: AlltoallvIov send slice must have one entry per rank")
+	}
+	vals, m := p.w.coll.exchange(p.rank, p.clock, send)
+	out := make([][][]byte, p.w.size)
+	var sent, recvd int64
+	for d, iov := range send {
+		if d == p.rank {
+			continue
+		}
+		for _, b := range iov {
+			sent += int64(len(b))
+		}
+	}
+	for s, v := range vals {
+		row := v.([][][]byte)
+		out[s] = row[p.rank]
+		if s == p.rank {
+			continue
+		}
+		for _, b := range out[s] {
+			recvd += int64(len(b))
 		}
 	}
 	vol := sent

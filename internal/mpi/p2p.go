@@ -16,6 +16,23 @@ type envelope struct {
 	stamp sim.Time // sender clock when the message left
 }
 
+// envPool recycles envelope structs (not their payloads). *envelope is a
+// pointer, so sync.Pool stores it without boxing. An envelope is released
+// by the receiver once matched and read; drained mailboxes simply drop
+// theirs to the GC.
+var envPool = sync.Pool{New: func() any { return new(envelope) }}
+
+func newEnvelope(src, tag int, data []byte, stamp sim.Time) *envelope {
+	e := envPool.Get().(*envelope)
+	*e = envelope{src: src, tag: tag, data: data, stamp: stamp}
+	return e
+}
+
+func releaseEnvelope(e *envelope) {
+	*e = envelope{}
+	envPool.Put(e)
+}
+
 // mailbox is a rank's unmatched-message queue with FIFO matching per
 // (source, tag), mirroring MPI's non-overtaking guarantee.
 type mailbox struct {
@@ -81,7 +98,7 @@ func (p *Proc) Send(to, tag int, data []byte) {
 	}
 	p.clock += p.w.cfg.SendOverhead
 	p.Stats.Add(stats.CBytesComm, int64(len(data)))
-	p.w.boxes[to].put(&envelope{src: p.rank, tag: tag, data: data, stamp: p.clock})
+	p.w.boxes[to].put(newEnvelope(p.rank, tag, data, p.clock))
 }
 
 // Recv blocks until a message from src (or Any) with tag (or Any) arrives.
@@ -92,7 +109,9 @@ func (p *Proc) Recv(src, tag int) (data []byte, from int) {
 	post := p.clock
 	e := p.w.boxes[p.rank].take(src, tag)
 	p.clock = p.arrivalTime(post, e)
-	return e.data, e.src
+	data, from = e.data, e.src
+	releaseEnvelope(e)
+	return data, from
 }
 
 // arrivalTime computes when a message posted for receive at `post` is fully
@@ -121,12 +140,20 @@ type Request struct {
 	from   int
 }
 
+// reqPool recycles receive requests; Waitall returns them once completed.
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
+
+// doneRequest is the shared handle every Isend returns: sends are eager,
+// so the request is born complete, carries no per-send state, and is never
+// mutated — Wait on it only reads the done flag.
+var doneRequest = &Request{done: true}
+
 // Isend posts a nonblocking send. In the eager model the data is buffered
 // immediately, so the returned request is already complete; it exists so
 // calling code reads like the MPI it models.
 func (p *Proc) Isend(to, tag int, data []byte) *Request {
 	p.Send(to, tag, data)
-	return &Request{p: p, done: true}
+	return doneRequest
 }
 
 // Irecv posts a nonblocking receive. The matching and transfer are resolved
@@ -134,8 +161,14 @@ func (p *Proc) Isend(to, tag int, data []byte) *Request {
 // the post time and the send time — computation between Irecv and Wait
 // overlaps the transfer, which is how the new implementation hides address
 // computation behind communication (paper §5.4).
+//
+// The request comes from a pool that Waitall releases back into; a request
+// completed by Waitall must not be touched again. Requests waited directly
+// via Wait stay with the caller and fall to the GC.
 func (p *Proc) Irecv(src, tag int) *Request {
-	return &Request{p: p, isRecv: true, src: src, tag: tag, post: p.clock}
+	r := reqPool.Get().(*Request)
+	*r = Request{p: p, isRecv: true, src: src, tag: tag, post: p.clock}
+	return r
 }
 
 // Wait completes the request. For receives it returns the data and source.
@@ -150,11 +183,14 @@ func (r *Request) Wait() (data []byte, from int) {
 	e := r.p.w.boxes[r.p.rank].take(r.src, r.tag)
 	r.p.SyncClock(r.p.arrivalTime(r.post, e))
 	r.data, r.from = e.data, e.src
+	releaseEnvelope(e)
 	return r.data, r.from
 }
 
 // Waitall completes a set of requests and returns the received payloads in
-// request order (nil entries for sends).
+// request order (nil entries for sends). It consumes the requests: each is
+// released back to the pool and its slot nilled, so callers must not Wait
+// on them again.
 func Waitall(reqs []*Request) [][]byte {
 	out := make([][]byte, len(reqs))
 	for i, r := range reqs {
@@ -162,6 +198,11 @@ func Waitall(reqs []*Request) [][]byte {
 			continue
 		}
 		out[i], _ = r.Wait()
+		if r != doneRequest {
+			*r = Request{}
+			reqPool.Put(r)
+		}
+		reqs[i] = nil
 	}
 	return out
 }

@@ -14,6 +14,7 @@ package mpi
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"flexio/internal/sim"
@@ -85,7 +86,9 @@ func (w *World) Run(fn func(p *Proc)) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panics <- fmt.Sprintf("rank %d: %v", p.rank, r)
+					// Re-panicking on the Run goroutine loses the rank's
+					// stack; carry it in the message.
+					panics <- fmt.Sprintf("rank %d: %v\n%s", p.rank, r, debug.Stack())
 					// Unblock peers stuck in collectives or receives
 					// so the process doesn't deadlock before
 					// reporting.

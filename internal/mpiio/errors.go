@@ -84,14 +84,14 @@ func ClassError(c int64) error {
 // it at the same point of the collective, like any MPI collective.
 func AgreeError(p *mpi.Proc, local error) error {
 	t0 := p.Clock()
-	p.Trace.Begin(t0, stats.PExchange, trace.S("what", "err_agree"))
+	p.Trace.Begin1(t0, stats.PExchange, trace.S("what", "err_agree"))
 	agreed := p.AllreduceMaxInt64(ErrorClass(local))
 	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
 	p.Trace.End(p.Clock())
 	if agreed == ClassOK {
 		return nil
 	}
-	p.Trace.Instant(p.Clock(), "err_agree", trace.S("class", ClassName(agreed)))
+	p.Trace.Instant1(p.Clock(), "err_agree", trace.S("class", ClassName(agreed)))
 	if local != nil && ErrorClass(local) == agreed {
 		// Keep the local detail on the rank that observed it.
 		return fmt.Errorf("%w (rank %d: %v)", ClassError(agreed), p.Rank(), local)

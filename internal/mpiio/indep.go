@@ -3,6 +3,7 @@ package mpiio
 import (
 	"fmt"
 
+	"flexio/internal/bufpool"
 	"flexio/internal/datatype"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
@@ -37,12 +38,19 @@ func (f *File) WriteIndependent(buf []byte, memtype datatype.Type, count int64) 
 	if err := f.checkAccess(buf, memtype, count); err != nil {
 		return err
 	}
-	stream, err := f.PackMemory(buf, memtype, count)
+	// Pack into a pooled stream; storage copies the bytes into its pages
+	// synchronously, so the stream can be recycled as soon as WriteStream
+	// returns.
+	stream := bufpool.Get(datatype.TotalSize(memtype, count))[:0]
+	stream, err := f.PackMemoryInto(stream, buf, memtype, count)
 	if err != nil {
+		bufpool.Put(stream)
 		return err
 	}
 	segs := f.ResolveAccess(int64(len(stream)))
-	return f.WriteStream(segs, stream, f.info.IndepMethod)
+	err = f.WriteStream(segs, stream, f.info.IndepMethod)
+	bufpool.Put(stream)
+	return err
 }
 
 // ReadIndependent is MPI_File_read.
@@ -51,12 +59,17 @@ func (f *File) ReadIndependent(buf []byte, memtype datatype.Type, count int64) e
 		return err
 	}
 	n := datatype.TotalSize(memtype, count)
-	stream := make([]byte, n)
+	// ReadStream fills every byte of the stream (segment bytes must equal
+	// the stream length), so the pooled buffer needs no zeroing.
+	stream := bufpool.Get(n)
 	segs := f.ResolveAccess(n)
 	if err := f.ReadStream(segs, stream, f.info.IndepMethod); err != nil {
+		bufpool.Put(stream)
 		return err
 	}
-	return f.UnpackMemory(stream, buf, memtype, count)
+	err := f.UnpackMemory(stream, buf, memtype, count)
+	bufpool.Put(stream)
+	return err
 }
 
 // WriteStream writes a linear data stream into the given absolute file
@@ -76,9 +89,12 @@ func (f *File) WriteStream(segs []datatype.Seg, data []byte, m Method) error {
 		return nil
 	}
 	start := f.proc.Clock()
-	f.proc.Trace.Begin(start, stats.PIO,
-		trace.S("op", "write"), trace.S("method", m.String()),
-		trace.I("segs", int64(len(segs))), trace.I(trace.BytesTag, total))
+	// Guarded: four tags would allocate per call even with tracing off.
+	if tr := f.proc.Trace; tr != nil {
+		tr.Begin(start, stats.PIO,
+			trace.S("op", "write"), trace.S("method", m.String()),
+			trace.I("segs", int64(len(segs))), trace.I(trace.BytesTag, total))
+	}
 	defer func() { f.proc.Trace.End(f.proc.Clock()) }()
 	var err error
 	// Contiguous fast path: "contiguous in memory to contiguous in file".
@@ -128,9 +144,12 @@ func (f *File) ReadStream(segs []datatype.Seg, buf []byte, m Method) error {
 		return nil
 	}
 	start := f.proc.Clock()
-	f.proc.Trace.Begin(start, stats.PIO,
-		trace.S("op", "read"), trace.S("method", m.String()),
-		trace.I("segs", int64(len(segs))), trace.I(trace.BytesTag, total))
+	// Guarded: four tags would allocate per call even with tracing off.
+	if tr := f.proc.Trace; tr != nil {
+		tr.Begin(start, stats.PIO,
+			trace.S("op", "read"), trace.S("method", m.String()),
+			trace.I("segs", int64(len(segs))), trace.I(trace.BytesTag, total))
+	}
 	defer func() { f.proc.Trace.End(f.proc.Clock()) }()
 	var err error
 	if len(segs) == 1 {
@@ -176,11 +195,12 @@ func (f *File) sieveWindows(segs []datatype.Seg, data []byte, write bool) error 
 	cfg := f.proc.Config()
 	i := 0
 	pos := int64(0)
-	pending := append([]datatype.Seg(nil), segs...)
+	pending := append(f.sievePending[:0], segs...)
+	f.sievePending = pending
 	for i < len(pending) {
 		wlo := pending[i].Off
 		wend := wlo + sieve
-		var group []datatype.Seg
+		group := f.sieveGroup[:0]
 		var useful int64
 		j := i
 		for j < len(pending) && pending[j].Off < wend {
@@ -202,7 +222,7 @@ func (f *File) sieveWindows(segs []datatype.Seg, data []byte, write bool) error 
 
 		// The copy through the sieve buffer.
 		d := cfg.MemcpyTime(useful)
-		f.proc.Trace.Begin(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, useful))
+		f.proc.Trace.Begin1(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, useful))
 		f.proc.AdvanceClock(d)
 		f.proc.Stats.AddTime(stats.PCopy, d)
 		f.proc.Trace.End(f.proc.Clock())
@@ -216,6 +236,7 @@ func (f *File) sieveWindows(segs []datatype.Seg, data []byte, write bool) error 
 		if err != nil {
 			return err
 		}
+		f.sieveGroup = group[:0]
 		pos += useful
 		i = j
 	}

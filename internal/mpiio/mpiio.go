@@ -140,6 +140,12 @@ type File struct {
 	// the pointer-relative read/write forms).
 	pos int64
 
+	// sievePending/sieveGroup are sieveWindows scratch, reused across
+	// calls; a File is driven by one rank goroutine and the storage layer
+	// consumes segment lists synchronously, so reuse is safe.
+	sievePending []datatype.Seg
+	sieveGroup   []datatype.Seg
+
 	closed bool
 }
 
@@ -319,11 +325,29 @@ func (f *File) PackMemory(buf []byte, memtype datatype.Type, count int64) ([]byt
 		return nil, err
 	}
 	d := f.proc.Config().MemcpyTime(int64(len(stream)))
-	f.proc.Trace.Begin(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, int64(len(stream))))
+	f.proc.Trace.Begin1(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, int64(len(stream))))
 	f.proc.AdvanceClock(d)
 	f.proc.Stats.AddTime(stats.PCopy, d)
 	f.proc.Trace.End(f.proc.Clock())
 	return stream, nil
+}
+
+// PackMemoryInto is PackMemory appending into a caller-provided (typically
+// pooled) destination, charging the same copy cost. It returns the
+// extended slice.
+func (f *File) PackMemoryInto(dst, buf []byte, memtype datatype.Type, count int64) ([]byte, error) {
+	before := len(dst)
+	dst, err := datatype.AppendPack(dst, buf, memtype, 0, count)
+	if err != nil {
+		return dst, err
+	}
+	n := int64(len(dst) - before)
+	d := f.proc.Config().MemcpyTime(n)
+	f.proc.Trace.Begin1(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, n))
+	f.proc.AdvanceClock(d)
+	f.proc.Stats.AddTime(stats.PCopy, d)
+	f.proc.Trace.End(f.proc.Clock())
+	return dst, nil
 }
 
 // UnpackMemory scatters a linear stream back into the user buffer.
@@ -332,7 +356,7 @@ func (f *File) UnpackMemory(stream, buf []byte, memtype datatype.Type, count int
 		return err
 	}
 	d := f.proc.Config().MemcpyTime(int64(len(stream)))
-	f.proc.Trace.Begin(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, int64(len(stream))))
+	f.proc.Trace.Begin1(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, int64(len(stream))))
 	f.proc.AdvanceClock(d)
 	f.proc.Stats.AddTime(stats.PCopy, d)
 	f.proc.Trace.End(f.proc.Clock())
@@ -346,7 +370,7 @@ func (f *File) ChargePairs(n int64) {
 		return
 	}
 	d := f.proc.Config().PairTime(n)
-	f.proc.Trace.Begin(f.proc.Clock(), stats.PFlatten, trace.I("pairs", n))
+	f.proc.Trace.Begin1(f.proc.Clock(), stats.PFlatten, trace.I("pairs", n))
 	f.proc.AdvanceClock(d)
 	f.proc.Stats.AddTime(stats.PFlatten, d)
 	f.proc.Stats.Add(stats.CPairsProcessed, n)

@@ -1,17 +1,29 @@
 package pfs
 
-import "container/list"
-
 // pageCache tracks which (file, page) pairs a client holds locally, with
 // O(1) LRU eviction at a fixed capacity. Only presence matters: the
 // simulated file image is updated synchronously, so the cache influences
 // timing (read hits, read-modify-write avoidance) but never data.
 //
+// The LRU is an intrusive doubly-linked list over a slab of nodes with a
+// free list, so steady-state churn (insert evicting the oldest entry)
+// recycles nodes instead of allocating: the collective write path touches
+// hundreds of pages per call, and per-page allocations here dominated the
+// whole datapath's allocation profile.
+//
 // All methods are called with the owning FileSystem's mutex held.
 type pageCache struct {
 	cap   int
-	lru   *list.List                // front = most recent; values are pageKey
-	pages map[pageKey]*list.Element // key -> LRU node
+	nodes []cacheNode
+	free  []int32
+	head  int32 // most recently used, -1 when empty
+	tail  int32 // least recently used, -1 when empty
+	pages map[pageKey]int32
+}
+
+type cacheNode struct {
+	key        pageKey
+	prev, next int32
 }
 
 type pageKey struct {
@@ -19,24 +31,59 @@ type pageKey struct {
 	page int64
 }
 
+const nilNode = int32(-1)
+
 func newPageCache(capacity int) *pageCache {
 	if capacity < 0 {
 		capacity = 0
 	}
 	return &pageCache{
 		cap:   capacity,
-		lru:   list.New(),
-		pages: make(map[pageKey]*list.Element),
+		head:  nilNode,
+		tail:  nilNode,
+		pages: make(map[pageKey]int32),
+	}
+}
+
+// unlink detaches node i from the LRU list.
+func (pc *pageCache) unlink(i int32) {
+	n := &pc.nodes[i]
+	if n.prev != nilNode {
+		pc.nodes[n.prev].next = n.next
+	} else {
+		pc.head = n.next
+	}
+	if n.next != nilNode {
+		pc.nodes[n.next].prev = n.prev
+	} else {
+		pc.tail = n.prev
+	}
+}
+
+// pushFront makes node i the most recently used.
+func (pc *pageCache) pushFront(i int32) {
+	n := &pc.nodes[i]
+	n.prev = nilNode
+	n.next = pc.head
+	if pc.head != nilNode {
+		pc.nodes[pc.head].prev = i
+	}
+	pc.head = i
+	if pc.tail == nilNode {
+		pc.tail = i
 	}
 }
 
 // has reports whether the page is cached, refreshing its recency.
 func (pc *pageCache) has(name string, page int64) bool {
-	el, ok := pc.pages[pageKey{name, page}]
+	i, ok := pc.pages[pageKey{name, page}]
 	if !ok {
 		return false
 	}
-	pc.lru.MoveToFront(el)
+	if pc.head != i {
+		pc.unlink(i)
+		pc.pushFront(i)
+	}
 	return true
 }
 
@@ -47,31 +94,49 @@ func (pc *pageCache) put(name string, page int64) {
 		return
 	}
 	k := pageKey{name, page}
-	if el, ok := pc.pages[k]; ok {
-		pc.lru.MoveToFront(el)
+	if i, ok := pc.pages[k]; ok {
+		if pc.head != i {
+			pc.unlink(i)
+			pc.pushFront(i)
+		}
 		return
 	}
-	if pc.lru.Len() >= pc.cap {
-		back := pc.lru.Back()
-		pc.lru.Remove(back)
-		delete(pc.pages, back.Value.(pageKey))
+	var i int32
+	switch {
+	case len(pc.pages) >= pc.cap:
+		// Recycle the evicted node in place.
+		i = pc.tail
+		pc.unlink(i)
+		delete(pc.pages, pc.nodes[i].key)
+	case len(pc.free) > 0:
+		i = pc.free[len(pc.free)-1]
+		pc.free = pc.free[:len(pc.free)-1]
+	default:
+		pc.nodes = append(pc.nodes, cacheNode{})
+		i = int32(len(pc.nodes) - 1)
 	}
-	pc.pages[k] = pc.lru.PushFront(k)
+	pc.nodes[i].key = k
+	pc.pushFront(i)
+	pc.pages[k] = i
 }
 
 // drop removes a page (lock revocation).
 func (pc *pageCache) drop(name string, page int64) {
 	k := pageKey{name, page}
-	if el, ok := pc.pages[k]; ok {
-		pc.lru.Remove(el)
+	if i, ok := pc.pages[k]; ok {
+		pc.unlink(i)
+		pc.nodes[i].key = pageKey{}
+		pc.free = append(pc.free, i)
 		delete(pc.pages, k)
 	}
 }
 
-// reset clears the cache.
+// reset clears the cache, keeping the node slab for reuse.
 func (pc *pageCache) reset() {
-	pc.lru.Init()
-	pc.pages = make(map[pageKey]*list.Element)
+	pc.nodes = pc.nodes[:0]
+	pc.free = pc.free[:0]
+	pc.head, pc.tail = nilNode, nilNode
+	clear(pc.pages)
 }
 
 // size reports the number of cached pages (for tests).

@@ -15,7 +15,7 @@ package pfs
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 
 	"flexio/internal/datatype"
@@ -302,7 +302,16 @@ type Client struct {
 	// round is the collective two-phase round tag stamped on ops (-1
 	// outside a collective); set by the MPI-IO layer.
 	round int
+	// lockRanges, portions and rmwSpan are per-request scratch (a client
+	// serves one rank goroutine, and all are consumed before the request
+	// returns).
+	lockRanges []pageRange
+	portions   []stripePortion
+	rmwSpan    [1]datatype.Seg
 }
+
+// pageRange is an inclusive page-index range of one request segment.
+type pageRange struct{ lo, hi int64 }
 
 // NewClient registers a client. rec may be nil.
 func (fs *FileSystem) NewClient(rec *stats.Recorder) *Client {
@@ -430,9 +439,12 @@ func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []b
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 
-	// One call overhead for the whole (possibly list) request.
-	c.tr.Instant(now, "io_call", trace.S("kind", kind),
-		trace.I("off", segs[0].Off), trace.I("len", total), trace.I("segs", int64(len(segs))))
+	// One call overhead for the whole (possibly list) request. Guarded:
+	// four tags would allocate per call even with tracing off.
+	if c.tr != nil {
+		c.tr.Instant(now, "io_call", trace.S("kind", kind),
+			trace.I("off", segs[0].Off), trace.I("len", total), trace.I("segs", int64(len(segs))))
+	}
 	t := now + fs.cfg.IOCallOverhead
 	c.rec.Add(stats.CIOCalls, 1)
 	c.rec.Add(stats.CBytesIO, total)
@@ -496,15 +508,24 @@ func (c *Client) lockSpan(f *fileData, segs []datatype.Seg, write bool, now sim.
 	var cost sim.Time
 
 	// Collect the distinct page range of the request.
-	type prange struct{ lo, hi int64 } // inclusive page indices
-	ranges := make([]prange, 0, len(segs))
+	ranges := c.lockRanges[:0]
 	for _, s := range segs {
 		if s.Len == 0 {
 			continue
 		}
-		ranges = append(ranges, prange{s.Off / ps, (s.Off + s.Len - 1) / ps})
+		ranges = append(ranges, pageRange{s.Off / ps, (s.Off + s.Len - 1) / ps})
 	}
-	sort.Slice(ranges, func(i, j int) bool { return ranges[i].lo < ranges[j].lo })
+	c.lockRanges = ranges
+	slices.SortFunc(ranges, func(a, b pageRange) int {
+		switch {
+		case a.lo < b.lo:
+			return -1
+		case a.lo > b.lo:
+			return 1
+		default:
+			return 0
+		}
+	})
 
 	lastPage := int64(-2) // avoid double-charging overlapping segment pages
 	inGrantRun := false
@@ -617,7 +638,8 @@ func (c *Client) writeSeg(f *fileData, s datatype.Seg, data []byte, t sim.Time) 
 
 	// OST service, striped.
 	done := t
-	for _, p := range fs.stripePortions(s) {
+	c.portions = fs.stripePortions(s, c.portions[:0])
+	for _, p := range c.portions {
 		ost := &fs.osts[p.ost]
 		svc := fs.cfg.ServerTransferTime(p.seg.Len)
 		if ost.lastEnd[f.name] != p.seg.Off {
@@ -673,7 +695,8 @@ func (c *Client) readSeg(f *fileData, s datatype.Seg, buf []byte, t sim.Time) si
 	}
 
 	done := t
-	for _, p := range fs.stripePortions(s) {
+	c.portions = fs.stripePortions(s, c.portions[:0])
+	for _, p := range c.portions {
 		ost := &fs.osts[p.ost]
 		// Approximate: scale the portion's transfer by the fraction of
 		// the segment actually served remotely.
@@ -699,10 +722,11 @@ type stripePortion struct {
 	seg datatype.Seg
 }
 
-// stripePortions splits a contiguous segment by stripe boundaries.
-func (fs *FileSystem) stripePortions(s datatype.Seg) []stripePortion {
+// stripePortions splits a contiguous segment by stripe boundaries,
+// appending into scratch (pass nil, or a recycled slice's [:0], as in
+// Client.portions).
+func (fs *FileSystem) stripePortions(s datatype.Seg, out []stripePortion) []stripePortion {
 	ss := fs.cfg.StripeSize
-	var out []stripePortion
 	off := s.Off
 	remain := s.Len
 	for remain > 0 {

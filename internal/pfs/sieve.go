@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"flexio/internal/bufpool"
 	"flexio/internal/datatype"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
@@ -36,10 +37,15 @@ func (h *Handle) SieveWrite(span datatype.Seg, segs []datatype.Seg, data []byte,
 		// Holes: fetch the span first (read-modify-write at sieve
 		// granularity). The read populates the client cache, so the
 		// write below pays no per-page RMW.
-		h.c.tr.Instant(now, "sieve_rmw",
+		h.c.tr.Instant2(now, "sieve_rmw",
 			trace.I("span", span.Len), trace.I("useful", useful))
+		// The prefetch only exists for its timing (the data is discarded),
+		// but access still needs a real destination buffer; recycle one.
+		scratch := bufpool.Get(span.Len)
+		h.c.rmwSpan[0] = span
 		var err error
-		t, err = h.c.access("read", h.f, []datatype.Seg{span}, nil, make([]byte, span.Len), true, t)
+		t, err = h.c.access("read", h.f, h.c.rmwSpan[:1], nil, scratch, true, t)
+		bufpool.Put(scratch)
 		if err != nil {
 			// A short RMW prefetch is not a short write: its Written is
 			// in span bytes, and no user data landed. Surface it as a
@@ -98,7 +104,8 @@ func (c *Client) accessSieveSpan(f *fileData, span datatype.Seg, segs []datatype
 	t := now + fs.cfg.IOCallOverhead
 	c.rec.Add(stats.CIOCalls, 1)
 	c.rec.Add(stats.CBytesIO, span.Len)
-	t += c.lockSpan(f, []datatype.Seg{span}, true, now)
+	c.rmwSpan[0] = span
+	t += c.lockSpan(f, c.rmwSpan[:1], true, now)
 	conflictSvc := c.stripeConflicts(f, span, t)
 
 	// Scatter the data.
@@ -118,7 +125,8 @@ func (c *Client) accessSieveSpan(f *fileData, span datatype.Seg, segs []datatype
 	for pi := span.Off / fs.cfg.PageSize; pi <= (span.End()-1)/fs.cfg.PageSize; pi++ {
 		c.cache.put(f.name, pi)
 	}
-	for _, p := range fs.stripePortions(span) {
+	c.portions = fs.stripePortions(span, c.portions[:0])
+	for _, p := range c.portions {
 		ost := &fs.osts[p.ost]
 		svc := fs.cfg.ServerTransferTime(p.seg.Len)
 		if ost.lastEnd[f.name] != p.seg.Off {
@@ -157,8 +165,12 @@ func (h *Handle) SieveRead(span datatype.Seg, segs []datatype.Seg, buf []byte, n
 	if span.Len == 0 {
 		return now, nil
 	}
-	tmp := make([]byte, span.Len)
-	done, err := h.c.access("read", h.f, []datatype.Seg{span}, nil, tmp, true, now)
+	// Recycled without zeroing: access fills every byte of the span
+	// (readBytes zeroes unwritten ranges itself).
+	tmp := bufpool.Get(span.Len)
+	defer bufpool.Put(tmp)
+	h.c.rmwSpan[0] = span
+	done, err := h.c.access("read", h.f, h.c.rmwSpan[:1], nil, tmp, true, now)
 	if err != nil {
 		var pe *PartialError
 		if errors.As(err, &pe) {

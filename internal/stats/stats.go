@@ -323,6 +323,10 @@ const (
 	CCacheFlushes    = "cache_flushes"    // dirty pages flushed
 	CRMWPages        = "rmw_pages"        // read-modify-write page penalties
 
+	// Memoization counters (core engine's flatten/intersection cache).
+	CIsectCacheHits   = "isect_cache_hits"   // collective calls served from the intersection cache
+	CIsectCacheMisses = "isect_cache_misses" // collective calls that computed intersections afresh
+
 	// Fault-tolerance counters.
 	CFaultsInjected = "faults_injected" // faults the schedule injected into this rank's ops
 	CRetries        = "io_retries"      // transient-error retries issued

@@ -123,11 +123,34 @@ func (t *Tracer) push(e Event) {
 
 // Begin opens a span named name at virtual time at. Spans nest: End closes
 // the innermost open span.
+//
+// The variadic tags slice is built by the caller even when t is nil, so
+// hot-path instrumentation should use the fixed-arity Begin1/Begin2
+// variants: they cost nothing when tracing is disabled.
 func (t *Tracer) Begin(at sim.Time, name string, tags ...Tag) {
 	if t == nil {
 		return
 	}
 	t.push(Event{Kind: KindBegin, Name: name, TS: at, Tags: tags})
+	t.open = append(t.open, name)
+}
+
+// Begin1 is Begin with exactly one tag; the tag is materialized only when
+// tracing is enabled, so disabled-tracer calls are allocation-free.
+func (t *Tracer) Begin1(at sim.Time, name string, tag Tag) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Kind: KindBegin, Name: name, TS: at, Tags: []Tag{tag}})
+	t.open = append(t.open, name)
+}
+
+// Begin2 is Begin with exactly two tags, allocation-free when disabled.
+func (t *Tracer) Begin2(at sim.Time, name string, t1, t2 Tag) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Kind: KindBegin, Name: name, TS: at, Tags: []Tag{t1, t2}})
 	t.open = append(t.open, name)
 }
 
@@ -146,11 +169,29 @@ func (t *Tracer) End(at sim.Time) {
 }
 
 // Instant records a point event at virtual time at.
+//
+// Like Begin, prefer Instant1/Instant2 on hot paths.
 func (t *Tracer) Instant(at sim.Time, name string, tags ...Tag) {
 	if t == nil {
 		return
 	}
 	t.push(Event{Kind: KindInstant, Name: name, TS: at, Tags: tags})
+}
+
+// Instant1 is Instant with exactly one tag, allocation-free when disabled.
+func (t *Tracer) Instant1(at sim.Time, name string, tag Tag) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Kind: KindInstant, Name: name, TS: at, Tags: []Tag{tag}})
+}
+
+// Instant2 is Instant with exactly two tags, allocation-free when disabled.
+func (t *Tracer) Instant2(at sim.Time, name string, t1, t2 Tag) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Kind: KindInstant, Name: name, TS: at, Tags: []Tag{t1, t2}})
 }
 
 // Counter records a sample of a named value at virtual time at.

@@ -20,8 +20,9 @@ package twophase
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
+	"flexio/internal/bufpool"
 	"flexio/internal/datatype"
 	"flexio/internal/mpi"
 	"flexio/internal/mpiio"
@@ -112,17 +113,22 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 
 	// Linearize the user data and flatten the whole access: the O(M)
 	// flattened-access representation is this implementation's currency.
+	// The stream is pooled: it is private to this rank (message payloads
+	// are separate pooled buffers, never views of it), so it can be
+	// released on every exit path.
 	var stream []byte
 	dataLen := datatype.TotalSize(memtype, count)
 	if write {
 		var err error
-		stream, err = f.PackMemory(buf, memtype, count)
+		stream, err = f.PackMemoryInto(bufpool.Get(dataLen)[:0], buf, memtype, count)
 		if err != nil {
+			bufpool.Put(stream)
 			return err
 		}
 	} else {
-		stream = make([]byte, dataLen)
+		stream = bufpool.GetZero(dataLen)
 	}
+	defer bufpool.Put(stream)
 	mySegs := f.ResolveAccess(dataLen)
 
 	// Aggregate access region.
@@ -132,7 +138,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		en = mySegs[len(mySegs)-1].End()
 	}
 	t0 := p.Clock()
-	p.Trace.Begin(t0, stats.PExchange, trace.S("what", "bounds"))
+	p.Trace.Begin1(t0, stats.PExchange, trace.S("what", "bounds"))
 	allSt := p.AllgatherInt64(st)
 	allEn := p.AllgatherInt64(en)
 	aarSt, aarEn := int64(1<<62), int64(-1)
@@ -173,7 +179,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	// Split my access per aggregator and ship the offset/length pairs.
 	// O(M) processing, O(M) request bytes on the wire.
 	t0 = p.Clock()
-	p.Trace.Begin(t0, stats.PExchange, trace.S("what", "requests"))
+	p.Trace.Begin1(t0, stats.PExchange, trace.S("what", "requests"))
 	prefix := make([]int64, len(mySegs)+1)
 	for k, s := range mySegs {
 		prefix[k+1] = prefix[k] + s.Len
@@ -268,10 +274,10 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		f.SetRound(r)
 		tag := tagData + r%1024
 		if amAgg {
-			p.Trace.Begin(p.Clock(), trace.RoundSpan,
+			p.Trace.Begin2(p.Clock(), trace.RoundSpan,
 				trace.I(trace.RoundTag, int64(r)), trace.I(trace.AggTag, int64(p.Rank())))
 		} else {
-			p.Trace.Begin(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(r)))
+			p.Trace.Begin1(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(r)))
 		}
 
 		// Aggregator: figure out this round's window pieces per client
@@ -311,7 +317,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		var sent []sentPiece
 		tSend := p.Clock()
 		if write {
-			p.Trace.Begin(tSend, stats.PComm, trace.S("what", "send"))
+			p.Trace.Begin1(tSend, stats.PComm, trace.S("what", "send"))
 		}
 		for a := 0; a < naggs; a++ {
 			alo := fdStart[a] + int64(r)*cb
@@ -331,7 +337,10 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 				for _, pt := range pieces {
 					total += pt.seg.Len
 				}
-				msg := make([]byte, 0, total)
+				// Built directly in a pooled buffer; ownership moves to
+				// the aggregator, which releases it after assembling the
+				// round's sieve input.
+				msg := bufpool.Get(total)[:0]
 				for _, pt := range pieces {
 					msg = append(msg, stream[pt.streamOff:pt.streamOff+pt.seg.Len]...)
 				}
@@ -355,10 +364,11 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 				data   []byte
 			}
 			var entries []entry
+			var payloads [][]byte
 			if write {
 				tWait := p.Clock()
-				p.Trace.Begin(tWait, stats.PComm, trace.S("what", "waitall"))
-				payloads := mpi.Waitall(recvReqs)
+				p.Trace.Begin1(tWait, stats.PComm, trace.S("what", "waitall"))
+				payloads = mpi.Waitall(recvReqs)
 				p.Stats.AddTime(stats.PComm, p.Clock()-tWait)
 				p.Trace.End(p.Clock())
 				for k, c := range recvFrom {
@@ -381,7 +391,15 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 				}
 			}
 			if len(entries) > 0 {
-				sort.Slice(entries, func(x, y int) bool { return entries[x].seg.Off < entries[y].seg.Off })
+				slices.SortFunc(entries, func(x, y entry) int {
+					switch {
+					case x.seg.Off < y.seg.Off:
+						return -1
+					case x.seg.Off > y.seg.Off:
+						return 1
+					}
+					return 0
+				})
 				segs := make([]datatype.Seg, 0, len(entries))
 				var total int64
 				for _, e := range entries {
@@ -398,46 +416,68 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 
 				// Single pass into the integrated buffer.
 				d := cfg.MemcpyTime(total)
-				p.Trace.Begin(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, total))
+				p.Trace.Begin1(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, total))
 				p.AdvanceClock(d)
 				p.Stats.AddTime(stats.PCopy, d)
 				p.Trace.End(p.Clock())
-				p.Trace.Instant(p.Clock(), "round_bytes",
+				p.Trace.Instant2(p.Clock(), "round_bytes",
 					trace.I(trace.RoundTag, int64(r)), trace.I(trace.BytesTag, total))
 
 				tio := p.Clock()
 				if write {
-					p.Trace.Begin(tio, stats.PIO, trace.S("op", "write"), trace.I(trace.BytesTag, total))
-					concat := make([]byte, 0, total)
+					p.Trace.Begin2(tio, stats.PIO, trace.S("op", "write"), trace.I(trace.BytesTag, total))
+					concat := bufpool.Get(total)[:0]
 					for _, e := range entries {
 						concat = append(concat, e.data...)
+					}
+					// The entries' views into the clients' pooled payloads
+					// are consumed; release them (receiver-releases).
+					for _, pl := range payloads {
+						bufpool.Put(pl)
 					}
 					if firstErr == nil {
 						if err := f.WriteSieve(span, segs, concat); err != nil {
 							firstErr = fmt.Errorf("twophase: round %d: %w", r, err)
 						}
 					}
+					bufpool.Put(concat) // storage copies synchronously
 					p.Stats.AddTime(stats.PIO, p.Clock()-tio)
 					p.Trace.End(p.Clock())
 				} else {
-					p.Trace.Begin(tio, stats.PIO, trace.S("op", "read"), trace.I(trace.BytesTag, total))
-					rbuf := make([]byte, total)
+					p.Trace.Begin2(tio, stats.PIO, trace.S("op", "read"), trace.I(trace.BytesTag, total))
+					rbuf := bufpool.Get(total)
 					if firstErr == nil {
 						if err := f.ReadSieve(span, segs, rbuf); err != nil {
 							firstErr = fmt.Errorf("twophase: round %d: %w", r, err)
+							// Serve deterministic zeros, as a fresh buffer
+							// would have.
+							clear(rbuf)
 						}
+					} else {
+						clear(rbuf)
 					}
 					p.Stats.AddTime(stats.PIO, p.Clock()-tio)
 					p.Trace.End(p.Clock())
-					// Ship each client its pieces.
+					// Ship each client its pieces, each built directly in a
+					// pooled buffer the client releases after unpacking.
 					tc := p.Clock()
-					p.Trace.Begin(tc, stats.PComm, trace.S("what", "send-back"))
+					p.Trace.Begin1(tc, stats.PComm, trace.S("what", "send-back"))
+					perMsg := make(map[int][]byte, p.Size())
+					for c := 0; c < p.Size(); c++ {
+						var tot int64
+						for _, pt := range perClient[c] {
+							tot += pt.seg.Len
+						}
+						if tot > 0 {
+							perMsg[c] = bufpool.Get(tot)[:0]
+						}
+					}
 					pos := int64(0)
-					perMsg := make(map[int][]byte)
 					for _, e := range entries {
 						perMsg[e.client] = append(perMsg[e.client], rbuf[pos:pos+e.seg.Len]...)
 						pos += e.seg.Len
 					}
+					bufpool.Put(rbuf)
 					for c := 0; c < p.Size(); c++ {
 						if msg, ok := perMsg[c]; ok {
 							p.Isend(c, tag, msg)
@@ -452,7 +492,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		// Client (read): collect my pieces back from the aggregators.
 		if !write {
 			tRecv := p.Clock()
-			p.Trace.Begin(tRecv, stats.PComm, trace.S("what", "recv"))
+			p.Trace.Begin1(tRecv, stats.PComm, trace.S("what", "recv"))
 			for _, sp := range sent {
 				data, _ := p.Recv(sp.agg, tag)
 				pos := int64(0)
@@ -460,6 +500,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 					copy(stream[pt.streamOff:pt.streamOff+pt.seg.Len], data[pos:pos+pt.seg.Len])
 					pos += pt.seg.Len
 				}
+				bufpool.Put(data) // pooled by the aggregator; receiver releases
 			}
 			p.Stats.AddTime(stats.PComm, p.Clock()-tRecv)
 			p.Trace.End(p.Clock())
