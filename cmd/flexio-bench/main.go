@@ -36,7 +36,18 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "run the tracked benchmark matrix and merge results into this JSON trajectory file")
 	benchLabel := flag.String("benchlabel", "after", "label to store -benchjson results under (e.g. before, after, ci)")
 	benchCheck := flag.String("benchcheck", "", "run the tracked benchmark matrix and fail if allocs/op regress >20% against the 'after' entries of this JSON file")
+	analyzeRun := flag.Bool("analyze", false, "run the diagnostic demo workload and print the collective-I/O health analyzer report")
+	metricsOut := flag.String("metrics-out", "", "run the diagnostic demo workload and write its Prometheus text exposition to this file")
+	serveAddr := flag.String("serve", "", "run the diagnostic demo workload and serve /metrics and /healthz on this address (e.g. :9090)")
 	flag.Parse()
+
+	if *analyzeRun || *metricsOut != "" || *serveAddr != "" {
+		if err := runObservability(*analyzeRun, *metricsOut, *serveAddr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" || *benchCheck != "" {
 		if err := runBenchSuite(*benchJSON, *benchLabel, *benchCheck); err != nil {

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+
+	"flexio/internal/analyze"
+	"flexio/internal/metrics"
+)
+
+// runObservability drives the observability surfaces: it runs the
+// diagnostic demo workload (deliberately misaligned realms, sparse
+// sieve-hostile accesses, one overloaded aggregator), then prints the
+// analyzer report (-analyze), writes the Prometheus text exposition
+// (-metrics-out), and/or serves /metrics and /healthz (-serve).
+func runObservability(doAnalyze bool, metricsOut, serveAddr string) error {
+	met, err := analyze.Demo()
+	if err != nil {
+		return fmt.Errorf("analyze demo workload: %w", err)
+	}
+	findings := analyze.Analyze(met.Dump(true))
+
+	if doAnalyze {
+		fmt.Print(analyze.FormatReport(findings))
+	}
+	if metricsOut != "" {
+		if err := writeMetricsFile(met, metricsOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Prometheus exposition to %s\n", metricsOut)
+	}
+	if serveAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			if err := met.WriteProm(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			status, code := "ok", http.StatusOK
+			for _, f := range findings {
+				if f.Severity == analyze.SevCritical {
+					status, code = "unhealthy", http.StatusServiceUnavailable
+					break
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			json.NewEncoder(w).Encode(struct {
+				Status   string            `json:"status"`
+				Findings []analyze.Finding `json:"findings"`
+			}{status, findings})
+		})
+		fmt.Printf("serving /metrics and /healthz on %s\n", serveAddr)
+		return http.ListenAndServe(serveAddr, mux)
+	}
+	return nil
+}
+
+// writeMetricsFile writes a Set's Prometheus text exposition to path.
+func writeMetricsFile(met *metrics.Set, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := met.WriteProm(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

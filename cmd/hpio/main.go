@@ -12,7 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
+	"flexio/internal/analyze"
 	"flexio/internal/colltest"
 	"flexio/internal/core"
 	"flexio/internal/hpio"
@@ -41,6 +43,8 @@ func main() {
 	verify := flag.Bool("verify", true, "verify the file image")
 	tracePath := flag.String("trace", "", "write the run's Chrome trace JSON (Perfetto-loadable) to this file")
 	breakdown := flag.Bool("breakdown", false, "print the per-phase/per-round trace breakdown")
+	metricsOut := flag.String("metrics-out", "", "write the run's Prometheus text exposition to this file")
+	analyzeRun := flag.Bool("analyze", false, "print the collective-I/O health analyzer report for the run")
 	flag.Parse()
 
 	wl := hpio.Pattern{
@@ -127,5 +131,22 @@ func main() {
 	if *breakdown {
 		fmt.Println()
 		fmt.Println(res.Trace.Breakdown().Format(agg))
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		if err := res.Metrics.WriteProm(f); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		fmt.Printf("\nwrote Prometheus exposition to %s\n", *metricsOut)
+	}
+	if *analyzeRun {
+		fmt.Println()
+		fmt.Print(analyze.FormatReport(analyze.Analyze(res.Metrics.Dump(true))))
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"flexio/internal/experiments"
 	"flexio/internal/stats"
@@ -29,6 +30,7 @@ func main() {
 	verify := flag.Bool("verify", false, "verify the final file image")
 	tracePath := flag.String("trace", "", "write the run's Chrome trace JSON (Perfetto-loadable) to this file")
 	breakdown := flag.Bool("breakdown", false, "print the per-phase/per-round trace breakdown")
+	metricsOut := flag.String("metrics-out", "", "write the run's Prometheus text exposition to this file")
 	flag.Parse()
 
 	if *tracePath != "" || *breakdown {
@@ -74,5 +76,18 @@ func main() {
 	if *breakdown {
 		fmt.Println()
 		fmt.Println(experiments.LastTrace.Breakdown().Format(agg))
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		if err := res.World.MetricsSet().WriteProm(f); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		fmt.Printf("\nwrote Prometheus exposition to %s\n", *metricsOut)
 	}
 }

@@ -1,0 +1,253 @@
+// Package analyze turns a metrics flight dump into a ranked list of
+// actionable findings about collective-I/O health: aggregator load skew,
+// realm/stripe misalignment, sieve read-amplification, RMW and
+// false-sharing pressure, retry storms, cold caches and pool imbalance.
+// It operates purely on the serializable metrics.Dump, so it can run
+// in-process after a collective, over a -metrics-out file, or over a
+// flight-recorder artifact from a failed CI run.
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"flexio/internal/metrics"
+)
+
+// Severity levels, most severe first.
+const (
+	SevCritical = "critical"
+	SevWarning  = "warning"
+	SevInfo     = "info"
+)
+
+// Finding is one diagnosed condition with the metric values that
+// triggered it and a hint on what to change.
+type Finding struct {
+	Severity string  `json:"severity"`
+	Code     string  `json:"code"`
+	Summary  string  `json:"summary"`
+	Hint     string  `json:"hint"`
+	Score    float64 `json:"score"`
+}
+
+func sevBase(sev string) float64 {
+	switch sev {
+	case SevCritical:
+		return 300
+	case SevWarning:
+		return 200
+	default:
+		return 100
+	}
+}
+
+// finding builds a Finding with a score derived from severity plus a
+// bounded magnitude term, so ranking is severity-major, magnitude-minor.
+func finding(sev, code, summary, hint string, magnitude float64) Finding {
+	if magnitude < 0 {
+		magnitude = 0
+	}
+	if magnitude > 99 {
+		magnitude = 99
+	}
+	return Finding{Severity: sev, Code: code, Summary: summary, Hint: hint, Score: sevBase(sev) + magnitude}
+}
+
+// Analyze inspects a dump and returns findings ranked most severe first
+// (ties broken by code for deterministic output). An empty slice means
+// nothing looked unhealthy.
+func Analyze(d *metrics.Dump) []Finding {
+	if d == nil {
+		return nil
+	}
+	var fs []Finding
+	c := func(name string) int64 { return d.Counters[name] }
+
+	// Collective abort: always the headline if present.
+	if d.Abort != nil {
+		fs = append(fs, finding(SevCritical, "abort",
+			fmt.Sprintf("collective aborted in round %d (error class %q)", d.Abort.Round, d.Abort.Class),
+			"inspect the flight-recorder rounds leading up to the abort; retries/faults columns show which rank's I/O path degraded first",
+			50))
+	}
+
+	// Aggregator load skew: sum each rank's aggregator-side receive bytes
+	// across the recorded rounds and compare the heaviest against the
+	// median active aggregator.
+	if len(d.Rounds) > 0 && d.Ranks > 0 {
+		totals := make([]int64, d.Ranks)
+		for _, rs := range d.Rounds {
+			for r, v := range rs.RecvBytes {
+				totals[r] += v
+			}
+		}
+		med := metrics.Median(totals)
+		if med > 0 {
+			maxRank, maxV := -1, int64(0)
+			for r, v := range totals {
+				if v > maxV {
+					maxRank, maxV = r, v
+				}
+			}
+			ratio := float64(maxV) / med
+			imb := metrics.Imbalance(totals)
+			if ratio >= 1.5 {
+				sev := SevWarning
+				if ratio >= 3 {
+					sev = SevCritical
+				}
+				fs = append(fs, finding(sev, "agg-skew",
+					fmt.Sprintf("aggregator %d carries %.1f× the median shuffle bytes (%d vs median %.0f; imbalance %.2f over %d rounds)",
+						maxRank, ratio, maxV, med, imb, len(d.Rounds)),
+					"realm assignment is skewed: use the load-balanced assigner (realm.LoadBalanced splits by request bytes, not extent) or a cyclic assigner so dense regions are spread across aggregators",
+					ratio))
+			}
+		}
+	}
+
+	// Realm/stripe misalignment: file-domain boundaries that cross stripes
+	// force shared locks and read-modify-write at both edges.
+	if d.StripeSize > 0 && len(d.RealmDisps) > 0 {
+		mis := 0
+		var example int64 = -1
+		for _, disp := range d.RealmDisps {
+			if disp%d.StripeSize != 0 {
+				mis++
+				if example < 0 {
+					example = disp
+				}
+			}
+		}
+		if mis > 0 {
+			sev := SevWarning
+			if mis == len(d.RealmDisps) {
+				sev = SevCritical
+			}
+			fs = append(fs, finding(sev, "realm-misaligned",
+				fmt.Sprintf("%d of %d realm displacements are not stripe-aligned (e.g. disp %d %% stripe %d = %d)",
+					mis, len(d.RealmDisps), example, d.StripeSize, example%d.StripeSize),
+				"set the aligner to the stripe size (core.Options.Align / striping-aware assigner) so each file realm maps to whole stripes and locks stay private",
+				float64(mis)/float64(len(d.RealmDisps))*10))
+		}
+	}
+
+	// Sieve read-amplification: bytes touched by sieve spans vs bytes the
+	// application actually asked for.
+	if span := c("sieve_span_bytes"); span > 0 {
+		useful := c("sieve_useful_bytes")
+		waste := 1 - float64(useful)/float64(span)
+		if waste >= 0.5 {
+			sev := SevWarning
+			if waste >= 0.9 {
+				sev = SevCritical
+			}
+			fs = append(fs, finding(sev, "sieve-waste",
+				fmt.Sprintf("data sieving moves %.0f%% padding: %d span bytes for %d useful bytes (%.1f× amplification)",
+					waste*100, span, useful, float64(span)/float64(useful)),
+				"the access pattern is too sparse for sieving: shrink the sieve buffer, switch the independent path to list I/O, or use collective buffering so holes are filled by peers instead of the disk",
+				waste*10))
+		}
+	}
+
+	// RMW pressure: unaligned writes forcing page read-modify-write.
+	if rmw := c("rmw_pages"); rmw > 0 {
+		sev := SevInfo
+		if rmw >= 64 {
+			sev = SevWarning
+		}
+		fs = append(fs, finding(sev, "rmw-pressure",
+			fmt.Sprintf("%d page read-modify-writes across %d I/O calls", rmw, c("io_calls")),
+			"write boundaries are not page-aligned: align collective buffer splits (and realm edges) to the page size so servers can write whole pages",
+			float64(rmw)/64))
+	}
+
+	// False sharing: stripe conflicts and lock revocations mean multiple
+	// clients fight over the same stripe's lock.
+	if conf, rev := c("stripe_conflicts"), c("lock_revokes"); conf+rev > 0 {
+		sev := SevInfo
+		if conf+rev > c("io_calls") {
+			sev = SevWarning
+		}
+		fs = append(fs, finding(sev, "false-sharing",
+			fmt.Sprintf("%d stripe conflicts and %d lock revocations (%d grants, %d cache flushes)",
+				conf, rev, c("lock_grants"), c("cache_flushes")),
+			"multiple clients touch the same stripe: stripe-align realm boundaries or reduce the number of writers per stripe (fewer, larger realms)",
+			float64(conf+rev)/10))
+	}
+
+	// Retry pressure: transient I/O failures being absorbed by the
+	// retry/backoff machinery — or not (giveups).
+	if give := c("io_giveups"); give > 0 {
+		fs = append(fs, finding(SevCritical, "retry-giveup",
+			fmt.Sprintf("%d I/O operations exhausted their retry budget (%d retries, %d partial resumes, %d faults injected)",
+				give, c("io_retries"), c("io_resumes"), c("faults_injected")),
+			"raise the retry limit or the backoff ceiling; a giveup aborts the whole collective via the error agreement protocol",
+			float64(give)))
+	} else if ret := c("io_retries"); ret > 0 {
+		sev := SevInfo
+		if io := c("io_calls"); io > 0 && float64(ret) >= 0.1*float64(io) {
+			sev = SevWarning
+		}
+		fs = append(fs, finding(sev, "retry-pressure",
+			fmt.Sprintf("%d retries and %d partial resumes over %d I/O calls (%d faults injected)",
+				ret, c("io_resumes"), c("io_calls"), c("faults_injected")),
+			"transient server faults are being absorbed; if this is steady-state, check server health before tuning the client",
+			float64(ret)))
+	}
+
+	// Page-cache effectiveness on the server side.
+	if hits, misses := c("page_cache_hits"), c("page_cache_misses"); hits+misses > 100 {
+		rate := float64(hits) / float64(hits+misses)
+		if rate < 0.25 {
+			fs = append(fs, finding(SevInfo, "page-cache-cold",
+				fmt.Sprintf("server page cache hit rate %.0f%% (%d hits / %d misses)", rate*100, hits, misses),
+				"reads mostly miss the server cache: persistent file realms keep aggregators re-reading the same stripes and warm the cache across collective calls",
+				(0.25-rate)*10))
+		}
+	}
+
+	// Layout-memo effectiveness: repeated collectives should hit the
+	// flattening/assignment memo.
+	if mh, mm := c("memo_hits"), c("memo_misses"); mm > mh && mm > 4 {
+		fs = append(fs, finding(SevInfo, "memo-cold",
+			fmt.Sprintf("layout memo missed %d times vs %d hits", mm, mh),
+			"each collective re-flattens its datatypes: with a stable view, persistent file realms (core.Options.Persistent) make repeated calls reuse the cached layout",
+			float64(mm-mh)))
+	}
+
+	// Buffer-pool balance: gets without matching puts mean buffers are
+	// held (or leaked) past the collective.
+	if gets, puts := c("bufpool_gets"), c("bufpool_puts"); gets > 0 && gets != puts {
+		fs = append(fs, finding(SevInfo, "pool-imbalance",
+			fmt.Sprintf("buffer pool gets/puts imbalanced: %d gets, %d puts (%d news, %d drops)",
+				gets, puts, c("bufpool_news"), c("bufpool_drops")),
+			"buffers outstanding at dump time; persistent per-file buffers are expected to be held, but a growing gap across steps is a leak (build with -tags bufpooldebug to trace)",
+			float64(gets-puts)))
+	}
+
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Score != fs[j].Score {
+			return fs[i].Score > fs[j].Score
+		}
+		return fs[i].Code < fs[j].Code
+	})
+	return fs
+}
+
+// FormatReport renders findings as a human-readable report. With no
+// findings it reports a healthy run.
+func FormatReport(fs []Finding) string {
+	var b strings.Builder
+	if len(fs) == 0 {
+		b.WriteString("collective I/O health: OK — no findings\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "collective I/O health: %d finding(s)\n", len(fs))
+	for i, f := range fs {
+		fmt.Fprintf(&b, "%2d. [%s] %s: %s\n", i+1, strings.ToUpper(f.Severity), f.Code, f.Summary)
+		fmt.Fprintf(&b, "    hint: %s\n", f.Hint)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"flexio/internal/metrics"
+)
+
+func get(fs []Finding, code string) *Finding {
+	for i := range fs {
+		if fs[i].Code == code {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+// TestAnalyzeDemo is the acceptance check for the analyzer: on the
+// deliberately misaligned, skewed demo workload it must report the
+// aggregator-imbalance and realm-misalignment findings with the metric
+// values that triggered them.
+func TestAnalyzeDemo(t *testing.T) {
+	met, err := Demo()
+	if err != nil {
+		t.Fatalf("demo workload failed: %v", err)
+	}
+	d := met.Dump(true)
+	fs := Analyze(d)
+	if len(fs) == 0 {
+		t.Fatal("no findings on the pathological demo workload")
+	}
+
+	skew := get(fs, "agg-skew")
+	if skew == nil {
+		t.Fatalf("no agg-skew finding; got %+v", fs)
+	}
+	// Rank 3's dense megabyte lands on one aggregator while the sparse
+	// ranks spread ~288 KiB each: well past the 3x critical bar.
+	if skew.Severity != SevCritical {
+		t.Errorf("agg-skew severity = %s, want critical: %s", skew.Severity, skew.Summary)
+	}
+	if !strings.Contains(skew.Summary, "aggregator 3") {
+		t.Errorf("agg-skew summary does not name the overloaded aggregator: %s", skew.Summary)
+	}
+	if !strings.Contains(skew.Summary, "median") || !strings.Contains(skew.Summary, "×") {
+		t.Errorf("agg-skew summary lacks triggering values: %s", skew.Summary)
+	}
+
+	mis := get(fs, "realm-misaligned")
+	if mis == nil {
+		t.Fatalf("no realm-misaligned finding; got %+v", fs)
+	}
+	if mis.Severity != SevCritical {
+		t.Errorf("realm-misaligned severity = %s, want critical (all realms misaligned): %s",
+			mis.Severity, mis.Summary)
+	}
+	if !strings.Contains(mis.Summary, "4 of 4") {
+		t.Errorf("realm-misaligned summary lacks the misaligned count: %s", mis.Summary)
+	}
+
+	waste := get(fs, "sieve-waste")
+	if waste == nil {
+		t.Fatalf("no sieve-waste finding; got %+v", fs)
+	}
+	if !strings.Contains(waste.Summary, "span bytes") {
+		t.Errorf("sieve-waste summary lacks the span/useful values: %s", waste.Summary)
+	}
+
+	// Findings must come ranked, most severe first.
+	for i := 1; i < len(fs); i++ {
+		if fs[i].Score > fs[i-1].Score {
+			t.Errorf("findings not ranked: %q (%.1f) after %q (%.1f)",
+				fs[i].Code, fs[i].Score, fs[i-1].Code, fs[i-1].Score)
+		}
+	}
+
+	rep := FormatReport(fs)
+	if !strings.Contains(rep, "CRITICAL") || !strings.Contains(rep, "hint:") {
+		t.Errorf("report missing severity/hints:\n%s", rep)
+	}
+}
+
+// TestAnalyzeHealthy: an empty dump yields no findings and an OK report.
+func TestAnalyzeHealthy(t *testing.T) {
+	s := metrics.NewSet(2)
+	if fs := Analyze(s.Dump(true)); len(fs) != 0 {
+		t.Fatalf("findings on empty dump: %+v", fs)
+	}
+	if rep := FormatReport(nil); !strings.Contains(rep, "OK") {
+		t.Errorf("healthy report = %q", rep)
+	}
+	if Analyze(nil) != nil {
+		t.Error("Analyze(nil) != nil")
+	}
+}
+
+// TestAnalyzeAbortAndRetries exercises the failure-path findings on a
+// synthetic dump.
+func TestAnalyzeAbortAndRetries(t *testing.T) {
+	d := &metrics.Dump{
+		Schema:     metrics.DumpSchema,
+		Ranks:      2,
+		NAggs:      2,
+		StripeSize: 1 << 20,
+		Abort:      &metrics.AbortInfo{Round: 3, Class: "io"},
+		Counters: map[string]int64{
+			"io_calls":   100,
+			"io_retries": 40,
+			"io_giveups": 2,
+		},
+	}
+	fs := Analyze(d)
+	ab := get(fs, "abort")
+	if ab == nil || ab.Severity != SevCritical {
+		t.Fatalf("abort finding missing or wrong severity: %+v", fs)
+	}
+	if !strings.Contains(ab.Summary, "round 3") || !strings.Contains(ab.Summary, `"io"`) {
+		t.Errorf("abort summary lacks round/class: %s", ab.Summary)
+	}
+	if g := get(fs, "retry-giveup"); g == nil || g.Severity != SevCritical {
+		t.Fatalf("retry-giveup finding missing or wrong severity: %+v", fs)
+	}
+	// Giveups supersede the plain retry-pressure finding.
+	if get(fs, "retry-pressure") != nil {
+		t.Error("retry-pressure reported alongside retry-giveup")
+	}
+}

@@ -1,0 +1,94 @@
+package analyze
+
+import (
+	"fmt"
+
+	"flexio/internal/core"
+	"flexio/internal/datatype"
+	"flexio/internal/metrics"
+	"flexio/internal/mpi"
+	"flexio/internal/mpiio"
+	"flexio/internal/pfs"
+	"flexio/internal/sim"
+)
+
+// Demo runs a deliberately unhealthy collective write — misaligned realm
+// displacements, a sparse access pattern that defeats data sieving, and
+// one rank with far denser data than the rest so its aggregator is
+// overloaded — and returns the resulting metrics set. It exists so
+// `flexio-bench -analyze` (and the analyzer tests) have a workload whose
+// findings are known in advance.
+func Demo() (*metrics.Set, error) {
+	cfg := sim.DefaultConfig()
+	const (
+		ranks   = 4
+		sparse  = ranks - 1 // ranks 0..2 write sparse blocks; rank 3 dense
+		block   = 384       // bytes written per stride by each sparse rank
+		stride  = 4096      // distance between a sparse rank's blocks
+		sparseN = 768       // blocks per sparse rank -> 3 MiB sparse region
+		dense   = int64(1) << 20
+		// Deliberately not a multiple of the stripe (or even the page)
+		// size, so every realm boundary lands mid-stripe.
+		baseDisp = int64(1000)
+	)
+	region := int64(sparseN) * stride
+
+	w := mpi.NewWorld(ranks, cfg)
+	met := w.EnableMetrics()
+	fs := pfs.NewFileSystem(cfg)
+	info := mpiio.Info{
+		// Even realms over the aggregate extent, no alignment, sieving
+		// aggregators: the configuration the analyzer should object to.
+		Collective:  core.New(core.Options{Method: mpiio.DataSieve}),
+		CollBufSize: 256 << 10,
+	}
+
+	errs := make(chan error, ranks)
+	w.Run(func(p *mpi.Proc) {
+		f, err := mpiio.Open(p, fs, "demo.dat", info)
+		if err != nil {
+			errs <- err
+			return
+		}
+		var (
+			ft   datatype.Type
+			disp int64
+			buf  []byte
+		)
+		if p.Rank() < sparse {
+			// Interleaved sparse writers: 384-byte blocks every 4 KiB,
+			// offset per rank so the three never overlap.
+			ft, err = datatype.Resized(datatype.Bytes(block), stride)
+			if err != nil {
+				errs <- err
+				return
+			}
+			disp = baseDisp + int64(p.Rank())*block
+			buf = make([]byte, sparseN*block)
+		} else {
+			// One dense writer at the tail of the file: its realm's
+			// aggregator receives ~3.6x the median shuffle bytes.
+			ft = datatype.Bytes(dense)
+			disp = baseDisp + region
+			buf = make([]byte, dense)
+		}
+		for i := range buf {
+			buf[i] = byte(p.Rank()*31 + i)
+		}
+		if err := f.SetView(disp, datatype.Bytes(1), ft); err != nil {
+			errs <- err
+			return
+		}
+		if err := f.WriteAll(buf, datatype.Bytes(int64(len(buf))), 1); err != nil {
+			errs <- fmt.Errorf("rank %d: %w", p.Rank(), err)
+			return
+		}
+		errs <- f.Close()
+	})
+	for i := 0; i < ranks; i++ {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	return met, nil
+}

@@ -16,6 +16,7 @@ import (
 	"flexio/internal/core"
 	"flexio/internal/datatype"
 	"flexio/internal/hpio"
+	"flexio/internal/metrics"
 	"flexio/internal/mpi"
 	"flexio/internal/mpiio"
 	"flexio/internal/pfs"
@@ -44,6 +45,10 @@ type Config struct {
 	// CollBuf overrides cb_buffer_size (0 = default), kept small enough
 	// that every step runs multiple two-phase rounds.
 	CollBuf int64
+	// NoMetrics disables the live metrics registry for this session.
+	// Metrics are on by default — they are allocation-free on the steady
+	// state — and the overhead guard test compares the two settings.
+	NoMetrics bool
 }
 
 // steadyPattern is the shared workload: interleaved regions, noncontiguous
@@ -136,6 +141,7 @@ type Session struct {
 	files []*mpiio.File
 	bufs  [][]byte
 	mt    datatype.Type
+	met   *metrics.Set
 }
 
 // NewSession builds the world, opens the file collectively, installs the
@@ -150,7 +156,12 @@ func NewSession(cfg Config) (*Session, error) {
 		files: make([]*mpiio.File, wl.Ranks),
 		bufs:  make([][]byte, wl.Ranks),
 	}
+	if !cfg.NoMetrics {
+		s.met = s.world.EnableMetrics()
+	}
 	info := cfg.info()
+	mt, bufLen := wl.Memtype()
+	s.mt = mt
 	errs := make(chan error, wl.Ranks)
 	s.world.Run(func(p *mpi.Proc) {
 		f, err := mpiio.Open(p, s.fs, "bench.dat", info)
@@ -164,8 +175,6 @@ func NewSession(cfg Config) (*Session, error) {
 			return
 		}
 		s.files[p.Rank()] = f
-		mt, bufLen := wl.Memtype()
-		s.mt = mt
 		s.bufs[p.Rank()] = make([]byte, bufLen)
 		copy(s.bufs[p.Rank()], wl.FillBuffer(p.Rank()))
 		errs <- nil
@@ -219,6 +228,35 @@ func (s *Session) step(write bool) error {
 // Elapsed returns the latest virtual clock across ranks.
 func (s *Session) Elapsed() sim.Time { return s.world.MaxClock() }
 
+// Metrics exposes the session's live registry set (nil with NoMetrics).
+func (s *Session) Metrics() *metrics.Set { return s.met }
+
+// Health summarizes collective health from the session's metrics:
+// aggregator shuffle imbalance over the recorded rounds, sieve
+// read-amplification (span/useful, 1.0 = no padding moved), and server
+// page-cache hit rate. All zero when metrics are disabled.
+func (s *Session) Health() (imbalance, sieveAmp, cacheHit float64) {
+	if s.met == nil {
+		return 0, 0, 0
+	}
+	d := s.met.Dump(false)
+	totals := make([]int64, d.Ranks)
+	for _, rs := range d.Rounds {
+		for r, v := range rs.RecvBytes {
+			totals[r] += v
+		}
+	}
+	imbalance = metrics.Imbalance(totals)
+	m := s.met.Merged()
+	if useful := m.Counter(metrics.CSieveUsefulBytes); useful > 0 {
+		sieveAmp = float64(m.Counter(metrics.CSieveSpanBytes)) / float64(useful)
+	}
+	if h, mi := m.Counter(metrics.CPageCacheHits), m.Counter(metrics.CPageCacheMisses); h+mi > 0 {
+		cacheHit = float64(h) / float64(h+mi)
+	}
+	return imbalance, sieveAmp, cacheHit
+}
+
 // World exposes the session's simulated world (for stats inspection).
 func (s *Session) World() *mpi.World { return s.world }
 
@@ -259,4 +297,8 @@ func Run(b *testing.B, cfg Config) {
 		b.Fatal(err)
 	}
 	b.ReportMetric((s.Elapsed()-start).Seconds()/float64(b.N), "virt-s/op")
+	imb, amp, hit := s.Health()
+	b.ReportMetric(imb, "imbalance")
+	b.ReportMetric(amp, "sieve-amp")
+	b.ReportMetric(hit, "cache-hit")
 }

@@ -16,6 +16,11 @@ type Result struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
 	VirtSecPerOp float64 `json:"virt_sec_per_op"`
+	// Health snapshot from the live metrics registry (see Session.Health);
+	// zero values are omitted so older trajectory entries stay readable.
+	Imbalance          float64 `json:"imbalance,omitempty"`
+	SieveAmplification float64 `json:"sieve_amplification,omitempty"`
+	PageCacheHitRate   float64 `json:"page_cache_hit_rate,omitempty"`
 }
 
 // File is the on-disk trajectory: label ("before", "after", ...) to the
@@ -43,11 +48,14 @@ func Measure(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("benchsuite: %s failed to run", cfg.Name)
 	}
 	return Result{
-		Name:         cfg.Name,
-		NsPerOp:      float64(r.NsPerOp()),
-		BytesPerOp:   r.AllocedBytesPerOp(),
-		AllocsPerOp:  r.AllocsPerOp(),
-		VirtSecPerOp: r.Extra["virt-s/op"],
+		Name:               cfg.Name,
+		NsPerOp:            float64(r.NsPerOp()),
+		BytesPerOp:         r.AllocedBytesPerOp(),
+		AllocsPerOp:        r.AllocsPerOp(),
+		VirtSecPerOp:       r.Extra["virt-s/op"],
+		Imbalance:          r.Extra["imbalance"],
+		SieveAmplification: r.Extra["sieve-amp"],
+		PageCacheHitRate:   r.Extra["cache-hit"],
 	}, nil
 }
 

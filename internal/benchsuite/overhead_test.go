@@ -1,0 +1,90 @@
+package benchsuite
+
+import (
+	"testing"
+
+	"flexio/internal/metrics"
+)
+
+func trackedConfig(t testing.TB, name string) Config {
+	t.Helper()
+	for _, c := range Default() {
+		if c.Name == name {
+			return c
+		}
+	}
+	t.Fatalf("tracked config %q missing from matrix", name)
+	return Config{}
+}
+
+// TestMetricsZeroOverhead is the zero-overhead guard: enabling the live
+// metrics registry (counters, phase histograms, flight recorder) must not
+// add a single allocation per steady-state collective call on the
+// persistent-file-realm path. The baseline Step cost (goroutine spawns
+// etc.) is measured with metrics disabled and the instrumented run must
+// not exceed it.
+func TestMetricsZeroOverhead(t *testing.T) {
+	cfg := trackedConfig(t, "core-pfr/nonblocking/write")
+	measure := func(noMetrics bool) (float64, *Session) {
+		c := cfg
+		c.NoMetrics = noMetrics
+		s, err := NewSession(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return allocs, s
+	}
+	off, offSes := measure(true)
+	on, onSes := measure(false)
+	if on > off {
+		t.Errorf("metrics add allocations on the steady-state PFR path: %.1f allocs/op enabled vs %.1f disabled", on, off)
+	}
+
+	// The comparison is only meaningful if the instrumented session was
+	// actually recording.
+	if offSes.Metrics() != nil {
+		t.Error("NoMetrics session has a metrics set")
+	}
+	m := onSes.Metrics()
+	if m == nil {
+		t.Fatal("instrumented session has no metrics set")
+	}
+	if m.Merged().Counter(metrics.CRounds) == 0 {
+		t.Fatal("instrumented session recorded no rounds")
+	}
+	if len(m.Dump(false).Rounds) == 0 {
+		t.Fatal("instrumented session has an empty flight recorder")
+	}
+}
+
+// BenchmarkMetricsOverhead measures the same comparison as a tracked
+// benchmark: the steady-state PFR write step with and without the
+// registry.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name      string
+		noMetrics bool
+	}{{"metrics-on", false}, {"metrics-off", true}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := trackedConfig(b, "core-pfr/nonblocking/write")
+			cfg.NoMetrics = mode.noMetrics
+			s, err := NewSession(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -21,10 +21,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 
 	"flexio/internal/core"
 	"flexio/internal/datatype"
 	"flexio/internal/hpio"
+	"flexio/internal/metrics"
 	"flexio/internal/mpi"
 	"flexio/internal/mpiio"
 	"flexio/internal/pfs"
@@ -184,6 +186,10 @@ type Outcome struct {
 	// Trace is the virtual-time event record, exportable as a Chrome
 	// trace for postmortems.
 	Trace *trace.Sink
+	// Metrics is the live registry set; its flight recorder holds the
+	// rounds leading up to an abort and is dumped as a postmortem
+	// artifact alongside the trace.
+	Metrics *metrics.Set
 }
 
 // Run executes the scenario and checks every invariant. The returned error
@@ -230,6 +236,7 @@ func (s Scenario) Run() (*Outcome, error) {
 
 	// Trace and time only the faulted phase.
 	sink := w.EnableTracing(0)
+	met := w.EnableMetrics()
 	w.ResetClocks()
 	fs.ResetTiming()
 	sched := s.schedule()
@@ -274,6 +281,7 @@ func (s Scenario) Run() (*Outcome, error) {
 		Stats:    stats.Merge(w.Recorders()...),
 		Elapsed:  w.MaxClock(),
 		Trace:    sink,
+		Metrics:  met,
 	}
 
 	// Invariant 1: agreement. All ranks succeed, or all ranks fail with
@@ -402,7 +410,10 @@ func Quick() []Scenario {
 
 // Soak runs the scenarios, logging one line each via logf. Failing
 // scenarios export their Chrome trace into traceDir (when non-empty) as
-// <name>.trace.json. It returns the number of invariant violations.
+// <name>.trace.json; scenarios that aborted or violated an invariant
+// additionally dump their flight recorder as <name>.flight.json (the
+// canonical, byte-deterministic form — see TestFlightDumpDeterministic).
+// It returns the number of invariant violations.
 func Soak(scenarios []Scenario, traceDir string, logf func(format string, args ...any)) int {
 	failures := 0
 	for _, s := range scenarios {
@@ -424,12 +435,34 @@ func Soak(scenarios []Scenario, traceDir string, logf func(format string, args .
 		}
 		logf("%-44s class=%-9s inj=%-3d retry=%-3d resume=%-3d t=%8.3fms  %s",
 			s.Name(), class, injected, retries, resumes, float64(elapsed)*1e3, status)
-		if err != nil && traceDir != "" && out != nil && out.Trace != nil {
+		if traceDir == "" || out == nil {
+			continue
+		}
+		if err != nil && out.Trace != nil {
 			path := traceDir + "/" + s.Name() + ".trace.json"
 			if werr := out.Trace.WriteChromeTraceFile(path); werr == nil {
 				logf("  trace written to %s", path)
 			}
 		}
+		if (err != nil || out.Class != mpiio.ClassOK) && out.Metrics != nil {
+			path := traceDir + "/" + s.Name() + ".flight.json"
+			if werr := writeFlightFile(out.Metrics, path); werr == nil {
+				logf("  flight recorder written to %s", path)
+			}
+		}
 	}
 	return failures
+}
+
+// writeFlightFile dumps the canonical flight-recorder JSON to path.
+func writeFlightFile(met *metrics.Set, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := met.Dump(false).WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

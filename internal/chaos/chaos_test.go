@@ -1,11 +1,26 @@
 package chaos
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
+	"path/filepath"
 	"testing"
 
+	"flexio/internal/metrics"
+	"flexio/internal/mpiio"
 	"flexio/internal/stats"
 )
+
+// out0Dump parses a canonical dump back for structural assertions.
+func out0Dump(t *testing.T, b []byte) *metrics.Dump {
+	t.Helper()
+	var d metrics.Dump
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatalf("flight dump does not parse: %v", err)
+	}
+	return &d
+}
 
 // TestChaosMatrix runs the seeded scenario grid (the short-mode subset
 // covers one scenario per fault pattern) and asserts every robustness
@@ -23,10 +38,18 @@ func TestChaosMatrix(t *testing.T) {
 			t.Parallel()
 			out, err := s.Run()
 			if err != nil {
-				if traceDir != "" && out != nil && out.Trace != nil {
-					path := traceDir + "/" + s.Name() + ".trace.json"
-					if werr := out.Trace.WriteChromeTraceFile(path); werr == nil {
-						t.Logf("chrome trace written to %s", path)
+				if traceDir != "" && out != nil {
+					if out.Trace != nil {
+						path := traceDir + "/" + s.Name() + ".trace.json"
+						if werr := out.Trace.WriteChromeTraceFile(path); werr == nil {
+							t.Logf("chrome trace written to %s", path)
+						}
+					}
+					if out.Metrics != nil {
+						path := traceDir + "/" + s.Name() + ".flight.json"
+						if werr := writeFlightFile(out.Metrics, path); werr == nil {
+							t.Logf("flight recorder written to %s", path)
+						}
 					}
 				}
 				t.Fatal(err)
@@ -56,5 +79,56 @@ func TestChaosDeterministic(t *testing.T) {
 		if x, y := a.Stats.Counter(c), b.Stats.Counter(c); x != y {
 			t.Errorf("counter %q not deterministic: %d vs %d", c, x, y)
 		}
+	}
+}
+
+// TestFlightDumpDeterministic: for a fixed chaos seed, the canonical
+// flight-recorder dump — the postmortem artifact Soak writes for aborted
+// scenarios — must be byte-identical across runs. This is what makes a CI
+// flight.json artifact directly diffable against a local reproduction.
+func TestFlightDumpDeterministic(t *testing.T) {
+	// A scenario that aborts: hard error confined to round 1, so the dump
+	// carries both round traffic and the abort context.
+	s := Scenario{Engine: "core-nb", Write: true, Method: mpiio.DataSieve, Fault: FaultRound1, Seed: 42}
+	dumps := make([][]byte, 2)
+	for i := range dumps {
+		out, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Class == mpiio.ClassOK {
+			t.Fatal("scenario unexpectedly succeeded; dump would carry no abort")
+		}
+		var buf bytes.Buffer
+		if err := out.Metrics.Dump(false).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		dumps[i] = buf.Bytes()
+	}
+	if !bytes.Equal(dumps[0], dumps[1]) {
+		t.Errorf("canonical flight dumps differ between identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+			dumps[0], dumps[1])
+	}
+	d := out0Dump(t, dumps[0])
+	if d.Abort == nil {
+		t.Error("dump carries no abort context")
+	}
+
+	// The Soak file path produces the same bytes.
+	dir := t.TempDir()
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "x.flight.json")
+	if err := writeFlightFile(out.Metrics, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, dumps[0]) {
+		t.Error("Soak flight file differs from in-memory canonical dump")
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"flexio/internal/datatype"
 	"flexio/internal/hpio"
+	"flexio/internal/metrics"
 	"flexio/internal/mpi"
 	"flexio/internal/mpiio"
 	"flexio/internal/pfs"
@@ -39,6 +40,10 @@ type Result struct {
 	// harness always traces, so equivalence tests can assert
 	// well-formedness alongside data correctness).
 	Trace *trace.Sink
+	// Metrics is the live registry set of the measured phase (the harness
+	// always enables metrics — they are allocation-free — so coherence
+	// tests can compare them against stats and trace).
+	Metrics *metrics.Set
 }
 
 // CheckTrace verifies the recorded trace is well formed: balanced spans and
@@ -107,6 +112,7 @@ func RunReadBack(cfg *sim.Config, wl Workload, info mpiio.Info) (Result, error) 
 	// Trace only the measured phase: timestamps restart at zero with the
 	// clocks.
 	sink := w.EnableTracing(0)
+	met := w.EnableMetrics()
 	w.ResetClocks()
 	fs.ResetTiming()
 	errs := make(chan error, wl.Ranks)
@@ -142,12 +148,13 @@ func RunReadBack(cfg *sim.Config, wl Workload, info mpiio.Info) (Result, error) 
 			return Result{}, err
 		}
 	}
-	return Result{Elapsed: w.MaxClock() - start, World: w, FS: fs, Trace: sink}, nil
+	return Result{Elapsed: w.MaxClock() - start, World: w, FS: fs, Trace: sink, Metrics: met}, nil
 }
 
 func run(cfg *sim.Config, wl Workload, info mpiio.Info, write bool, steps int) (Result, error) {
 	w := mpi.NewWorld(wl.Ranks, cfg)
 	sink := w.EnableTracing(0)
+	met := w.EnableMetrics()
 	fs := pfs.NewFileSystem(cfg)
 	errs := make(chan error, wl.Ranks)
 	w.Run(func(p *mpi.Proc) {
@@ -181,6 +188,7 @@ func run(cfg *sim.Config, wl Workload, info mpiio.Info, write bool, steps int) (
 		World:   w,
 		FS:      fs,
 		Trace:   sink,
+		Metrics: met,
 	}
 	res.Image = fs.Snapshot("coll.dat", int64(len(wl.Reference())))
 	return res, nil

@@ -7,6 +7,7 @@ import (
 
 	"flexio/internal/bufpool"
 	"flexio/internal/datatype"
+	"flexio/internal/metrics"
 	"flexio/internal/mpi"
 	"flexio/internal/mpiio"
 	"flexio/internal/realm"
@@ -119,6 +120,7 @@ type rankScratch struct {
 	reqs         []*mpi.Request
 	from         []int
 	heap         realmHeap
+	realmDisps   []int64
 }
 
 func (i *Impl) scratchFor(rank int) *rankScratch {
@@ -294,7 +296,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			aarEn = allEn[r]
 		}
 	}
-	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+	p.ChargeTime(stats.PExchange, p.Clock()-t0)
 	p.Trace.End(p.Clock())
 	if aarEn <= aarSt {
 		return nil
@@ -311,6 +313,26 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		}
 	}
 
+	// --- Metrics: realm layout health (alignment against the actual
+	// stripe width) and the flight recorder's layout context. ---
+	if p.Metrics != nil {
+		stripe := f.FS().Config().StripeSize
+		scr.realmDisps = sized(scr.realmDisps, len(realms))
+		var misaligned int64
+		for k := range realms {
+			scr.realmDisps[k] = realms[k].Disp
+			if realms[k].Disp%stripe != 0 {
+				misaligned++
+			}
+		}
+		p.Metrics.Add(metrics.CRealmsAssigned, int64(len(realms)))
+		p.Metrics.Add(metrics.CRealmsMisaligned, misaligned)
+		p.Metrics.SetGauge(metrics.GNAggs, float64(naggs))
+		if p.Rank() == 0 {
+			p.Metrics.SetRealmContext(naggs, stripe, i.o.Align, scr.realmDisps)
+		}
+	}
+
 	// --- Memoized layout lookup (client side). The key pins everything
 	// the piece lists depend on; see memo.go for the invalidation rules.
 	// On a hit, the request encoding and intersections are reused and the
@@ -323,10 +345,12 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	clientHit := ce != nil
 	if clientHit {
 		p.Stats.Add(stats.CIsectCacheHits, 1)
+		p.Metrics.Inc(metrics.CMemoHits)
 		p.Trace.Instant2(p.Clock(), "isect_cache",
 			trace.S("side", "client"), trace.S("result", "hit"))
 	} else {
 		p.Stats.Add(stats.CIsectCacheMisses, 1)
+		p.Metrics.Inc(metrics.CMemoMisses)
 		p.Trace.Instant2(p.Clock(), "isect_cache",
 			trace.S("side", "client"), trace.S("result", "miss"))
 		ce = &clientEntry{}
@@ -365,11 +389,13 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		aggHit = ae != nil
 		if aggHit {
 			p.Stats.Add(stats.CIsectCacheHits, 1)
+			p.Metrics.Inc(metrics.CMemoHits)
 			p.Trace.Instant2(p.Clock(), "isect_cache",
 				trace.S("side", "agg"), trace.S("result", "hit"))
 			f.ChargePairs(ae.charges[0]) // tree-expansion replay
 		} else {
 			p.Stats.Add(stats.CIsectCacheMisses, 1)
+			p.Metrics.Inc(metrics.CMemoMisses)
 			p.Trace.Instant2(p.Clock(), "isect_cache",
 				trace.S("side", "agg"), trace.S("result", "miss"))
 			ae = &aggEntry{}
@@ -394,7 +420,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			ae.charges = append(ae.charges, expand)
 		}
 	}
-	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+	p.ChargeTime(stats.PExchange, p.Clock()-t0)
 	p.Trace.End(p.Clock())
 
 	// --- Client-side intersection: my access against every realm. ---
@@ -749,6 +775,8 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 		} else {
 			p.Trace.Begin1(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(r)))
 		}
+		probe := p.Metrics.BeginRound(p.Stats)
+		var roundRecv int64
 		var payload map[int][]byte
 		var recvIov [][][]byte
 
@@ -767,7 +795,7 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 			t0 := p.Clock()
 			p.Trace.Begin1(t0, stats.PComm, trace.S("what", "alltoallv"))
 			recvIov = p.AlltoallvIov(send)
-			p.Stats.AddTime(stats.PComm, p.Clock()-t0)
+			p.ChargeTime(stats.PComm, p.Clock()-t0)
 			p.Trace.End(p.Clock())
 		} else {
 			// Nonblocking: post receives, send, then overlap the
@@ -792,14 +820,14 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 					d := cfg.MemcpyTime(int64(len(msg)))
 					p.Trace.Begin1(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, int64(len(msg))))
 					p.AdvanceClock(d)
-					p.Stats.AddTime(stats.PCopy, d)
+					p.ChargeTime(stats.PCopy, d)
 					p.Trace.End(p.Clock())
 					// Ownership of the pooled msg passes to the
 					// receiving aggregator here.
 					p.Isend(a, tagData+r%1024, msg)
 				}
 			}
-			p.Stats.AddTime(stats.PComm, p.Clock()-t0)
+			p.ChargeTime(stats.PComm, p.Clock()-t0)
 			p.Trace.End(p.Clock())
 
 			// Overlap: previous round's I/O happens while this
@@ -816,7 +844,7 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 					payload[c] = data[k]
 				}
 			}
-			p.Stats.AddTime(stats.PComm, p.Clock()-t0)
+			p.ChargeTime(stats.PComm, p.Clock()-t0)
 			p.Trace.End(p.Clock())
 			scr.reqs, scr.from = reqs[:0], from[:0]
 		}
@@ -830,6 +858,7 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 			} else {
 				entries, segs, total = mergeEntries(scr, aggPieces, r, payload)
 			}
+			roundRecv = total
 			if total > 0 {
 				p.Trace.Instant2(p.Clock(), "round_bytes",
 					trace.I(trace.RoundTag, int64(r)), trace.I(trace.BytesTag, total))
@@ -844,7 +873,7 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 					d := cfg.MemcpyTime(total)
 					p.Trace.Begin1(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, total))
 					p.AdvanceClock(d)
-					p.Stats.AddTime(stats.PCopy, d)
+					p.ChargeTime(stats.PCopy, d)
 					p.Trace.End(p.Clock())
 				}
 				pendSegs, pendData = segs, concat
@@ -863,9 +892,21 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 		}
 		p.Trace.End(p.Clock()) // round span
 
+		// Flight record before the boundary agreement, so an aborting
+		// round's exchange traffic is still captured. (The last round's
+		// pipelined write lands after its record — see the final flush.)
+		if p.Metrics != nil {
+			var sendBytes int64
+			for a := 0; a < naggs; a++ {
+				sendBytes += myPieces[a].bytes(r)
+			}
+			p.Metrics.EndRound(p.Stats, probe, r, amAgg, sendBytes, roundRecv)
+		}
+
 		// Round boundary: agree on the worst error class so every rank
 		// aborts (or continues) together.
 		if err := mpiio.AgreeError(p, firstErr); err != nil {
+			p.Metrics.NoteAbort(r, mpiio.ClassName(mpiio.ErrorClass(err)))
 			bufpool.Put(pendData)
 			f.SetRound(-1)
 			return err
@@ -878,7 +919,11 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 	flush(ntimes - 1)
 	p.Trace.End(p.Clock())
 	f.SetRound(-1)
-	return mpiio.AgreeError(p, firstErr)
+	if err := mpiio.AgreeError(p, firstErr); err != nil {
+		p.Metrics.NoteAbort(ntimes-1, mpiio.ClassName(mpiio.ErrorClass(err)))
+		return err
+	}
+	return nil
 }
 
 func (i *Impl) readRounds(f *mpiio.File, scr *rankScratch, stream []byte, realms []realm.Realm,
@@ -906,6 +951,8 @@ func (i *Impl) readRounds(f *mpiio.File, scr *rankScratch, stream []byte, realms
 		// (freed by the receiving client) and views of the pooled read
 		// buffer on the iovec path (the read buffer is retired only after
 		// the round's AgreeError, once every client has placed its data).
+		probe := p.Metrics.BeginRound(p.Stats)
+		var roundRecv int64
 		perClient := scr.payload
 		clear(perClient)
 		var sendIov [][][]byte
@@ -915,6 +962,7 @@ func (i *Impl) readRounds(f *mpiio.File, scr *rankScratch, stream []byte, realms
 		var retire []byte
 		if amAgg {
 			entries, segs, total := mergeEntries(scr, aggPieces, r, nil)
+			roundRecv = total
 			if total > 0 {
 				p.Trace.Instant2(p.Clock(), "round_bytes",
 					trace.I(trace.RoundTag, int64(r)), trace.I(trace.BytesTag, total))
@@ -967,7 +1015,7 @@ func (i *Impl) readRounds(f *mpiio.File, scr *rankScratch, stream []byte, realms
 					d := cfg.MemcpyTime(total)
 					p.Trace.Begin1(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, total))
 					p.AdvanceClock(d)
-					p.Stats.AddTime(stats.PCopy, d)
+					p.ChargeTime(stats.PCopy, d)
 					p.Trace.End(p.Clock())
 				}
 			}
@@ -1009,9 +1057,20 @@ func (i *Impl) readRounds(f *mpiio.File, scr *rankScratch, stream []byte, realms
 			}
 			scr.reqs, scr.from = reqs[:0], from[:0]
 		}
-		p.Stats.AddTime(stats.PComm, p.Clock()-t0)
+		p.ChargeTime(stats.PComm, p.Clock()-t0)
 		p.Trace.End(p.Clock())
 		p.Trace.End(p.Clock()) // round span
+
+		// Flight record: send_bytes is this rank's exchange volume with
+		// the aggregators (read-back direction), recv_bytes the merged
+		// realm window at the aggregator.
+		if p.Metrics != nil {
+			var sendBytes int64
+			for a := 0; a < naggs; a++ {
+				sendBytes += myPieces[a].bytes(r)
+			}
+			p.Metrics.EndRound(p.Stats, probe, r, amAgg, sendBytes, roundRecv)
+		}
 
 		// Round boundary: agree on the worst error class so every rank
 		// aborts (or continues) together. It also proves every client has
@@ -1020,6 +1079,7 @@ func (i *Impl) readRounds(f *mpiio.File, scr *rankScratch, stream []byte, realms
 		err := mpiio.AgreeError(p, firstErr)
 		bufpool.Put(retire)
 		if err != nil {
+			p.Metrics.NoteAbort(r, mpiio.ClassName(mpiio.ErrorClass(err)))
 			f.SetRound(-1)
 			return err
 		}

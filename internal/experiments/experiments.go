@@ -109,6 +109,9 @@ func RunSteps(cfg *sim.Config, ranks int, info mpiio.Info, steps int,
 	if TraceCapacity > 0 {
 		w.EnableTracing(TraceCapacity)
 	}
+	// Metrics are allocation-free; always on so drivers can export the
+	// exposition or run the analyzer via World.MetricsSet.
+	w.EnableMetrics()
 	fs := pfs.NewFileSystem(cfg)
 	errs := make(chan error, ranks)
 	w.Run(func(p *mpi.Proc) {

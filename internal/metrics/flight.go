@@ -1,0 +1,352 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+
+	"flexio/internal/bufpool"
+)
+
+// RoundRecord is one structured flight-recorder entry: what a single rank
+// did in a single two-phase round. Byte and event fields are functions of
+// the program order of the workload and fault schedule only, so they are
+// deterministic across runs with the same seed; the *Sec virtual-time
+// fields depend on goroutine scheduling and are therefore excluded from
+// canonical dumps (see Dump / WriteJSON).
+type RoundRecord struct {
+	Round            int     `json:"round"`
+	Agg              bool    `json:"agg"`
+	SendBytes        int64   `json:"send_bytes"`
+	RecvBytes        int64   `json:"recv_bytes"`
+	SieveSpanBytes   int64   `json:"sieve_span_bytes,omitempty"`
+	SieveUsefulBytes int64   `json:"sieve_useful_bytes,omitempty"`
+	Faults           int64   `json:"faults,omitempty"`
+	Retries          int64   `json:"retries,omitempty"`
+	Resumes          int64   `json:"resumes,omitempty"`
+	CommSec          float64 `json:"comm_sec,omitempty"`
+	IOSec            float64 `json:"io_sec,omitempty"`
+	CopySec          float64 `json:"copy_sec,omitempty"`
+	ExchangeSec      float64 `json:"exchange_sec,omitempty"`
+	BackoffSec       float64 `json:"backoff_sec,omitempty"`
+}
+
+// Flight is the shared, bounded flight recorder: one RoundRecord ring per
+// rank plus the realm context of the current collective and the first
+// abort observed. Per-rank recording is lock-free (each ring is owned by
+// its rank's goroutine); only the shared context/abort fields take the
+// mutex, and those are written once per collective or per failure.
+type Flight struct {
+	mu         sync.Mutex
+	ranks      []FlightRank
+	naggs      int
+	stripe     int64
+	align      int64
+	disps      []int64
+	abortRound int // -1 while no abort has been observed
+	abortClass string
+}
+
+// FlightRank is one rank's bounded ring of round records. A nil
+// *FlightRank records nothing.
+type FlightRank struct {
+	f       *Flight
+	rank    int
+	recs    []RoundRecord
+	head    int // next slot to overwrite
+	n       int // live records, <= len(recs)
+	dropped int64
+}
+
+// Record appends one round record, overwriting the oldest once the ring is
+// full. It never allocates.
+func (fr *FlightRank) Record(rec RoundRecord) {
+	if fr == nil || len(fr.recs) == 0 {
+		return
+	}
+	fr.recs[fr.head] = rec
+	fr.head++
+	if fr.head == len(fr.recs) {
+		fr.head = 0
+	}
+	if fr.n < len(fr.recs) {
+		fr.n++
+	} else {
+		fr.dropped++
+	}
+}
+
+// Len returns the number of live records (zero on nil).
+func (fr *FlightRank) Len() int {
+	if fr == nil {
+		return 0
+	}
+	return fr.n
+}
+
+// Dropped returns how many records were overwritten after the ring filled.
+func (fr *FlightRank) Dropped() int64 {
+	if fr == nil {
+		return 0
+	}
+	return fr.dropped
+}
+
+// at returns the i-th oldest live record.
+func (fr *FlightRank) at(i int) RoundRecord {
+	start := fr.head - fr.n
+	if start < 0 {
+		start += len(fr.recs)
+	}
+	j := start + i
+	if j >= len(fr.recs) {
+		j -= len(fr.recs)
+	}
+	return fr.recs[j]
+}
+
+// setContext records the realm layout of the current collective. The
+// common steady-state case — persistent realms, identical layout every
+// call — is recognized by comparing against the stored context, so no copy
+// (and no allocation) happens after the first call.
+func (f *Flight) setContext(naggs int, stripe, align int64, disps []int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.naggs == naggs && f.stripe == stripe && f.align == align && len(f.disps) == len(disps) {
+		same := true
+		for i, d := range disps {
+			if f.disps[i] != d {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	f.naggs = naggs
+	f.stripe = stripe
+	f.align = align
+	f.disps = append(f.disps[:0], disps...)
+}
+
+// noteAbort records the first collective abort (later ones keep the first
+// context, which is the round the failure actually surfaced at).
+func (f *Flight) noteAbort(round int, class string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.abortRound >= 0 {
+		return
+	}
+	f.abortRound = round
+	f.abortClass = class
+}
+
+// reset clears all rings and the shared context.
+func (f *Flight) reset() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.naggs, f.stripe, f.align = 0, 0, 0
+	f.disps = f.disps[:0]
+	f.abortRound, f.abortClass = -1, ""
+	f.mu.Unlock()
+	for i := range f.ranks {
+		fr := &f.ranks[i]
+		fr.head, fr.n, fr.dropped = 0, 0, 0
+	}
+}
+
+// AbortInfo is the abort context carried by a dump.
+type AbortInfo struct {
+	Round int    `json:"round"`
+	Class string `json:"class"`
+}
+
+// RoundSummary is one cross-rank row of a dump: the flight records of all
+// ranks at the same ring position, with derived aggregate health numbers.
+// Collectives are bulk-synchronous, so position i holds the same logical
+// round on every rank (Round restarts per collective call, hence both the
+// position Index and the in-collective Round are kept).
+type RoundSummary struct {
+	Index            int     `json:"index"`
+	Round            int     `json:"round"`
+	SendBytes        []int64 `json:"send_bytes"`
+	RecvBytes        []int64 `json:"recv_bytes"`
+	TotalBytes       int64   `json:"total_bytes"`
+	Imbalance        float64 `json:"imbalance"`
+	SieveSpanBytes   int64   `json:"sieve_span_bytes,omitempty"`
+	SieveUsefulBytes int64   `json:"sieve_useful_bytes,omitempty"`
+	Faults           int64   `json:"faults,omitempty"`
+	Retries          int64   `json:"retries,omitempty"`
+	Resumes          int64   `json:"resumes,omitempty"`
+	// Phase virtual-seconds summed across ranks; present in full dumps
+	// only (wall-scheduling-dependent, excluded from canonical dumps).
+	PhaseSec map[string]float64 `json:"phase_sec,omitempty"`
+}
+
+// Dump is the serializable snapshot of a Set: flight-recorder rounds with
+// realm context, plus (full mode) merged counters. Canonical dumps hold
+// only run-deterministic fields, so a fixed seed yields identical bytes.
+type Dump struct {
+	Schema     string           `json:"schema"`
+	Ranks      int              `json:"ranks"`
+	NAggs      int              `json:"naggs"`
+	StripeSize int64            `json:"stripe_size"`
+	Align      int64            `json:"align,omitempty"`
+	RealmDisps []int64          `json:"realm_disps,omitempty"`
+	Abort      *AbortInfo       `json:"abort,omitempty"`
+	Dropped    int64            `json:"dropped_records,omitempty"`
+	Rounds     []RoundSummary   `json:"rounds"`
+	Counters   map[string]int64 `json:"counters,omitempty"`
+}
+
+// DumpSchema identifies the dump layout for downstream consumers.
+const DumpSchema = "flexio-flight-v1"
+
+// Dump assembles a snapshot. full=true additionally includes the
+// scheduling-dependent phase timings and the merged counters map; pass
+// false for the canonical (byte-deterministic for a fixed seed) form.
+func (s *Set) Dump(full bool) *Dump {
+	d := &Dump{Schema: DumpSchema, Rounds: []RoundSummary{}}
+	if s == nil {
+		return d
+	}
+	f := s.flight
+	f.mu.Lock()
+	d.Ranks = len(f.ranks)
+	d.NAggs = f.naggs
+	d.StripeSize = f.stripe
+	d.Align = f.align
+	if len(f.disps) > 0 {
+		d.RealmDisps = append([]int64(nil), f.disps...)
+	}
+	if f.abortRound >= 0 {
+		d.Abort = &AbortInfo{Round: f.abortRound, Class: f.abortClass}
+	}
+	f.mu.Unlock()
+
+	depth := 0
+	for i := range f.ranks {
+		d.Dropped += f.ranks[i].Dropped()
+		if n := f.ranks[i].Len(); n > depth {
+			depth = n
+		}
+	}
+	for i := 0; i < depth; i++ {
+		rs := RoundSummary{
+			Index:     i,
+			SendBytes: make([]int64, len(f.ranks)),
+			RecvBytes: make([]int64, len(f.ranks)),
+		}
+		if full {
+			rs.PhaseSec = map[string]float64{}
+		}
+		var aggTotals []int64
+		for r := range f.ranks {
+			fr := &f.ranks[r]
+			// Ranks with shallower rings (records already overwritten)
+			// contribute zeros for the missing oldest rounds.
+			j := i - (depth - fr.Len())
+			if j < 0 {
+				continue
+			}
+			rec := fr.at(j)
+			rs.Round = rec.Round
+			rs.SendBytes[r] = rec.SendBytes
+			rs.RecvBytes[r] = rec.RecvBytes
+			rs.TotalBytes += rec.SendBytes
+			rs.SieveSpanBytes += rec.SieveSpanBytes
+			rs.SieveUsefulBytes += rec.SieveUsefulBytes
+			rs.Faults += rec.Faults
+			rs.Retries += rec.Retries
+			rs.Resumes += rec.Resumes
+			if rec.Agg {
+				aggTotals = append(aggTotals, rec.RecvBytes)
+			}
+			if full {
+				rs.PhaseSec["comm"] += rec.CommSec
+				rs.PhaseSec["io"] += rec.IOSec
+				rs.PhaseSec["copy"] += rec.CopySec
+				rs.PhaseSec["exchange"] += rec.ExchangeSec
+				rs.PhaseSec["backoff"] += rec.BackoffSec
+			}
+		}
+		rs.Imbalance = Imbalance(aggTotals)
+		d.Rounds = append(d.Rounds, rs)
+	}
+	if full {
+		m := s.Merged()
+		d.Counters = map[string]int64{}
+		for c := Counter(0); c < numCounters; c++ {
+			if v := m.Counter(c); v != 0 {
+				d.Counters[counterMeta[c].name] = v
+			}
+		}
+		// Process-wide buffer-pool balance rides along so the analyzer
+		// can flag get/put imbalance from a dump alone.
+		pc := bufpool.Snapshot()
+		d.Counters["bufpool_gets"] = pc.Gets
+		d.Counters["bufpool_puts"] = pc.Puts
+		d.Counters["bufpool_news"] = pc.News
+		d.Counters["bufpool_drops"] = pc.Drops
+	}
+	return d
+}
+
+// Imbalance is max/mean over the positive entries (the load-skew factor of
+// the active aggregators); 0 with fewer than one active entry, 1 when
+// perfectly balanced.
+func Imbalance(loads []int64) float64 {
+	var sum, max int64
+	n := 0
+	for _, v := range loads {
+		if v <= 0 {
+			continue
+		}
+		sum += v
+		n++
+		if v > max {
+			max = v
+		}
+	}
+	if n == 0 || sum == 0 {
+		return 0
+	}
+	return float64(max) * float64(n) / float64(sum)
+}
+
+// Median returns the median of the positive entries (0 if none). Used by
+// the analyzer for "N× median" style findings.
+func Median(loads []int64) float64 {
+	pos := make([]int64, 0, len(loads))
+	for _, v := range loads {
+		if v > 0 {
+			pos = append(pos, v)
+		}
+	}
+	if len(pos) == 0 {
+		return 0
+	}
+	sort.Slice(pos, func(i, j int) bool { return pos[i] < pos[j] })
+	m := len(pos) / 2
+	if len(pos)%2 == 1 {
+		return float64(pos[m])
+	}
+	return float64(pos[m-1]+pos[m]) / 2
+}
+
+// WriteJSON writes the dump as indented JSON. encoding/json sorts map keys,
+// so canonical dumps (Set.Dump(false)) are byte-deterministic for a fixed
+// workload and chaos seed.
+func (d *Dump) WriteJSON(w io.Writer) error {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}

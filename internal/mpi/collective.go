@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"flexio/internal/metrics"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
 )
@@ -150,6 +151,7 @@ func (p *Proc) Bcast(root int, data []byte) []byte {
 	p.clock = m + p.treeLatency() + sim.Time(float64(log2ceil(p.w.size)))*p.w.cfg.TransferTime(n)
 	if p.rank != root {
 		p.Stats.Add(stats.CBytesComm, n)
+		p.Metrics.Add(metrics.CCommBytes, n)
 	}
 	return out
 }
@@ -169,6 +171,7 @@ func (p *Proc) Allgather(data []byte) [][]byte {
 	}
 	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(others)
 	p.Stats.Add(stats.CBytesComm, others)
+	p.Metrics.Add(metrics.CCommBytes, others)
 	return out
 }
 
@@ -255,6 +258,7 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 	}
 	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(vol)
 	p.Stats.Add(stats.CBytesComm, sent)
+	p.Metrics.Add(metrics.CCommBytes, sent)
 	return out
 }
 
@@ -297,5 +301,6 @@ func (p *Proc) AlltoallvIov(send [][][]byte) [][][]byte {
 	}
 	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(vol)
 	p.Stats.Add(stats.CBytesComm, sent)
+	p.Metrics.Add(metrics.CCommBytes, sent)
 	return out
 }

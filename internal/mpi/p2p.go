@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"flexio/internal/metrics"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
 )
@@ -98,6 +99,7 @@ func (p *Proc) Send(to, tag int, data []byte) {
 	}
 	p.clock += p.w.cfg.SendOverhead
 	p.Stats.Add(stats.CBytesComm, int64(len(data)))
+	p.Metrics.Add(metrics.CCommBytes, int64(len(data)))
 	p.w.boxes[to].put(newEnvelope(p.rank, tag, data, p.clock))
 }
 

@@ -17,6 +17,7 @@ import (
 	"runtime/debug"
 	"sync"
 
+	"flexio/internal/metrics"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
 	"flexio/internal/trace"
@@ -34,6 +35,7 @@ type World struct {
 	coll  *collSync
 	procs []*Proc
 	sink  *trace.Sink
+	met   *metrics.Set
 }
 
 // NewWorld creates a communicator with size ranks using the given cost
@@ -123,6 +125,20 @@ func (w *World) EnableTracing(capacity int) *trace.Sink {
 // TraceSink returns the attached trace sink (nil when tracing is off).
 func (w *World) TraceSink() *trace.Sink { return w.sink }
 
+// EnableMetrics attaches a metrics set (registry per rank plus the shared
+// flight recorder) and hands each rank its registry. Call it before Run; it
+// returns the set for exposition, dumps, and analysis.
+func (w *World) EnableMetrics() *metrics.Set {
+	w.met = metrics.NewSet(w.size)
+	for i, p := range w.procs {
+		p.Metrics = w.met.Registry(i)
+	}
+	return w.met
+}
+
+// MetricsSet returns the attached metrics set (nil when metrics are off).
+func (w *World) MetricsSet() *metrics.Set { return w.met }
+
 // ResetClocks zeroes every rank's virtual clock and drops undelivered
 // messages, making the world ready for an independent experiment. Any
 // attached trace sink is cleared too: its timestamps restart from zero.
@@ -135,6 +151,7 @@ func (w *World) ResetClocks() {
 		b.drain()
 	}
 	w.sink.Reset()
+	w.met.Reset()
 }
 
 // MaxClock returns the latest virtual clock across ranks.
@@ -184,6 +201,10 @@ type Proc struct {
 	// default) records nothing, so instrumentation stays in place
 	// unconditionally. Set for all ranks by World.EnableTracing.
 	Trace *trace.Tracer
+	// Metrics accumulates this rank's counters, gauges, and phase/byte
+	// histograms; nil (the default) records nothing, like Trace. Set for
+	// all ranks by World.EnableMetrics.
+	Metrics *metrics.Registry
 }
 
 // Rank returns this process's rank in the world.
@@ -215,4 +236,13 @@ func (p *Proc) SyncClock(t sim.Time) {
 	if t > p.clock {
 		p.clock = t
 	}
+}
+
+// ChargeTime attributes a virtual-time duration to a named phase in both
+// the stats recorder and the metrics phase histogram. Feeding both from
+// the same call is what makes their per-phase totals agree exactly, which
+// the colltest coherence check asserts.
+func (p *Proc) ChargeTime(phase string, d sim.Time) {
+	p.Stats.AddTime(phase, d)
+	p.Metrics.ObservePhase(phase, d)
 }

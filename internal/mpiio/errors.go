@@ -86,7 +86,7 @@ func AgreeError(p *mpi.Proc, local error) error {
 	t0 := p.Clock()
 	p.Trace.Begin1(t0, stats.PExchange, trace.S("what", "err_agree"))
 	agreed := p.AllreduceMaxInt64(ErrorClass(local))
-	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+	p.ChargeTime(stats.PExchange, p.Clock()-t0)
 	p.Trace.End(p.Clock())
 	if agreed == ClassOK {
 		return nil

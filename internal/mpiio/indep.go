@@ -127,7 +127,7 @@ func (f *File) WriteStream(segs []datatype.Seg, data []byte, m Method) error {
 			err = fmt.Errorf("mpiio: unknown access method %v", m)
 		}
 	}
-	f.proc.Stats.AddTime(stats.PIO, f.proc.Clock()-start)
+	f.proc.ChargeTime(stats.PIO, f.proc.Clock()-start)
 	return err
 }
 
@@ -181,7 +181,7 @@ func (f *File) ReadStream(segs []datatype.Seg, buf []byte, m Method) error {
 			err = fmt.Errorf("mpiio: unknown access method %v", m)
 		}
 	}
-	f.proc.Stats.AddTime(stats.PIO, f.proc.Clock()-start)
+	f.proc.ChargeTime(stats.PIO, f.proc.Clock()-start)
 	return err
 }
 
@@ -224,7 +224,7 @@ func (f *File) sieveWindows(segs []datatype.Seg, data []byte, write bool) error 
 		d := cfg.MemcpyTime(useful)
 		f.proc.Trace.Begin1(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, useful))
 		f.proc.AdvanceClock(d)
-		f.proc.Stats.AddTime(stats.PCopy, d)
+		f.proc.ChargeTime(stats.PCopy, d)
 		f.proc.Trace.End(f.proc.Clock())
 
 		var err error

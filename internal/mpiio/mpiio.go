@@ -165,6 +165,7 @@ func Open(p *mpi.Proc, fs *pfs.FileSystem, name string, info Info) (*File, error
 	}
 	client := fs.NewClient(p.Stats)
 	client.SetTracer(p.Trace)
+	client.SetMetrics(p.Metrics)
 	f := &File{
 		proc:   p,
 		fs:     fs,
@@ -327,7 +328,7 @@ func (f *File) PackMemory(buf []byte, memtype datatype.Type, count int64) ([]byt
 	d := f.proc.Config().MemcpyTime(int64(len(stream)))
 	f.proc.Trace.Begin1(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, int64(len(stream))))
 	f.proc.AdvanceClock(d)
-	f.proc.Stats.AddTime(stats.PCopy, d)
+	f.proc.ChargeTime(stats.PCopy, d)
 	f.proc.Trace.End(f.proc.Clock())
 	return stream, nil
 }
@@ -345,7 +346,7 @@ func (f *File) PackMemoryInto(dst, buf []byte, memtype datatype.Type, count int6
 	d := f.proc.Config().MemcpyTime(n)
 	f.proc.Trace.Begin1(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, n))
 	f.proc.AdvanceClock(d)
-	f.proc.Stats.AddTime(stats.PCopy, d)
+	f.proc.ChargeTime(stats.PCopy, d)
 	f.proc.Trace.End(f.proc.Clock())
 	return dst, nil
 }
@@ -358,7 +359,7 @@ func (f *File) UnpackMemory(stream, buf []byte, memtype datatype.Type, count int
 	d := f.proc.Config().MemcpyTime(int64(len(stream)))
 	f.proc.Trace.Begin1(f.proc.Clock(), stats.PCopy, trace.I(trace.BytesTag, int64(len(stream))))
 	f.proc.AdvanceClock(d)
-	f.proc.Stats.AddTime(stats.PCopy, d)
+	f.proc.ChargeTime(stats.PCopy, d)
 	f.proc.Trace.End(f.proc.Clock())
 	return nil
 }
@@ -372,7 +373,7 @@ func (f *File) ChargePairs(n int64) {
 	d := f.proc.Config().PairTime(n)
 	f.proc.Trace.Begin1(f.proc.Clock(), stats.PFlatten, trace.I("pairs", n))
 	f.proc.AdvanceClock(d)
-	f.proc.Stats.AddTime(stats.PFlatten, d)
+	f.proc.ChargeTime(stats.PFlatten, d)
 	f.proc.Stats.Add(stats.CPairsProcessed, n)
 	f.proc.Trace.End(f.proc.Clock())
 }

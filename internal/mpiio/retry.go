@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"flexio/internal/datatype"
+	"flexio/internal/metrics"
 	"flexio/internal/pfs"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
@@ -55,6 +56,7 @@ func (f *File) withRetry(kind string, attempt func(skip int64, now sim.Time) (si
 			// deadline.
 			skip += pe.Written
 			p.Stats.Add(stats.CPartialResumes, 1)
+			p.Metrics.Inc(metrics.CResumes)
 			p.Trace.Instant(p.Clock(), "resume", trace.S("op", kind),
 				trace.I(trace.BytesTag, pe.Written), trace.I("skip", skip))
 			if p.Clock() < deadline {
@@ -63,10 +65,11 @@ func (f *File) withRetry(kind string, attempt func(skip int64, now sim.Time) (si
 		} else if retries < f.info.RetryLimit && p.Clock()+backoff < deadline {
 			retries++
 			p.Stats.Add(stats.CRetries, 1)
+			p.Metrics.Inc(metrics.CRetries)
 			p.Trace.Begin(p.Clock(), stats.PBackoff,
 				trace.S("op", kind), trace.I("attempt", int64(retries)))
 			p.AdvanceClock(backoff)
-			p.Stats.AddTime(stats.PBackoff, backoff)
+			p.ChargeTime(stats.PBackoff, backoff)
 			p.Trace.End(p.Clock())
 			p.Trace.Instant(p.Clock(), "retry",
 				trace.S("op", kind), trace.I("attempt", int64(retries)))
@@ -75,6 +78,7 @@ func (f *File) withRetry(kind string, attempt func(skip int64, now sim.Time) (si
 		}
 
 		p.Stats.Add(stats.CGiveups, 1)
+		p.Metrics.Inc(metrics.CGiveups)
 		p.Trace.Instant(p.Clock(), "gaveup", trace.S("op", kind),
 			trace.I("attempt", int64(retries)), trace.I("skip", skip))
 		return fmt.Errorf("mpiio: %s gave up after %d retries (%v virtual seconds): %w",

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"flexio/internal/datatype"
+	"flexio/internal/metrics"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
 	"flexio/internal/trace"
@@ -229,6 +230,7 @@ func (c *Client) stripeConflicts(f *fileData, s datatype.Seg, now sim.Time) sim.
 		if ok && prev != c.id {
 			cost += fs.cfg.StripeLockCost
 			c.rec.Add(stats.CStripeConflicts, 1)
+			c.met.Inc(metrics.CStripeConflicts)
 			c.tr.Instant(now, "stripe_conflict",
 				trace.I("stripe", st), trace.I("prev", int64(prev)))
 			if holder := fs.clients[prev]; holder != nil {
@@ -297,6 +299,9 @@ type Client struct {
 	// A client only ever emits to its own tracer — never to the tracer of
 	// a client it conflicts with — so tracing stays race-free.
 	tr *trace.Tracer
+	// met mirrors the file-system counters into the owning rank's metrics
+	// registry; nil records nothing. Same single-writer discipline as tr.
+	met *metrics.Registry
 	// seq counts this client's operations (1-based), for fault targeting.
 	seq int64
 	// round is the collective two-phase round tag stamped on ops (-1
@@ -334,6 +339,10 @@ func (c *Client) ID() int { return c.id }
 
 // SetTracer attaches the owning rank's tracer (nil disables tracing).
 func (c *Client) SetTracer(t *trace.Tracer) { c.tr = t }
+
+// SetMetrics attaches the owning rank's metrics registry (nil disables
+// metrics).
+func (c *Client) SetMetrics(m *metrics.Registry) { c.met = m }
 
 // SetRound tags subsequent operations with a collective round number for
 // fault targeting and tracing; -1 means "outside a collective round".
@@ -448,6 +457,8 @@ func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []b
 	t := now + fs.cfg.IOCallOverhead
 	c.rec.Add(stats.CIOCalls, 1)
 	c.rec.Add(stats.CBytesIO, total)
+	c.met.Inc(metrics.CIOCalls)
+	c.met.Add(metrics.CIOBytes, total)
 
 	// Lock acquisition for the whole request, then per-OST service.
 	t += c.lockSpan(f, segs, kind == "write", now)
@@ -478,6 +489,7 @@ func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []b
 // noteFault records an injected fault on the owning rank's stats and trace.
 func (c *Client) noteFault(now sim.Time, kind string, cl Class, written int64) {
 	c.rec.Add(stats.CFaultsInjected, 1)
+	c.met.Inc(metrics.CFaults)
 	c.tr.Instant(now, "fault", trace.S("kind", kind),
 		trace.S("class", cl.String()), trace.I("written", written), trace.I("seq", c.seq))
 }
@@ -546,12 +558,14 @@ func (c *Client) lockSpan(f *fileData, segs []datatype.Seg, write bool, now sim.
 				if owner != lastRevokedOwner || !inGrantRun {
 					cost += fs.cfg.LockRevokeCost
 					c.rec.Add(stats.CLockRevokes, 1)
+					c.met.Inc(metrics.CLockRevokes)
 					c.tr.Instant(now, "lock_revoke",
 						trace.I("page", pi), trace.I("owner", int64(owner)))
 					lastRevokedOwner = owner
 				}
 				fs.evictClientPage(owner, f.name, pi)
 				c.rec.Add(stats.CCacheFlushes, 1)
+				c.met.Inc(metrics.CCacheFlushes)
 				if write {
 					f.lockOwner[pi] = c.id
 				} else {
@@ -560,6 +574,7 @@ func (c *Client) lockSpan(f *fileData, segs []datatype.Seg, write bool, now sim.
 				if !inGrantRun {
 					cost += fs.cfg.LockGrantCost
 					c.rec.Add(stats.CLockGrants, 1)
+					c.met.Inc(metrics.CLockGrants)
 					grants++
 					inGrantRun = true
 				}
@@ -570,6 +585,7 @@ func (c *Client) lockSpan(f *fileData, segs []datatype.Seg, write bool, now sim.
 				if !inGrantRun {
 					cost += fs.cfg.LockGrantCost
 					c.rec.Add(stats.CLockGrants, 1)
+					c.met.Inc(metrics.CLockGrants)
 					grants++
 					inGrantRun = true
 				}
@@ -624,6 +640,7 @@ func (c *Client) writeSeg(f *fileData, s datatype.Seg, data []byte, t sim.Time) 
 		}
 	}
 	c.rec.Add(stats.CRMWPages, rmwPages)
+	c.met.Add(metrics.CRMWPages, rmwPages)
 	if rmwPages > 0 {
 		c.tr.Instant(t, "rmw", trace.I("pages", rmwPages))
 	}
@@ -656,6 +673,7 @@ func (c *Client) writeSeg(f *fileData, s datatype.Seg, data []byte, t sim.Time) 
 		end := ost.serve(t, svc)
 		ost.lastEnd[f.name] = p.seg.End()
 		c.rec.AddTime(stats.PServe, svc)
+		c.met.ObservePhase(stats.PServe, svc)
 		if end > done {
 			done = end
 		}
@@ -677,8 +695,10 @@ func (c *Client) readSeg(f *fileData, s datatype.Seg, buf []byte, t sim.Time) si
 	for pi := firstPage; pi <= lastPage; pi++ {
 		if c.cache.has(f.name, pi) {
 			c.rec.Add(stats.CCacheHits, 1)
+			c.met.Inc(metrics.CPageCacheHits)
 			continue
 		}
+		c.met.Inc(metrics.CPageCacheMisses)
 		c.cache.put(f.name, pi)
 		lo := pi * ps
 		hi := lo + ps
@@ -709,6 +729,7 @@ func (c *Client) readSeg(f *fileData, s datatype.Seg, buf []byte, t sim.Time) si
 		end := ost.serve(t, svc)
 		ost.lastEnd[f.name] = p.seg.End()
 		c.rec.AddTime(stats.PServe, svc)
+		c.met.ObservePhase(stats.PServe, svc)
 		if end > done {
 			done = end
 		}

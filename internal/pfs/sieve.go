@@ -6,6 +6,7 @@ import (
 
 	"flexio/internal/bufpool"
 	"flexio/internal/datatype"
+	"flexio/internal/metrics"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
 	"flexio/internal/trace"
@@ -32,6 +33,8 @@ func (h *Handle) SieveWrite(span datatype.Seg, segs []datatype.Seg, data []byte,
 	if span.Len == 0 {
 		return now, nil
 	}
+	h.c.met.Add(metrics.CSieveSpanBytes, span.Len)
+	h.c.met.Add(metrics.CSieveUsefulBytes, useful)
 	t := now
 	if useful < span.Len {
 		// Holes: fetch the span first (read-modify-write at sieve
@@ -104,6 +107,8 @@ func (c *Client) accessSieveSpan(f *fileData, span datatype.Seg, segs []datatype
 	t := now + fs.cfg.IOCallOverhead
 	c.rec.Add(stats.CIOCalls, 1)
 	c.rec.Add(stats.CBytesIO, span.Len)
+	c.met.Inc(metrics.CIOCalls)
+	c.met.Add(metrics.CIOBytes, span.Len)
 	c.rmwSpan[0] = span
 	t += c.lockSpan(f, c.rmwSpan[:1], true, now)
 	conflictSvc := c.stripeConflicts(f, span, t)
@@ -138,6 +143,7 @@ func (c *Client) accessSieveSpan(f *fileData, span datatype.Seg, segs []datatype
 		end := ost.serve(t, svc)
 		ost.lastEnd[f.name] = p.seg.End()
 		c.rec.AddTime(stats.PServe, svc)
+		c.met.ObservePhase(stats.PServe, svc)
 		if end > done {
 			done = end
 		}
@@ -165,6 +171,8 @@ func (h *Handle) SieveRead(span datatype.Seg, segs []datatype.Seg, buf []byte, n
 	if span.Len == 0 {
 		return now, nil
 	}
+	h.c.met.Add(metrics.CSieveSpanBytes, span.Len)
+	h.c.met.Add(metrics.CSieveUsefulBytes, useful)
 	// Recycled without zeroing: access fills every byte of the span
 	// (readBytes zeroes unwritten ranges itself).
 	tmp := bufpool.Get(span.Len)

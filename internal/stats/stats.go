@@ -289,6 +289,20 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.max
 }
 
+// Buckets visits the non-empty buckets in ascending order, passing each
+// bucket's upper edge and sample count. Exporters (e.g. Prometheus text
+// exposition) build cumulative bucket series from it.
+func (h *Histogram) Buckets(visit func(upper float64, count int64)) {
+	if h == nil {
+		return
+	}
+	for i := 0; i < histBuckets; i++ {
+		if h.counts[i] != 0 {
+			visit(histUpper(i), h.counts[i])
+		}
+	}
+}
+
 // MergeHist folds o's samples into h.
 func (h *Histogram) MergeHist(o *Histogram) {
 	if h == nil || o == nil || o.n == 0 {

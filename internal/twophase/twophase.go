@@ -24,6 +24,7 @@ import (
 
 	"flexio/internal/bufpool"
 	"flexio/internal/datatype"
+	"flexio/internal/metrics"
 	"flexio/internal/mpi"
 	"flexio/internal/mpiio"
 	"flexio/internal/stats"
@@ -150,7 +151,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			aarEn = allEn[r]
 		}
 	}
-	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+	p.ChargeTime(stats.PExchange, p.Clock()-t0)
 	p.Trace.End(p.Clock())
 	if aarEn <= aarSt {
 		return nil // no process accesses any data
@@ -173,6 +174,25 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		}
 		if fdStart[a] > aarEn {
 			fdStart[a] = aarEn
+		}
+	}
+
+	// Metrics: file-domain layout health. ROMIO-style even domains are
+	// whatever the aggregate access region dictates, so misalignment
+	// against the stripe width is the common case this surfaces.
+	if p.Metrics != nil {
+		stripe := f.FS().Config().StripeSize
+		var misaligned int64
+		for a := 0; a < naggs; a++ {
+			if fdStart[a] < fdEnd[a] && fdStart[a]%stripe != 0 {
+				misaligned++
+			}
+		}
+		p.Metrics.Add(metrics.CRealmsAssigned, int64(naggs))
+		p.Metrics.Add(metrics.CRealmsMisaligned, misaligned)
+		p.Metrics.SetGauge(metrics.GNAggs, float64(naggs))
+		if p.Rank() == 0 {
+			p.Metrics.SetRealmContext(naggs, stripe, 0, fdStart)
 		}
 	}
 
@@ -234,7 +254,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		}
 		f.ChargePairs(pairs)
 	}
-	p.Stats.AddTime(stats.PExchange, p.Clock()-t0)
+	p.ChargeTime(stats.PExchange, p.Clock()-t0)
 	p.Trace.End(p.Clock())
 
 	// Round count: every rank can compute it from the global domain
@@ -279,6 +299,9 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		} else {
 			p.Trace.Begin1(p.Clock(), trace.RoundSpan, trace.I(trace.RoundTag, int64(r)))
 		}
+
+		probe := p.Metrics.BeginRound(p.Stats)
+		var roundSend, roundRecv int64
 
 		// Aggregator: figure out this round's window pieces per client
 		// and post all receives first (for writes) — the original
@@ -332,6 +355,9 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			if len(pieces) == 0 {
 				continue
 			}
+			for _, pt := range pieces {
+				roundSend += pt.seg.Len
+			}
 			if write {
 				var total int64
 				for _, pt := range pieces {
@@ -350,7 +376,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			}
 		}
 		if write {
-			p.Stats.AddTime(stats.PComm, p.Clock()-tSend)
+			p.ChargeTime(stats.PComm, p.Clock()-tSend)
 			p.Trace.End(p.Clock())
 		}
 
@@ -369,7 +395,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 				tWait := p.Clock()
 				p.Trace.Begin1(tWait, stats.PComm, trace.S("what", "waitall"))
 				payloads = mpi.Waitall(recvReqs)
-				p.Stats.AddTime(stats.PComm, p.Clock()-tWait)
+				p.ChargeTime(stats.PComm, p.Clock()-tWait)
 				p.Trace.End(p.Clock())
 				for k, c := range recvFrom {
 					data := payloads[k]
@@ -413,12 +439,13 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 				lo := entries[0].seg.Off
 				hi := segs[len(segs)-1].End()
 				span := datatype.Seg{Off: lo, Len: hi - lo}
+				roundRecv = total
 
 				// Single pass into the integrated buffer.
 				d := cfg.MemcpyTime(total)
 				p.Trace.Begin1(p.Clock(), stats.PCopy, trace.I(trace.BytesTag, total))
 				p.AdvanceClock(d)
-				p.Stats.AddTime(stats.PCopy, d)
+				p.ChargeTime(stats.PCopy, d)
 				p.Trace.End(p.Clock())
 				p.Trace.Instant2(p.Clock(), "round_bytes",
 					trace.I(trace.RoundTag, int64(r)), trace.I(trace.BytesTag, total))
@@ -441,7 +468,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 						}
 					}
 					bufpool.Put(concat) // storage copies synchronously
-					p.Stats.AddTime(stats.PIO, p.Clock()-tio)
+					p.ChargeTime(stats.PIO, p.Clock()-tio)
 					p.Trace.End(p.Clock())
 				} else {
 					p.Trace.Begin2(tio, stats.PIO, trace.S("op", "read"), trace.I(trace.BytesTag, total))
@@ -456,7 +483,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 					} else {
 						clear(rbuf)
 					}
-					p.Stats.AddTime(stats.PIO, p.Clock()-tio)
+					p.ChargeTime(stats.PIO, p.Clock()-tio)
 					p.Trace.End(p.Clock())
 					// Ship each client its pieces, each built directly in a
 					// pooled buffer the client releases after unpacking.
@@ -483,7 +510,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 							p.Isend(c, tag, msg)
 						}
 					}
-					p.Stats.AddTime(stats.PComm, p.Clock()-tc)
+					p.ChargeTime(stats.PComm, p.Clock()-tc)
 					p.Trace.End(p.Clock())
 				}
 			}
@@ -502,14 +529,17 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 				}
 				bufpool.Put(data) // pooled by the aggregator; receiver releases
 			}
-			p.Stats.AddTime(stats.PComm, p.Clock()-tRecv)
+			p.ChargeTime(stats.PComm, p.Clock()-tRecv)
 			p.Trace.End(p.Clock())
 		}
 		p.Trace.End(p.Clock()) // round span
 
+		p.Metrics.EndRound(p.Stats, probe, r, amAgg, roundSend, roundRecv)
+
 		// Round boundary: agree on the worst error class so every rank
 		// aborts (or continues) together.
 		if err := mpiio.AgreeError(p, firstErr); err != nil {
+			p.Metrics.NoteAbort(r, mpiio.ClassName(mpiio.ErrorClass(err)))
 			f.SetRound(-1)
 			return err
 		}
