@@ -32,7 +32,8 @@ func main() {
 	tracePath := flag.String("trace", "", "write the last experiment's Chrome trace JSON (Perfetto-loadable) to this file")
 	breakdown := flag.Bool("breakdown", false, "print the last experiment's per-phase/per-round trace breakdown")
 	chaosRun := flag.Bool("chaos", false, "run the deterministic fault-injection scenario matrix instead of the figures")
-	chaosTraces := flag.String("chaostraces", "", "directory to write failing chaos scenarios' Chrome traces into")
+	rankChaosRun := flag.Bool("rankchaos", false, "run the rank-failure/failover scenario matrix instead of the figures")
+	chaosTraces := flag.String("chaostraces", "", "directory to write chaos scenarios' Chrome traces and flight dumps into")
 	benchJSON := flag.String("benchjson", "", "run the tracked benchmark matrix and merge results into this JSON trajectory file")
 	benchLabel := flag.String("benchlabel", "after", "label to store -benchjson results under (e.g. before, after, ci)")
 	benchCheck := flag.String("benchcheck", "", "run the tracked benchmark matrix and fail if allocs/op regress >20% against the 'after' entries of this JSON file")
@@ -64,6 +65,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("chaos: all scenarios held their invariants")
+		return
+	}
+
+	if *rankChaosRun {
+		logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+		if failures := chaos.RankSoak(chaos.RankMatrix(), *chaosTraces, logf); failures > 0 {
+			fmt.Fprintf(os.Stderr, "rankchaos: %d scenario(s) violated invariants\n", failures)
+			os.Exit(1)
+		}
+		fmt.Println("rankchaos: all scenarios recovered byte-identically")
 		return
 	}
 

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"flexio/internal/analyze"
+	"flexio/internal/chaos"
 	"flexio/internal/colltest"
 	"flexio/internal/core"
 	"flexio/internal/hpio"
@@ -45,7 +46,45 @@ func main() {
 	breakdown := flag.Bool("breakdown", false, "print the per-phase/per-round trace breakdown")
 	metricsOut := flag.String("metrics-out", "", "write the run's Prometheus text exposition to this file")
 	analyzeRun := flag.Bool("analyze", false, "print the collective-I/O health analyzer report for the run")
+	rankSpec := flag.String("rankchaos", "", "run a rank-failure scenario \"fault:victim[:cbnodes]\" (e.g. crash-mid-rounds:1) through the chosen impl/comm instead of the benchmark")
+	rankSeed := flag.Int64("rankseed", 1, "rank-fault schedule seed for -rankchaos")
 	flag.Parse()
+
+	if *rankSpec != "" {
+		engine := "twophase"
+		if *impl == "new" {
+			engine = "core-nb"
+			if *comm == "alltoallw" {
+				engine = "core-a2a"
+			}
+		}
+		s, err := chaos.ParseRankSpec(engine, *rankSpec, *rankSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, verr := s.Run()
+		if out != nil {
+			fmt.Printf("%s: abort class %s, dead ranks %v\n", s.Name(), mpiio.ClassName(out.AbortClass), out.Dead)
+			fmt.Printf("deadline trips=%d failovers=%d rounds replayed=%d skipped=%d redeliveries=%d\n",
+				out.DeadlineTrips, out.Failovers, out.Replayed, out.Skipped, out.Redelivered)
+			fmt.Printf("elapsed (virtual): %.3fms\n", float64(out.Elapsed)*1e3)
+			if *tracePath != "" && out.Trace != nil {
+				if err := out.Trace.WriteChromeTraceFile(*tracePath); err != nil {
+					log.Fatalf("trace: %v", err)
+				}
+				fmt.Printf("wrote Chrome trace to %s\n", *tracePath)
+			}
+			if *analyzeRun && out.Metrics != nil {
+				fmt.Println()
+				fmt.Print(analyze.FormatReport(analyze.Analyze(out.Metrics.Dump(true))))
+			}
+		}
+		if verr != nil {
+			log.Fatalf("rankchaos: invariant violated: %v", verr)
+		}
+		fmt.Println("recovered byte-identically")
+		return
+	}
 
 	wl := hpio.Pattern{
 		Ranks:        *procs,

@@ -14,7 +14,9 @@ import (
 	"log"
 	"os"
 
+	"flexio/internal/chaos"
 	"flexio/internal/experiments"
+	"flexio/internal/mpiio"
 	"flexio/internal/stats"
 	"flexio/internal/trace"
 )
@@ -31,7 +33,28 @@ func main() {
 	tracePath := flag.String("trace", "", "write the run's Chrome trace JSON (Perfetto-loadable) to this file")
 	breakdown := flag.Bool("breakdown", false, "print the per-phase/per-round trace breakdown")
 	metricsOut := flag.String("metrics-out", "", "write the run's Prometheus text exposition to this file")
+	rankSpec := flag.String("rankchaos", "", "run a rank-failure scenario \"fault:victim[:cbnodes]\" (e.g. crash-mid-rounds:1) on the core engine instead of the benchmark")
+	rankSeed := flag.Int64("rankseed", 1, "rank-fault schedule seed for -rankchaos")
 	flag.Parse()
+
+	if *rankSpec != "" {
+		s, err := chaos.ParseRankSpec("core-nb", *rankSpec, *rankSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out, verr := s.Run()
+		if out != nil {
+			fmt.Printf("%s: abort class %s, dead ranks %v\n", s.Name(), mpiio.ClassName(out.AbortClass), out.Dead)
+			fmt.Printf("deadline trips=%d failovers=%d rounds replayed=%d skipped=%d redeliveries=%d\n",
+				out.DeadlineTrips, out.Failovers, out.Replayed, out.Skipped, out.Redelivered)
+			fmt.Printf("elapsed (virtual): %.3fms\n", float64(out.Elapsed)*1e3)
+		}
+		if verr != nil {
+			log.Fatalf("rankchaos: invariant violated: %v", verr)
+		}
+		fmt.Println("recovered byte-identically")
+		return
+	}
 
 	if *tracePath != "" || *breakdown {
 		experiments.TraceCapacity = trace.DefaultCapacity

@@ -73,6 +73,38 @@ func Analyze(d *metrics.Dump) []Finding {
 			50))
 	}
 
+	// Aggregator failover: a collective was resumed with realms reassigned
+	// off dead ranks. The recovery itself worked (the resume completed and
+	// produced this dump), so this is a warning about the cluster, not the
+	// I/O stack — but the replay/skip split shows how much work the journal
+	// saved.
+	if fo := d.Failover; fo != nil {
+		total := fo.RoundsReplayed + fo.RoundsSkipped
+		detail := "no write journal was active, so the resume re-ran every round"
+		if total > 0 {
+			detail = fmt.Sprintf("the write journal skipped %d already-durable rounds and replayed %d", fo.RoundsSkipped, fo.RoundsReplayed)
+		}
+		fs = append(fs, finding(SevWarning, "failover",
+			fmt.Sprintf("aggregator failover occurred: %d dead rank(s) %v demoted, realms reassigned over %d survivors; %s",
+				len(fo.DeadRanks), fo.DeadRanks, fo.Realms, detail),
+			"the ranks in the dead set crashed or were partitioned; check their hosts, and if failovers recur, journal every collective (core.Options.Journal) so resumes stay cheap",
+			float64(len(fo.DeadRanks))*10+float64(fo.RoundsReplayed)))
+	}
+
+	// Straggler ranks: the collective deadline guard flagged peers that
+	// fell behind a rendezvous by more than the configured deadline. Trips
+	// without an abort mean the stragglers caught up — latent slowness.
+	if trips := c("deadline_trips"); trips > 0 {
+		sev := SevWarning
+		if d.Abort != nil || d.Failover != nil {
+			sev = SevInfo // the abort/failover finding is the headline
+		}
+		fs = append(fs, finding(sev, "straggler",
+			fmt.Sprintf("deadline guard tripped %d time(s): some rank(s) lagged a collective rendezvous by more than the deadline", trips),
+			"a slow or stalled rank holds every peer's collective hostage; profile the straggler's host, or raise the collective deadline if the skew is legitimate per-round I/O imbalance",
+			float64(trips)))
+	}
+
 	// Aggregator load skew: sum each rank's aggregator-side receive bytes
 	// across the recorded rounds and compare the heaviest against the
 	// median active aggregator.

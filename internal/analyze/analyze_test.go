@@ -59,6 +59,26 @@ func TestAnalyzeDemo(t *testing.T) {
 		t.Errorf("realm-misaligned summary lacks the misaligned count: %s", mis.Summary)
 	}
 
+	fo := get(fs, "failover")
+	if fo == nil {
+		t.Fatalf("no failover finding; got %+v", fs)
+	}
+	if fo.Severity != SevWarning {
+		t.Errorf("failover severity = %s, want warning: %s", fo.Severity, fo.Summary)
+	}
+	if !strings.Contains(fo.Summary, "aggregator failover occurred") ||
+		!strings.Contains(fo.Summary, "[1]") {
+		t.Errorf("failover summary does not name the dead rank: %s", fo.Summary)
+	}
+
+	st := get(fs, "straggler")
+	if st == nil {
+		t.Fatalf("no straggler finding; got %+v", fs)
+	}
+	if !strings.Contains(st.Summary, "deadline guard tripped") {
+		t.Errorf("straggler summary lacks the trip count: %s", st.Summary)
+	}
+
 	waste := get(fs, "sieve-waste")
 	if waste == nil {
 		t.Fatalf("no sieve-waste finding; got %+v", fs)
@@ -84,7 +104,16 @@ func TestAnalyzeDemo(t *testing.T) {
 // TestAnalyzeHealthy: an empty dump yields no findings and an OK report.
 func TestAnalyzeHealthy(t *testing.T) {
 	s := metrics.NewSet(2)
-	if fs := Analyze(s.Dump(true)); len(fs) != 0 {
+	d := s.Dump(true)
+	// The buffer pools are process-global, so a full dump reflects
+	// whatever other tests in this binary did to them; scrub those
+	// counters so this test only sees the fresh set.
+	for k := range d.Counters {
+		if strings.HasPrefix(k, "bufpool_") {
+			delete(d.Counters, k)
+		}
+	}
+	if fs := Analyze(d); len(fs) != 0 {
 		t.Fatalf("findings on empty dump: %+v", fs)
 	}
 	if rep := FormatReport(nil); !strings.Contains(rep, "OK") {

@@ -12,12 +12,16 @@ import (
 	"flexio/internal/sim"
 )
 
-// Demo runs a deliberately unhealthy collective write — misaligned realm
-// displacements, a sparse access pattern that defeats data sieving, and
-// one rank with far denser data than the rest so its aggregator is
-// overloaded — and returns the resulting metrics set. It exists so
-// `flexio-bench -analyze` (and the analyzer tests) have a workload whose
-// findings are known in advance.
+// Demo runs a deliberately unhealthy pair of workloads and returns the
+// resulting metrics set, so `flexio-bench -analyze` (and the analyzer
+// tests) have findings that are known in advance. Act one is a rank
+// failure: a journalled collective write loses rank 1 mid-round, the
+// survivors abort through the deadline guard, and the collective resumes
+// with the dead rank demoted from aggregator duty — the dump's failover
+// event and deadline trips. Act two is a misconfigured collective write —
+// misaligned realm displacements, a sparse access pattern that defeats
+// data sieving, and one rank with far denser data than the rest so its
+// aggregator is overloaded.
 func Demo() (*metrics.Set, error) {
 	cfg := sim.DefaultConfig()
 	const (
@@ -36,13 +40,76 @@ func Demo() (*metrics.Set, error) {
 	w := mpi.NewWorld(ranks, cfg)
 	met := w.EnableMetrics()
 	fs := pfs.NewFileSystem(cfg)
+
+	// Act one: aggregator failover. The traffic is kept small (a few KiB
+	// per rank) so act two's load-skew signal stays dominant in the
+	// flight-recorder round totals.
+	w.SetCollDeadline(50e-3)
+	w.SetRankFaults(mpi.NewRankFaultSchedule(1).Crash(1, 1))
+	journal := mpiio.NewWriteJournal()
+	opts := core.Options{Method: mpiio.DataSieve, Journal: journal}
+	attempt := func(coll mpiio.Collective) []error {
+		res := make([]error, ranks)
+		w.Run(func(p *mpi.Proc) {
+			f, err := mpiio.Open(p, fs, "demo-failover.dat", mpiio.Info{
+				Collective:  coll,
+				CollBufSize: 2 << 10,
+			})
+			if err != nil {
+				res[p.Rank()] = err
+				return
+			}
+			const foBlock = 8 << 10
+			buf := make([]byte, foBlock)
+			for i := range buf {
+				buf[i] = byte(p.Rank() + i)
+			}
+			if err := f.SetView(baseDisp+int64(p.Rank())*foBlock, datatype.Bytes(1), datatype.Bytes(foBlock)); err != nil {
+				res[p.Rank()] = err
+				return
+			}
+			if err := f.WriteAll(buf, datatype.Bytes(foBlock), 1); err != nil {
+				// A dead peer makes Close collective-unsafe; bail here.
+				res[p.Rank()] = err
+				return
+			}
+			res[p.Rank()] = f.Close()
+		})
+		return res
+	}
+	for r, err := range attempt(core.New(opts)) {
+		if r == 1 {
+			continue // the victim crashes without returning
+		}
+		if err == nil {
+			return nil, fmt.Errorf("demo: rank %d did not observe the crashed peer", r)
+		}
+		if cls := mpiio.ErrorClass(err); cls != mpiio.ClassUnresponsive {
+			return nil, fmt.Errorf("demo: rank %d aborted with class %s: %w", r, mpiio.ClassName(cls), err)
+		}
+	}
+	dead := w.FailedRanks()
+	if len(dead) == 0 {
+		return nil, fmt.Errorf("demo: no rank was detected dead")
+	}
+	w.ReviveAll()
+	for r, err := range attempt(core.ResumeCollective(opts, journal, dead)) {
+		if err != nil {
+			return nil, fmt.Errorf("demo: resume failed on rank %d: %w", r, err)
+		}
+	}
+	// Disarm the fault plane: act two's skewed aggregator runs far ahead
+	// of the idle clients each round, and must not trip the guard.
+	w.SetCollDeadline(0)
+	w.SetRankFaults(nil)
+
+	// Act two: the misconfigured collective write.
 	info := mpiio.Info{
 		// Even realms over the aggregate extent, no alignment, sieving
 		// aggregators: the configuration the analyzer should object to.
 		Collective:  core.New(core.Options{Method: mpiio.DataSieve}),
 		CollBufSize: 256 << 10,
 	}
-
 	errs := make(chan error, ranks)
 	w.Run(func(p *mpi.Proc) {
 		f, err := mpiio.Open(p, fs, "demo.dat", info)

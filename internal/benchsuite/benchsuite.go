@@ -49,6 +49,12 @@ type Config struct {
 	// Metrics are on by default — they are allocation-free on the steady
 	// state — and the overhead guard test compares the two settings.
 	NoMetrics bool
+	// Deadline arms the collective rendezvous deadline guard (0 = off).
+	// It must comfortably exceed the per-round skew between aggregators
+	// doing I/O and idle clients, or healthy ranks get flagged; the
+	// overhead guard test checks an armed-but-untripped guard stays
+	// allocation-free.
+	Deadline sim.Time
 }
 
 // steadyPattern is the shared workload: interleaved regions, noncontiguous
@@ -158,6 +164,9 @@ func NewSession(cfg Config) (*Session, error) {
 	}
 	if !cfg.NoMetrics {
 		s.met = s.world.EnableMetrics()
+	}
+	if cfg.Deadline > 0 {
+		s.world.SetCollDeadline(cfg.Deadline)
 	}
 	info := cfg.info()
 	mt, bufLen := wl.Memtype()

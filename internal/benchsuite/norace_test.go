@@ -1,0 +1,6 @@
+//go:build !race
+
+package benchsuite
+
+// raceEnabled reports that this binary was built with the race detector.
+const raceEnabled = false

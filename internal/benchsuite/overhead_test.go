@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"flexio/internal/metrics"
+	"flexio/internal/sim"
 )
 
 func trackedConfig(t testing.TB, name string) Config {
@@ -41,7 +42,7 @@ func TestMetricsZeroOverhead(t *testing.T) {
 	}
 	off, offSes := measure(true)
 	on, onSes := measure(false)
-	if on > off {
+	if on > off && !raceEnabled {
 		t.Errorf("metrics add allocations on the steady-state PFR path: %.1f allocs/op enabled vs %.1f disabled", on, off)
 	}
 
@@ -59,6 +60,38 @@ func TestMetricsZeroOverhead(t *testing.T) {
 	}
 	if len(m.Dump(false).Rounds) == 0 {
 		t.Fatal("instrumented session has an empty flight recorder")
+	}
+}
+
+// TestDeadlineZeroOverhead extends the steady-state allocation guard to
+// the failure-detection machinery: arming the collective deadline (with a
+// healthy world, so it never trips) must not add an allocation per
+// collective call relative to the unguarded baseline.
+func TestDeadlineZeroOverhead(t *testing.T) {
+	cfg := trackedConfig(t, "core-pfr/nonblocking/write")
+	measure := func(deadline sim.Time) (float64, *Session) {
+		c := cfg
+		c.Deadline = deadline
+		s, err := NewSession(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		return allocs, s
+	}
+	off, _ := measure(0)
+	// Generous relative to any per-round skew of this workload: the guard
+	// is armed on every rendezvous but must never fire.
+	on, onSes := measure(1.0)
+	if on > off && !raceEnabled {
+		t.Errorf("deadline guard adds allocations on the steady-state PFR path: %.1f allocs/op armed vs %.1f unarmed", on, off)
+	}
+	if trips := onSes.Metrics().Merged().Counter(metrics.CDeadlineTrips); trips != 0 {
+		t.Errorf("deadline guard tripped %d times on a healthy steady-state run", trips)
 	}
 }
 

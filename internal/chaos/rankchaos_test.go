@@ -1,0 +1,185 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"flexio/internal/mpiio"
+	"flexio/internal/stats"
+)
+
+// TestRankChaosMatrix runs the seeded rank-failure grid (the short-mode
+// subset covers one scenario per fault pattern) and asserts the failover
+// invariants: collective agreement on the unresponsive class, victim
+// detection, no hang, journal-driven replay, and byte-identical recovery.
+// On violation the scenario's artifacts are exported to $CHAOS_TRACE_DIR
+// when set, so CI can attach them.
+func TestRankChaosMatrix(t *testing.T) {
+	scenarios := RankMatrix()
+	if testing.Short() {
+		scenarios = RankQuick()
+	}
+	traceDir := os.Getenv("CHAOS_TRACE_DIR")
+	for _, s := range scenarios {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			out, err := s.Run()
+			if err != nil {
+				if traceDir != "" && out != nil {
+					if out.Trace != nil {
+						path := traceDir + "/" + s.Name() + ".trace.json"
+						if werr := out.Trace.WriteChromeTraceFile(path); werr == nil {
+							t.Logf("chrome trace written to %s", path)
+						}
+					}
+					if out.Metrics != nil {
+						path := traceDir + "/" + s.Name() + ".flight.json"
+						if werr := writeFlightFile(out.Metrics, path); werr == nil {
+							t.Logf("flight recorder written to %s", path)
+						}
+					}
+				}
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRankChaosJournalPaths pins the two recovery modes side by side: an
+// aggregator victim moves realms (fresh journal epoch, full replay) while
+// a pure-client victim keeps them (same epoch, committed rounds skipped).
+func TestRankChaosJournalPaths(t *testing.T) {
+	agg := RankScenario{Engine: "core-nb", Fault: RankCrashMid, Victim: 1, Seed: 21}
+	out, err := agg.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.PreRounds == 0 {
+		t.Error("aggregator victim: nothing journalled before the crash")
+	}
+	if out.Skipped != 0 {
+		t.Errorf("aggregator victim moved realms; resume must replay everything, skipped %d", out.Skipped)
+	}
+	if out.Replayed == 0 {
+		t.Error("aggregator victim: resume replayed nothing")
+	}
+
+	client := RankScenario{Engine: "core-nb", Fault: RankCrashMid, Victim: 3, CbNodes: 2, Seed: 22}
+	out, err = client.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Skipped == 0 {
+		t.Errorf("client victim kept realms; resume must skip the %d committed rounds", out.PreRounds)
+	}
+}
+
+// TestRankChaosDeterministic: for a fixed seed, the whole
+// fault-detect-revive-resume cycle must reproduce exactly — including the
+// canonical flight dump, byte for byte, which is what lets a CI rank-chaos
+// artifact be diffed against a local reproduction.
+func TestRankChaosDeterministic(t *testing.T) {
+	for _, s := range []RankScenario{
+		{Engine: "core-nb", Fault: RankCrashMid, Victim: 1, Seed: 31},
+		{Engine: "core-a2a", Fault: RankStraggler, Victim: 2, Seed: 32},
+		{Engine: "twophase", Fault: RankCrashMid, Victim: 3, CbNodes: 2, Seed: 33},
+		{Engine: "core-nb", Fault: RankDropStorm, Victim: 1, Seed: 34},
+	} {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			t.Parallel()
+			dumps := make([][]byte, 2)
+			var first *RankOutcome
+			for i := range dumps {
+				out, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if i == 0 {
+					first = out
+				} else {
+					if out.AbortClass != first.AbortClass || out.Injected != first.Injected ||
+						out.Replayed != first.Replayed || out.Skipped != first.Skipped ||
+						out.DeadlineTrips != first.DeadlineTrips || out.Redelivered != first.Redelivered {
+						t.Errorf("outcome not deterministic:\nrun1 %+v\nrun2 %+v", first, out)
+					}
+				}
+				var buf bytes.Buffer
+				if err := out.Metrics.Dump(false).WriteJSON(&buf); err != nil {
+					t.Fatal(err)
+				}
+				dumps[i] = buf.Bytes()
+			}
+			if !bytes.Equal(dumps[0], dumps[1]) {
+				t.Errorf("canonical flight dumps differ between identical runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+					dumps[0], dumps[1])
+			}
+			// Resumed scenarios must surface the failover in the canonical
+			// dump (it is deterministic, so it belongs there).
+			if s.Fault != RankDropStorm {
+				d := out0Dump(t, dumps[0])
+				if d.Failover == nil {
+					t.Fatal("canonical dump carries no failover event")
+				}
+				if len(d.Failover.DeadRanks) == 0 {
+					t.Error("failover event names no dead ranks")
+				}
+			}
+		})
+	}
+}
+
+// TestParseRankSpec pins the cmd-facing spec syntax.
+func TestParseRankSpec(t *testing.T) {
+	s, err := ParseRankSpec("core-nb", "crash-mid-rounds:3:2", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Fault != RankCrashMid || s.Victim != 3 || s.CbNodes != 2 || s.Engine != "core-nb" {
+		t.Fatalf("parsed %+v", s)
+	}
+	if _, err := ParseRankSpec("core-nb", "no-such-fault:1", 5); err == nil {
+		t.Fatal("want error for unknown fault")
+	}
+	if _, err := ParseRankSpec("core-nb", "straggler:x", 5); err == nil {
+		t.Fatal("want error for bad victim")
+	}
+}
+
+// TestRankSoakQuick drives the soak entry point end to end, checking it
+// reports zero violations and leaves both artifact kinds for every
+// scenario (rank chaos always exports — the interesting runs are the ones
+// that recovered).
+func TestRankSoakQuick(t *testing.T) {
+	dir := t.TempDir()
+	scenarios := RankQuick()
+	if n := RankSoak(scenarios, dir, t.Logf); n != 0 {
+		t.Fatalf("%d rank-chaos violations", n)
+	}
+	for _, s := range scenarios {
+		for _, suffix := range []string{".trace.json", ".flight.json"} {
+			if _, err := os.Stat(dir + "/" + s.Name() + suffix); err != nil {
+				t.Errorf("missing artifact: %v", err)
+			}
+		}
+	}
+}
+
+// TestRankChaosComposesStorageFaults pins the combined fault plane: the
+// brownout slows storage (visible in the stats) while the crash kills the
+// rank, and recovery still converges byte-identically.
+func TestRankChaosComposesStorageFaults(t *testing.T) {
+	s := RankScenario{Engine: "core-nb", Fault: RankCrashBrownout, Victim: 1, Seed: 41}
+	out, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AbortClass != mpiio.ClassUnresponsive {
+		t.Errorf("abort class %s, want unresponsive", mpiio.ClassName(out.AbortClass))
+	}
+	if out.Stats.Counter(stats.CBrownoutServes) == 0 {
+		t.Error("brownout never served a slowed request")
+	}
+}

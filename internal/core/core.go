@@ -88,6 +88,11 @@ type Options struct {
 	// Validate checks realm coverage of the aggregate access region
 	// before every call (debugging aid; O(realms) per call).
 	Validate bool
+	// Journal, when set, records which (aggregator, round) writes became
+	// durable so a collective resumed after a rank failure replays only
+	// the unfinished rounds (see ResumeCollective). Nil disables
+	// journalling at zero cost.
+	Journal *mpiio.WriteJournal
 }
 
 // Impl implements mpiio.Collective. One Impl is shared by every rank
@@ -339,6 +344,21 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	// ChargePairs sequence the miss path would issue is replayed verbatim,
 	// so virtual time and stats are unaffected.
 	sig := realmSignature(realms)
+	if i.o.Journal != nil {
+		if write {
+			// Open (or re-open) the write journal under this realm
+			// layout's epoch: a resume whose failover layout matches skips
+			// the rounds already durable, one that moved realms replays
+			// from scratch (round numbers under the old layout name
+			// different regions).
+			i.o.Journal.Begin(sig)
+		}
+		// Reads resume too (idempotently, with nothing to skip); the
+		// failover still reroutes their realms and is still recorded.
+		if i.o.Journal.Resuming() && p.Rank() == 0 {
+			p.Metrics.NoteFailover(i.o.Journal.Dead(), len(realms))
+		}
+	}
 	ck := clientKey{rank: p.Rank(), ft: view.Filetype, disp: view.Disp,
 		dataLen: dataLen, cb: cb, naggs: naggs, sig: sig}
 	ce := i.memo.getClient(ck)
@@ -402,6 +422,14 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			flats = make([]datatype.Flat, p.Size())
 			var expand int64
 			for c, msg := range scr.msgs {
+				if msg == nil {
+					// The client is dead or unresponsive: stand in an
+					// empty access so the collective keeps its structure
+					// through to the next agreement point. Deserting here
+					// would strand the surviving ranks in their exchanges.
+					flats[c] = datatype.FlatOf(datatype.Bytes(0), 0, 0)
+					continue
+				}
 				var fl datatype.Flat
 				var err error
 				if i.o.TreeRequests {
@@ -494,7 +522,11 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 					ae.rounds = ae.pieces[c].rounds
 				}
 			}
-			i.memo.putAgg(ak, ae)
+			// A failure-degraded request set (nil stand-ins above) must
+			// not poison the cache for later healthy collectives.
+			if p.PeerFailure() == nil {
+				i.memo.putAgg(ak, ae)
+			}
 		} else {
 			for _, n := range ae.charges[1:] {
 				f.ChargePairs(n)
@@ -507,6 +539,13 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	ntimes := int(p.AllreduceMaxInt64(int64(myRounds)))
 	if ntimes == 0 {
 		p.Barrier()
+		// A peer failure can shrink the surviving access to nothing; the
+		// barrier's rendezvous delivered the same failure version to every
+		// survivor, so this abort is uniform.
+		if perr := p.PeerFailure(); perr != nil {
+			return fmt.Errorf("%w (rank %d: %v)",
+				mpiio.ClassError(mpiio.ClassUnresponsive), p.Rank(), perr)
+		}
 		if !write {
 			return f.UnpackMemory(stream, buf, memtype, count)
 		}
@@ -546,7 +585,10 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 // realms resolves the file realm set, honouring persistence.
 func (i *Impl) realms(f *mpiio.File, naggs int, aarSt, aarEn, dataLen int64) ([]realm.Realm, error) {
 	if i.o.Persistent {
-		if prev := f.PFR(); prev != nil {
+		// A resume must not honour realms persisted before the failure:
+		// they still route file regions through the dead aggregator. The
+		// failover assignment recomputed below replaces them via SetPFR.
+		if prev := f.PFR(); prev != nil && !i.o.Journal.Resuming() {
 			return prev, nil
 		}
 	}
@@ -681,6 +723,12 @@ func mergeEntriesIov(scr *rankScratch, perClient []*roundPieces, r int, recv [][
 		}
 		views := recv[c]
 		for k, pc := range ps {
+			if k >= len(views) {
+				// Dead sender: its iovec slot was published nil. The
+				// caller's peer-failure guard aborts the round; stop
+				// rather than index past the truncated view list.
+				break
+			}
 			entries = append(entries, entry{seg: pc.file, client: c, data: views[k]})
 		}
 	}
@@ -746,9 +794,18 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 	var pendSegs []datatype.Seg
 	var pendData []byte
 	var firstErr error
+	j := i.o.Journal
 
 	flush := func(round int) {
 		if len(pendSegs) == 0 || firstErr != nil {
+			bufpool.Put(pendData)
+			pendSegs, pendData = nil, nil
+			return
+		}
+		if j.Done(p.Rank(), round) {
+			// Already durable from the attempt that failed: the journal
+			// lets the resume skip the physical write entirely.
+			p.Metrics.NoteReplay(0, 1)
 			bufpool.Put(pendData)
 			pendSegs, pendData = nil, nil
 			return
@@ -762,6 +819,14 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 		}
 		if err != nil {
 			firstErr = fmt.Errorf("core: write round %d: %w", round, err)
+		} else if p.PeerFailure() == nil {
+			// Journal the round only while no failure is pending that
+			// could abort the collective out from under it; an uncommitted
+			// round merely replays (byte-identically) on resume.
+			j.Commit(p.Rank(), round)
+			if j.Resuming() {
+				p.Metrics.NoteReplay(1, 0)
+			}
 		}
 		bufpool.Put(pendData)
 		pendSegs, pendData = nil, nil
@@ -850,13 +915,21 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 		}
 
 		if amAgg {
+			if perr := p.PeerFailure(); perr != nil && firstErr == nil {
+				// The exchange surfaced a dead or straggling peer: the
+				// received round views are incomplete, so the merge below
+				// is skipped and the boundary agreement aborts every rank.
+				firstErr = fmt.Errorf("core: write round %d: %w", r, perr)
+			}
 			var entries []entry
 			var segs []datatype.Seg
 			var total int64
-			if i.o.Comm == Alltoallw {
-				entries, segs, total = mergeEntriesIov(scr, aggPieces, r, recvIov)
-			} else {
-				entries, segs, total = mergeEntries(scr, aggPieces, r, payload)
+			if firstErr == nil {
+				if i.o.Comm == Alltoallw {
+					entries, segs, total = mergeEntriesIov(scr, aggPieces, r, recvIov)
+				} else {
+					entries, segs, total = mergeEntries(scr, aggPieces, r, payload)
+				}
 			}
 			roundRecv = total
 			if total > 0 {
@@ -1052,6 +1125,12 @@ func (i *Impl) readRounds(f *mpiio.File, scr *rankScratch, stream []byte, realms
 			}
 			data := mpi.Waitall(reqs)
 			for k, a := range from {
+				if data[k] == nil {
+					// Aggregator died or stalled past the deadline; the
+					// round-boundary agreement below aborts the read
+					// before any partial data reaches the user buffer.
+					continue
+				}
 				place(stream, myPieces[a], r, data[k])
 				bufpool.Put(data[k])
 			}
@@ -1102,6 +1181,11 @@ func place(stream []byte, rp *roundPieces, r int, data []byte) {
 // order) into the client's linear stream.
 func placeIov(stream []byte, rp *roundPieces, r int, views [][]byte) {
 	for k, pc := range rp.of(r) {
+		if k >= len(views) {
+			// Dead aggregator's slot: nothing arrived, and the round's
+			// agreement aborts before the stream reaches the user.
+			return
+		}
 		copy(stream[pc.aStream:pc.aStream+pc.file.Len], views[k])
 	}
 }

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"flexio/internal/mpiio"
+	"flexio/internal/realm"
+)
+
+// ResumeCollective builds the engine for re-running a collective that
+// aborted with ClassUnresponsive: the realm policy is wrapped with
+// realm.Failover so the dead ranks are demoted from aggregator duty (their
+// file realms redistribute over the survivors — the paper's realm
+// flexibility applied to recovery), and the write journal from the failed
+// attempt makes the rerun replay only the rounds that never became
+// durable.
+//
+// The protocol mirrors a real MPI-IO recovery: after mpi.World.ReviveAll
+// (the crashed process restarts and rejoins), every rank calls the same
+// collective again through the engine this returns. A revived rank still
+// participates as a client — its data reaches the file — it just no
+// longer aggregates, so the rerun's result is byte-identical to a
+// fault-free run.
+//
+// The journal may be nil (fresh object semantics: everything replays);
+// dead may be empty (plain rerun, realms unchanged).
+func ResumeCollective(o Options, j *mpiio.WriteJournal, dead []int) *Impl {
+	base := o.Assigner
+	if base == nil {
+		base = realm.Even{}
+	}
+	o.Assigner = realm.NewFailover(base, dead)
+	o.Journal = j
+	j.MarkResume(dead)
+	return New(o)
+}

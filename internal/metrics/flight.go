@@ -46,6 +46,41 @@ type Flight struct {
 	disps      []int64
 	abortRound int // -1 while no abort has been observed
 	abortClass string
+	failover   *FailoverEvent
+}
+
+// FailoverEvent records an aggregator failover: which ranks were dead when
+// the collective was resumed, how many realms the reassignment produced,
+// and how the journal split the rounds between replay and skip. All fields
+// are functions of the workload and fault schedule, so the event is part
+// of canonical dumps.
+type FailoverEvent struct {
+	DeadRanks      []int `json:"dead_ranks"`
+	Realms         int   `json:"realms"`
+	RoundsReplayed int64 `json:"rounds_replayed,omitempty"`
+	RoundsSkipped  int64 `json:"rounds_skipped,omitempty"`
+}
+
+// noteFailover records the first failover's dead set and realm count;
+// repeat calls (every rank reports the same resume) are folded into it.
+func (f *Flight) noteFailover(dead []int, realms int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failover == nil {
+		f.failover = &FailoverEvent{DeadRanks: append([]int(nil), dead...), Realms: realms}
+	}
+}
+
+// noteReplay accumulates an aggregator's replayed/skipped round counts
+// into the failover event.
+func (f *Flight) noteReplay(replayed, skipped int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failover == nil {
+		f.failover = &FailoverEvent{}
+	}
+	f.failover.RoundsReplayed += replayed
+	f.failover.RoundsSkipped += skipped
 }
 
 // FlightRank is one rank's bounded ring of round records. A nil
@@ -152,6 +187,7 @@ func (f *Flight) reset() {
 	f.naggs, f.stripe, f.align = 0, 0, 0
 	f.disps = f.disps[:0]
 	f.abortRound, f.abortClass = -1, ""
+	f.failover = nil
 	f.mu.Unlock()
 	for i := range f.ranks {
 		fr := &f.ranks[i]
@@ -198,6 +234,7 @@ type Dump struct {
 	Align      int64            `json:"align,omitempty"`
 	RealmDisps []int64          `json:"realm_disps,omitempty"`
 	Abort      *AbortInfo       `json:"abort,omitempty"`
+	Failover   *FailoverEvent   `json:"failover,omitempty"`
 	Dropped    int64            `json:"dropped_records,omitempty"`
 	Rounds     []RoundSummary   `json:"rounds"`
 	Counters   map[string]int64 `json:"counters,omitempty"`
@@ -225,6 +262,11 @@ func (s *Set) Dump(full bool) *Dump {
 	}
 	if f.abortRound >= 0 {
 		d.Abort = &AbortInfo{Round: f.abortRound, Class: f.abortClass}
+	}
+	if f.failover != nil {
+		fe := *f.failover
+		fe.DeadRanks = append([]int(nil), f.failover.DeadRanks...)
+		d.Failover = &fe
 	}
 	f.mu.Unlock()
 

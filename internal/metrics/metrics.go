@@ -62,6 +62,13 @@ const (
 	CRealmsAssigned   // realms handed out by the assigner
 	CRealmsMisaligned // realms whose start is not stripe-aligned
 
+	// Rank failure and recovery.
+	CDeadlineTrips  // failed peers detected via the collective deadline guard
+	CFailovers      // collectives resumed with realms reassigned off dead ranks
+	CRoundsReplayed // journalled rounds re-executed during a resume
+	CRoundsSkipped  // journalled rounds skipped during a resume (already durable)
+	CRedelivered    // messages dropped and redelivered by rank-fault injection
+
 	numCounters
 )
 
@@ -127,6 +134,11 @@ var counterMeta = [numCounters]meta{
 	CAborts:           {"collective_aborts", "collective operations aborted by error agreement"},
 	CRealmsAssigned:   {"realms_assigned", "file realms handed out by the assigner"},
 	CRealmsMisaligned: {"realms_misaligned", "file realms whose start offset is not stripe-aligned"},
+	CDeadlineTrips:    {"deadline_trips", "failed peers detected via the collective deadline guard"},
+	CFailovers:        {"failovers", "collectives resumed with realms reassigned off dead ranks"},
+	CRoundsReplayed:   {"rounds_replayed", "journalled two-phase rounds re-executed during a resume"},
+	CRoundsSkipped:    {"rounds_skipped", "journalled two-phase rounds skipped during a resume"},
+	CRedelivered:      {"msg_redeliveries", "messages dropped and redelivered by rank-fault injection"},
 }
 
 var gaugeMeta = [numGauges]meta{
@@ -304,6 +316,34 @@ func (r *Registry) NoteAbort(round int, class string) {
 	r.counters[CAborts]++
 	if r.fr != nil {
 		r.fr.f.noteAbort(round, class)
+	}
+}
+
+// NoteFailover records that this rank took part in a resumed collective
+// whose realms were reassigned off the dead ranks: it counts the failover
+// and publishes the (deterministic) dead set and realm count into the
+// flight recorder, where canonical dumps pick it up.
+func (r *Registry) NoteFailover(dead []int, realms int) {
+	if r == nil {
+		return
+	}
+	r.counters[CFailovers]++
+	if r.fr != nil {
+		r.fr.f.noteFailover(dead, realms)
+	}
+}
+
+// NoteReplay records how a resume treated this aggregator's journalled
+// rounds: replayed ones re-executed, skipped ones already durable from the
+// failed attempt.
+func (r *Registry) NoteReplay(replayed, skipped int64) {
+	if r == nil {
+		return
+	}
+	r.counters[CRoundsReplayed] += replayed
+	r.counters[CRoundsSkipped] += skipped
+	if r.fr != nil && replayed+skipped > 0 {
+		r.fr.f.noteReplay(replayed, skipped)
 	}
 }
 

@@ -13,28 +13,57 @@ import (
 // built on one round of "deposit a value, wait for everyone, read the
 // snapshot". The snapshot also carries the maximum entering clock, which
 // models the inherent synchronization of collective operations.
+//
+// The rendezvous is liveness-aware: a publish waits only for the ranks
+// still marked live, so a crashed rank (markDead) releases its peers
+// instead of deadlocking them, and — when a deadline is armed — a live
+// rank whose entering clock trails the earliest arrival by more than the
+// deadline is flagged suspect and its clock contribution capped, modelling
+// survivors that stop waiting at the timeout. Every publish carries a
+// failure version (failVer): ranks compare it against the last version
+// they saw to learn about deaths and suspects at the same rendezvous,
+// which is what makes the abort decision collective.
 type collSync struct {
-	mu       sync.Mutex
-	cond     *sync.Cond
-	size     int
-	gen      int
-	arrived  int
-	vals     []interface{}
-	clocks   []sim.Time
-	snapVals []interface{}
-	i64vals  []int64
-	snapI64  []int64
-	snapMax  sim.Time
-	poisoned bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	size      int
+	gen       int
+	arrived   int
+	vals      []interface{}
+	clocks    []sim.Time
+	snapVals  []interface{}
+	i64vals   []int64
+	snapI64   []int64
+	snapMax   sim.Time
+	snapVer   uint64
+	poisoned  bool
+	kindI64   bool
+	deadline  sim.Time // 0 = no deadline guard
+	live      []bool
+	suspect   []bool // sticky straggler flags
+	deposited []bool
+	failVer   uint64
+	deadCount int
+	suspCount int
+	// deathPending makes the first publish after a death charge the
+	// detection timeout: survivors sat at the rendezvous until the
+	// deadline expired before concluding the rank was gone.
+	deathPending bool
 }
 
 func newCollSync(size int) *collSync {
 	c := &collSync{
-		size:    size,
-		vals:    make([]interface{}, size),
-		clocks:  make([]sim.Time, size),
-		i64vals: make([]int64, size),
-		snapI64: make([]int64, size),
+		size:      size,
+		vals:      make([]interface{}, size),
+		clocks:    make([]sim.Time, size),
+		i64vals:   make([]int64, size),
+		snapI64:   make([]int64, size),
+		live:      make([]bool, size),
+		suspect:   make([]bool, size),
+		deposited: make([]bool, size),
+	}
+	for i := range c.live {
+		c.live[i] = true
 	}
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -49,37 +78,193 @@ func (c *collSync) poison() {
 	c.cond.Broadcast()
 }
 
-// exchange deposits val for this rank and returns every rank's value along
-// with the maximum entering clock.
-func (c *collSync) exchange(rank int, clock sim.Time, val interface{}) ([]interface{}, sim.Time) {
+// setDeadline arms (or with 0 disarms) the rendezvous deadline.
+func (c *collSync) setDeadline(d sim.Time) {
+	c.mu.Lock()
+	c.deadline = d
+	c.mu.Unlock()
+}
+
+// markDead records rank's crash and, if a rendezvous was only waiting on
+// it, publishes so the survivors proceed. Called from the dying rank's own
+// goroutine, which is never deposited-and-waiting at that moment — so the
+// death always lands between generations, at the same generation on every
+// run: detection is deterministic.
+func (c *collSync) markDead(rank int) {
+	c.mu.Lock()
+	if c.live[rank] {
+		c.live[rank] = false
+		c.deadCount++
+		c.failVer++
+		c.deathPending = true
+		c.tryPublish()
+	}
+	c.mu.Unlock()
+	c.cond.Broadcast()
+}
+
+// markSuspect flags rank as a straggler (sticky). Suspects stay live —
+// they still rendezvous — but every rank learns about them through the
+// failure version and escalates via the error agreement.
+func (c *collSync) markSuspect(rank int) {
+	c.mu.Lock()
+	if c.live[rank] && !c.suspect[rank] {
+		c.suspect[rank] = true
+		c.suspCount++
+		c.failVer++
+	}
+	c.mu.Unlock()
+}
+
+// isDead reports whether rank has crashed.
+func (c *collSync) isDead(rank int) bool {
+	c.mu.Lock()
+	d := !c.live[rank]
+	c.mu.Unlock()
+	return d
+}
+
+// ver returns the current failure version.
+func (c *collSync) ver() uint64 {
+	c.mu.Lock()
+	v := c.failVer
+	c.mu.Unlock()
+	return v
+}
+
+// failureSets returns the crashed and suspect rank lists in rank order.
+// Allocates; only called on the failure path.
+func (c *collSync) failureSets() (dead, suspects []int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for r := 0; r < c.size; r++ {
+		if !c.live[r] {
+			dead = append(dead, r)
+		} else if c.suspect[r] {
+			suspects = append(suspects, r)
+		}
+	}
+	return dead, suspects
+}
+
+// revive resets all liveness state so the world can run a recovery
+// attempt: every rank live again, no suspects, failure version back to
+// zero, any half-collected generation discarded.
+func (c *collSync) revive() {
+	c.mu.Lock()
+	for i := range c.live {
+		c.live[i] = true
+		c.suspect[i] = false
+		c.deposited[i] = false
+		c.vals[i] = nil
+	}
+	c.arrived = 0
+	c.deadCount = 0
+	c.suspCount = 0
+	c.failVer = 0
+	c.snapVer = 0
+	c.deathPending = false
+	c.mu.Unlock()
+}
+
+// tryPublish publishes the snapshot if every live rank has deposited.
+// Caller holds c.mu.
+func (c *collSync) tryPublish() {
+	if c.arrived == 0 {
+		return
+	}
+	for r := 0; r < c.size; r++ {
+		if c.live[r] && !c.deposited[r] {
+			return
+		}
+	}
+	// Deadline guard: the earliest arrival defines the wait origin; any
+	// live rank arriving more than the deadline later is a straggler.
+	// Its clock contribution is capped at origin+deadline — survivors do
+	// not wait past the timeout — and it is flagged suspect so the
+	// failure version changes under everyone at this same publish.
+	var base sim.Time
+	if c.deadline > 0 {
+		first := true
+		for r := 0; r < c.size; r++ {
+			if c.live[r] && c.deposited[r] && (first || c.clocks[r] < base) {
+				base, first = c.clocks[r], false
+			}
+		}
+		for r := 0; r < c.size; r++ {
+			if c.live[r] && c.deposited[r] && c.clocks[r] > base+c.deadline && !c.suspect[r] {
+				c.suspect[r] = true
+				c.suspCount++
+				c.failVer++
+			}
+		}
+	}
+	var m sim.Time
+	for r := 0; r < c.size; r++ {
+		if !c.live[r] || !c.deposited[r] {
+			continue
+		}
+		t := c.clocks[r]
+		if c.deadline > 0 && t > base+c.deadline {
+			t = base + c.deadline
+		}
+		if t > m {
+			m = t
+		}
+	}
+	if c.deathPending {
+		// Survivors waited out one detection timeout for the rank that
+		// died since the last publish.
+		m += c.deadline
+		c.deathPending = false
+	}
+	if c.kindI64 {
+		copy(c.snapI64, c.i64vals)
+		for r := 0; r < c.size; r++ {
+			if !c.live[r] || !c.deposited[r] {
+				c.snapI64[r] = 0
+			}
+		}
+	} else {
+		snap := make([]interface{}, c.size)
+		for r := 0; r < c.size; r++ {
+			if c.live[r] && c.deposited[r] {
+				snap[r] = c.vals[r]
+			}
+		}
+		c.snapVals = snap
+	}
+	c.snapMax = m
+	c.snapVer = c.failVer
+	c.arrived = 0
+	for r := 0; r < c.size; r++ {
+		c.deposited[r] = false
+		c.vals[r] = nil
+	}
+	c.gen++
+	c.cond.Broadcast()
+}
+
+// exchange deposits val for this rank and returns every rank's value
+// (crashed ranks' slots are nil), the snapshot clock, and the failure
+// version at publish time.
+func (c *collSync) exchange(rank int, clock sim.Time, val interface{}) ([]interface{}, sim.Time, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	gen := c.gen
 	c.vals[rank] = val
 	c.clocks[rank] = clock
+	c.deposited[rank] = true
 	c.arrived++
-	if c.arrived == c.size {
-		snap := make([]interface{}, c.size)
-		copy(snap, c.vals)
-		var m sim.Time
-		for _, t := range c.clocks {
-			if t > m {
-				m = t
-			}
-		}
-		c.snapVals, c.snapMax = snap, m
-		c.arrived = 0
-		c.gen++
-		c.cond.Broadcast()
-	} else {
-		for c.gen == gen && !c.poisoned {
-			c.cond.Wait()
-		}
-		if c.poisoned {
-			panic("mpi: collective aborted after peer failure")
-		}
+	c.kindI64 = false
+	c.tryPublish()
+	for c.gen == gen && !c.poisoned {
+		c.cond.Wait()
 	}
-	return c.snapVals, c.snapMax
+	if c.poisoned {
+		panic("mpi: collective aborted after peer failure")
+	}
+	return c.snapVals, c.snapMax, c.snapVer
 }
 
 // exchangeInt64 is exchange specialized to one int64 per rank. It reuses
@@ -88,35 +273,24 @@ func (c *collSync) exchange(rank int, clock sim.Time, val interface{}) ([]interf
 // snapshot is only published once every rank has deposited again, which
 // each rank does only after it finished reading the current one. The
 // returned slice is that shared snapshot: callers must copy out what they
-// keep and must not write to it.
-func (c *collSync) exchangeInt64(rank int, clock sim.Time, val int64) ([]int64, sim.Time) {
+// keep and must not write to it. Crashed ranks' slots read zero.
+func (c *collSync) exchangeInt64(rank int, clock sim.Time, val int64) ([]int64, sim.Time, uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	gen := c.gen
 	c.i64vals[rank] = val
 	c.clocks[rank] = clock
+	c.deposited[rank] = true
 	c.arrived++
-	if c.arrived == c.size {
-		copy(c.snapI64, c.i64vals)
-		var m sim.Time
-		for _, t := range c.clocks {
-			if t > m {
-				m = t
-			}
-		}
-		c.snapMax = m
-		c.arrived = 0
-		c.gen++
-		c.cond.Broadcast()
-	} else {
-		for c.gen == gen && !c.poisoned {
-			c.cond.Wait()
-		}
-		if c.poisoned {
-			panic("mpi: collective aborted after peer failure")
-		}
+	c.kindI64 = true
+	c.tryPublish()
+	for c.gen == gen && !c.poisoned {
+		c.cond.Wait()
 	}
-	return c.snapI64, c.snapMax
+	if c.poisoned {
+		panic("mpi: collective aborted after peer failure")
+	}
+	return c.snapI64, c.snapMax, c.snapVer
 }
 
 // log2ceil returns ceil(log2(n)), at least 1 for n > 1 and 0 for n <= 1.
@@ -135,31 +309,36 @@ func (p *Proc) treeLatency() sim.Time {
 // Barrier synchronizes all ranks: every clock advances to the maximum
 // entering clock plus a binomial-tree latency term.
 func (p *Proc) Barrier() {
-	_, m := p.w.coll.exchange(p.rank, p.clock, nil)
-	p.clock = m + p.treeLatency()
+	p.preRendezvous()
+	_, m, ver := p.w.coll.exchange(p.rank, p.clock, nil)
+	p.clock = sim.Max(p.clock, m) + p.treeLatency()
+	p.noteVer(ver)
 }
 
 // Bcast distributes root's buffer to every rank. Non-root callers pass nil.
 func (p *Proc) Bcast(root int, data []byte) []byte {
+	p.preRendezvous()
 	var dep interface{}
 	if p.rank == root {
 		dep = data
 	}
-	vals, m := p.w.coll.exchange(p.rank, p.clock, dep)
+	vals, m, ver := p.w.coll.exchange(p.rank, p.clock, dep)
 	out, _ := vals[root].([]byte)
 	n := int64(len(out))
-	p.clock = m + p.treeLatency() + sim.Time(float64(log2ceil(p.w.size)))*p.w.cfg.TransferTime(n)
+	p.clock = sim.Max(p.clock, m) + p.treeLatency() + sim.Time(float64(log2ceil(p.w.size)))*p.w.cfg.TransferTime(n)
 	if p.rank != root {
 		p.Stats.Add(stats.CBytesComm, n)
 		p.Metrics.Add(metrics.CCommBytes, n)
 	}
+	p.noteVer(ver)
 	return out
 }
 
 // Allgather collects every rank's buffer; result[i] is rank i's
-// contribution.
+// contribution (nil for crashed ranks).
 func (p *Proc) Allgather(data []byte) [][]byte {
-	vals, m := p.w.coll.exchange(p.rank, p.clock, data)
+	p.preRendezvous()
+	vals, m, ver := p.w.coll.exchange(p.rank, p.clock, data)
 	out := make([][]byte, p.w.size)
 	var others int64
 	for i, v := range vals {
@@ -169,9 +348,10 @@ func (p *Proc) Allgather(data []byte) [][]byte {
 			others += int64(len(b))
 		}
 	}
-	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(others)
+	p.clock = sim.Max(p.clock, m) + p.treeLatency() + p.w.cfg.TransferTime(others)
 	p.Stats.Add(stats.CBytesComm, others)
 	p.Metrics.Add(metrics.CCommBytes, others)
+	p.noteVer(ver)
 	return out
 }
 
@@ -184,22 +364,28 @@ func (p *Proc) AllgatherInt64(v int64) []int64 {
 }
 
 // AllgatherInt64Into is AllgatherInt64 gathering into caller scratch
-// (len must be the world size), so hot paths can reuse a buffer.
+// (len must be the world size), so hot paths can reuse a buffer. Crashed
+// ranks' slots read zero; callers that need to tell "zero" from "dead"
+// consult PeerFailure after the call.
 func (p *Proc) AllgatherInt64Into(v int64, out []int64) {
-	snap, m := p.w.coll.exchangeInt64(p.rank, p.clock, v)
+	p.preRendezvous()
+	snap, m, ver := p.w.coll.exchangeInt64(p.rank, p.clock, v)
 	copy(out, snap)
-	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(int64(8*(p.w.size-1)))
+	p.clock = sim.Max(p.clock, m) + p.treeLatency() + p.w.cfg.TransferTime(int64(8*(p.w.size-1)))
+	p.noteVer(ver)
 }
 
 // allreduceInt64 folds the snapshot in place under the rendezvous return,
 // allocating nothing.
 func (p *Proc) allreduceInt64(v int64, fold func(acc, x int64) int64) int64 {
-	snap, m := p.w.coll.exchangeInt64(p.rank, p.clock, v)
+	p.preRendezvous()
+	snap, m, ver := p.w.coll.exchangeInt64(p.rank, p.clock, v)
 	acc := snap[0]
 	for _, x := range snap[1:] {
 		acc = fold(acc, x)
 	}
-	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(int64(8*(p.w.size-1)))
+	p.clock = sim.Max(p.clock, m) + p.treeLatency() + p.w.cfg.TransferTime(int64(8*(p.w.size-1)))
+	p.noteVer(ver)
 	return acc
 }
 
@@ -229,15 +415,17 @@ func (p *Proc) AllreduceSumInt64(v int64) int64 {
 }
 
 // Alltoallv exchanges per-destination buffers: send[d] goes to rank d, and
-// the result's entry s is the buffer rank s sent here. Entries may be nil.
-// Each rank's clock advances by the tree latency plus the transfer time of
-// the larger of its total send and total receive volume, modelling a
-// well-scheduled exchange (MPI_Alltoallv / MPI_Alltoallw).
+// the result's entry s is the buffer rank s sent here. Entries may be nil
+// (crashed ranks' rows always are). Each rank's clock advances by the tree
+// latency plus the transfer time of the larger of its total send and total
+// receive volume, modelling a well-scheduled exchange (MPI_Alltoallv /
+// MPI_Alltoallw).
 func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 	if len(send) != p.w.size {
 		panic("mpi: Alltoallv send slice must have one entry per rank")
 	}
-	vals, m := p.w.coll.exchange(p.rank, p.clock, send)
+	p.preRendezvous()
+	vals, m, ver := p.w.coll.exchange(p.rank, p.clock, send)
 	out := make([][]byte, p.w.size)
 	var sent, recvd int64
 	for d, b := range send {
@@ -246,7 +434,10 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 		}
 	}
 	for s, v := range vals {
-		row := v.([][]byte)
+		row, ok := v.([][]byte)
+		if !ok {
+			continue // crashed rank: leave out[s] nil
+		}
 		out[s] = row[p.rank]
 		if s != p.rank {
 			recvd += int64(len(out[s]))
@@ -256,9 +447,10 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 	if recvd > vol {
 		vol = recvd
 	}
-	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(vol)
+	p.clock = sim.Max(p.clock, m) + p.treeLatency() + p.w.cfg.TransferTime(vol)
 	p.Stats.Add(stats.CBytesComm, sent)
 	p.Metrics.Add(metrics.CCommBytes, sent)
+	p.noteVer(ver)
 	return out
 }
 
@@ -268,13 +460,14 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 // the segment list rank s sent here, aliasing the sender's memory — the
 // receiver must consume it before the sender reuses those buffers, which
 // the collective engines guarantee by recycling only at rendezvous
-// boundaries. Cost accounting is identical to Alltoallv for the same
-// total bytes.
+// boundaries. Crashed ranks' rows are nil. Cost accounting is identical
+// to Alltoallv for the same total bytes.
 func (p *Proc) AlltoallvIov(send [][][]byte) [][][]byte {
 	if len(send) != p.w.size {
 		panic("mpi: AlltoallvIov send slice must have one entry per rank")
 	}
-	vals, m := p.w.coll.exchange(p.rank, p.clock, send)
+	p.preRendezvous()
+	vals, m, ver := p.w.coll.exchange(p.rank, p.clock, send)
 	out := make([][][]byte, p.w.size)
 	var sent, recvd int64
 	for d, iov := range send {
@@ -286,7 +479,10 @@ func (p *Proc) AlltoallvIov(send [][][]byte) [][][]byte {
 		}
 	}
 	for s, v := range vals {
-		row := v.([][][]byte)
+		row, ok := v.([][][]byte)
+		if !ok {
+			continue // crashed rank: leave out[s] nil
+		}
 		out[s] = row[p.rank]
 		if s == p.rank {
 			continue
@@ -299,8 +495,9 @@ func (p *Proc) AlltoallvIov(send [][][]byte) [][][]byte {
 	if recvd > vol {
 		vol = recvd
 	}
-	p.clock = m + p.treeLatency() + p.w.cfg.TransferTime(vol)
+	p.clock = sim.Max(p.clock, m) + p.treeLatency() + p.w.cfg.TransferTime(vol)
 	p.Stats.Add(stats.CBytesComm, sent)
 	p.Metrics.Add(metrics.CCommBytes, sent)
+	p.noteVer(ver)
 	return out
 }

@@ -57,11 +57,19 @@ func (b *mailbox) put(e *envelope) {
 }
 
 // take blocks until a message matching (src, tag) is available and removes
-// it. src or tag may be Any.
-func (b *mailbox) take(src, tag int) *envelope {
+// it. src or tag may be Any. When w is non-nil and the named source rank
+// has crashed, take returns nil instead of blocking forever: the dead
+// check runs before the scan, and a rank's sends happen-before its death
+// mark, so a nil return guarantees the message was never sent — a dead
+// source's already-delivered messages are still matched.
+func (b *mailbox) take(w *World, src, tag int) *envelope {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
+		deadSrc := false
+		if w != nil && src != Any && w.anyFail.Load() != 0 {
+			deadSrc = w.coll.isDead(src)
+		}
 		for i, e := range b.msgs {
 			if (src == Any || e.src == src) && (tag == Any || e.tag == tag) {
 				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
@@ -71,8 +79,22 @@ func (b *mailbox) take(src, tag int) *envelope {
 		if b.poison {
 			panic("mpi: rank unblocked after peer failure")
 		}
+		if deadSrc {
+			return nil
+		}
 		b.cond.Wait()
 	}
+}
+
+// wake rouses blocked receivers so they re-check peer liveness. Taking
+// and releasing the lock before broadcasting closes the window where a
+// waiter has checked liveness but not yet parked: once we hold the lock,
+// every such waiter is inside Wait and will hear the broadcast.
+func (b *mailbox) wake() {
+	b.mu.Lock()
+	//lint:ignore SA2001 holding the lock parks in-flight waiters so the broadcast reaches them
+	b.mu.Unlock()
+	b.cond.Broadcast()
 }
 
 func (b *mailbox) drain() {
@@ -97,6 +119,17 @@ func (p *Proc) Send(to, tag int, data []byte) {
 	if to < 0 || to >= p.w.size {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", to, p.w.size))
 	}
+	if rf := p.w.rf; rf != nil {
+		p.sendSeq++
+		if pen := rf.dropPenalty(p.rank, to, p.sendSeq); pen > 0 {
+			// Drop with redelivery: the first copy is lost and the
+			// retransmit leaves one timeout later, so the message is
+			// stamped after the penalty — delivered late, not lost.
+			p.clock += pen
+			p.Stats.Add(stats.CRedeliveries, 1)
+			p.Metrics.Inc(metrics.CRedelivered)
+		}
+	}
 	p.clock += p.w.cfg.SendOverhead
 	p.Stats.Add(stats.CBytesComm, int64(len(data)))
 	p.Metrics.Add(metrics.CCommBytes, int64(len(data)))
@@ -107,13 +140,46 @@ func (p *Proc) Send(to, tag int, data []byte) {
 // The receiver's clock advances to the message completion time:
 // max(recv-post, send-stamp) + latency + bytes/bandwidth. Self-sends cost a
 // memory copy instead of a network transfer.
+//
+// If the source rank crashed before sending, or — with a deadline armed —
+// its message left more than the deadline after this receive was posted,
+// Recv gives up at the deadline and returns nil data: the peer is
+// reported through PeerFailure and the collective error agreement.
 func (p *Proc) Recv(src, tag int) (data []byte, from int) {
 	post := p.clock
-	e := p.w.boxes[p.rank].take(src, tag)
-	p.clock = p.arrivalTime(post, e)
+	e := p.w.boxes[p.rank].take(p.w, src, tag)
+	if done := p.completeRecv(post, e); !done {
+		return nil, src
+	}
 	data, from = e.data, e.src
 	releaseEnvelope(e)
 	return data, from
+}
+
+// completeRecv finishes a matched (or abandoned) receive posted at post.
+// It returns false when the receive failed — the source is dead or its
+// message tripped the deadline — in which case the envelope (if any) has
+// been released, the clock charged up to the deadline, and the peer
+// flagged.
+func (p *Proc) completeRecv(post sim.Time, e *envelope) bool {
+	if e == nil {
+		// Crashed peer: this rank waited the full detection timeout.
+		p.SyncClock(post + p.w.collDeadline)
+		p.noteVer(p.w.coll.ver())
+		return false
+	}
+	if d := p.w.collDeadline; d > 0 && e.src != p.rank && e.stamp > post+d {
+		// The message left the (live) sender after this rank's patience
+		// ran out: a straggler. Give up at the deadline, flag the peer,
+		// and drop the payload — the round is aborted by agreement.
+		p.SyncClock(post + d)
+		p.w.coll.markSuspect(e.src)
+		p.noteVer(p.w.coll.ver())
+		releaseEnvelope(e)
+		return false
+	}
+	p.SyncClock(p.arrivalTime(post, e))
+	return true
 }
 
 // arrivalTime computes when a message posted for receive at `post` is fully
@@ -173,7 +239,9 @@ func (p *Proc) Irecv(src, tag int) *Request {
 	return r
 }
 
-// Wait completes the request. For receives it returns the data and source.
+// Wait completes the request. For receives it returns the data and source;
+// nil data with the posted source means the peer crashed or tripped the
+// deadline (see Recv).
 func (r *Request) Wait() (data []byte, from int) {
 	if r.done {
 		return r.data, r.from
@@ -182,8 +250,11 @@ func (r *Request) Wait() (data []byte, from int) {
 	if !r.isRecv {
 		return nil, 0
 	}
-	e := r.p.w.boxes[r.p.rank].take(r.src, r.tag)
-	r.p.SyncClock(r.p.arrivalTime(r.post, e))
+	e := r.p.w.boxes[r.p.rank].take(r.p.w, r.src, r.tag)
+	if done := r.p.completeRecv(r.post, e); !done {
+		r.data, r.from = nil, r.src
+		return r.data, r.from
+	}
 	r.data, r.from = e.data, e.src
 	releaseEnvelope(e)
 	return r.data, r.from

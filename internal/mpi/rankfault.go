@@ -1,0 +1,224 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+
+	"flexio/internal/sim"
+)
+
+// ErrRankUnresponsive marks a peer rank that crashed or blew past a
+// collective's virtual-time deadline. It is the sentinel the error
+// agreement protocol escalates to, so every survivor aborts the round on
+// the same decision.
+var ErrRankUnresponsive = errors.New("mpi: rank unresponsive")
+
+// rankCrash is the private panic value an injected crash raises. World.Run
+// recognizes it and lets the rank die quietly (no poison, no re-panic):
+// peers detect the death through the liveness machinery instead of a test
+// failure.
+type rankCrash struct{ rank int }
+
+// RankFaultSchedule is a seeded, deterministic plan of rank-level failures:
+// crashes (at a two-phase round or at the Nth collective operation), stalls
+// and stragglers (virtual-time delays charged at round boundaries), and
+// message drops with redelivery (a per-send latency penalty modelling the
+// retransmit timeout). It composes with pfs.FaultSchedule — one injects
+// process failures, the other storage failures — and, like it, makes the
+// same decisions on every run for a fixed seed regardless of goroutine
+// scheduling.
+//
+// Crash and stall rules fire at most once: a collective resumed after
+// ReviveAll does not re-kill its victim.
+type RankFaultSchedule struct {
+	mu       sync.Mutex
+	seed     int64
+	crashes  []crashRule
+	stalls   []stallRule
+	drops    []dropRule
+	injected int64
+}
+
+type crashRule struct {
+	rank  int
+	round int   // fires at SetRound(round) when seq == 0
+	seq   int64 // fires at the seq'th collective op when > 0
+	fired bool
+}
+
+type stallRule struct {
+	rank  int
+	round int      // first round the delay applies to
+	delay sim.Time // charged to the rank's clock at each matching round
+	left  int      // remaining rounds to fire on
+}
+
+type dropRule struct {
+	from, to int // to == Any matches every destination
+	prob     float64
+	penalty  sim.Time
+	left     int // remaining injections (from Count)
+}
+
+// NewRankFaultSchedule returns an empty schedule; the seed drives the
+// probability coins of Drop rules.
+func NewRankFaultSchedule(seed int64) *RankFaultSchedule {
+	return &RankFaultSchedule{seed: seed}
+}
+
+// Crash makes rank panic when it reaches two-phase round (via
+// Proc.SetRound). Returns the schedule for chaining.
+func (s *RankFaultSchedule) Crash(rank, round int) *RankFaultSchedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashes = append(s.crashes, crashRule{rank: rank, round: round})
+	return s
+}
+
+// CrashAtSeq makes rank panic at its seq'th collective operation (1-based,
+// counting every rendezvous: barriers, allgathers, allreduces, alltoalls).
+func (s *RankFaultSchedule) CrashAtSeq(rank int, seq int64) *RankFaultSchedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.crashes = append(s.crashes, crashRule{rank: rank, seq: seq})
+	return s
+}
+
+// Stall charges rank a one-shot virtual-time delay when it reaches round:
+// the rank keeps running but arrives everywhere late, which is what trips
+// deadline detection without tearing the process down.
+func (s *RankFaultSchedule) Stall(rank, round int, d sim.Time) *RankFaultSchedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stalls = append(s.stalls, stallRule{rank: rank, round: round, delay: d, left: 1})
+	return s
+}
+
+// Straggle charges rank the delay at each of count consecutive rounds
+// starting at round, modelling a persistently slow rank rather than one
+// hiccup.
+func (s *RankFaultSchedule) Straggle(rank, round int, d sim.Time, count int) *RankFaultSchedule {
+	if count < 1 {
+		count = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stalls = append(s.stalls, stallRule{rank: rank, round: round, delay: d, left: count})
+	return s
+}
+
+// Drop injects message loss on the from→to link (to == Any for every
+// destination): each matching send is dropped and redelivered with
+// probability prob, charging the sender the redelivery penalty (the
+// retransmit timeout) before the message leaves. Count caps total
+// injections (0 = unlimited). The message itself is still delivered — late
+// — so the collective completes; this is a latency fault, not a loss.
+func (s *RankFaultSchedule) Drop(from, to int, prob float64, penalty sim.Time, count int) *RankFaultSchedule {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drops = append(s.drops, dropRule{from: from, to: to, prob: prob, penalty: penalty, left: count})
+	return s
+}
+
+// Injected returns how many rank faults have fired so far (crashes, stalls
+// and redeliveries all count).
+func (s *RankFaultSchedule) Injected() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.injected
+}
+
+// atRound evaluates round-triggered rules for rank entering round. It
+// returns the stall delay to charge (0 for none) and whether the rank
+// should crash.
+func (s *RankFaultSchedule) atRound(rank, round int) (stall sim.Time, crash bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Rounds are visited in order within a collective, so "fire while
+	// charges remain, starting at the rule's round" yields consecutive
+	// slow rounds for Straggle and exactly one for Stall.
+	for i := range s.stalls {
+		r := &s.stalls[i]
+		if r.rank != rank || r.left <= 0 || round < r.round {
+			continue
+		}
+		r.left--
+		s.injected++
+		stall += r.delay
+	}
+	for i := range s.crashes {
+		r := &s.crashes[i]
+		if r.fired || r.seq > 0 || r.rank != rank || r.round != round {
+			continue
+		}
+		r.fired = true
+		s.injected++
+		crash = true
+	}
+	return stall, crash
+}
+
+// atSeq evaluates sequence-triggered crash rules for rank's seq'th
+// collective operation.
+func (s *RankFaultSchedule) atSeq(rank int, seq int64) (crash bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.crashes {
+		r := &s.crashes[i]
+		if r.fired || r.seq == 0 || r.rank != rank || r.seq != seq {
+			continue
+		}
+		r.fired = true
+		s.injected++
+		crash = true
+	}
+	return crash
+}
+
+// dropPenalty returns the redelivery latency for the seq'th send from→to
+// (0 = deliver normally). The coin hashes only rank-deterministic values,
+// so a seeded schedule drops the same messages on every run.
+func (s *RankFaultSchedule) dropPenalty(from, to int, seq int64) sim.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// left encodes the remaining budget: 0 = unlimited, >0 = remaining,
+	// -1 = exhausted.
+	var pen sim.Time
+	for i := range s.drops {
+		r := &s.drops[i]
+		if r.from != from || (r.to != Any && r.to != to) || r.left < 0 {
+			continue
+		}
+		if r.prob > 0 && r.prob < 1 && dropCoin(s.seed, i, from, to, seq) >= r.prob {
+			continue
+		}
+		if r.left > 0 {
+			if r.left--; r.left == 0 {
+				r.left = -1
+			}
+		}
+		s.injected++
+		pen += r.penalty
+	}
+	return pen
+}
+
+// dropCoin maps (seed, rule, link, seq) to a uniform [0,1) value with the
+// same splitmix64 finalizer chain pfs uses for its fault coins.
+func dropCoin(seed int64, rule, from, to int, seq int64) float64 {
+	x := rmix(uint64(seed) + 0x9e3779b97f4a7c15)
+	x = rmix(x ^ uint64(rule+1)*0xbf58476d1ce4e5b9)
+	x = rmix(x ^ uint64(from+1)*0x94d049bb133111eb)
+	x = rmix(x ^ uint64(to+2))
+	x = rmix(x ^ uint64(seq))
+	return float64(x>>11) / float64(1<<53)
+}
+
+func rmix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

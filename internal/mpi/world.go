@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"flexio/internal/metrics"
 	"flexio/internal/sim"
@@ -36,6 +37,16 @@ type World struct {
 	procs []*Proc
 	sink  *trace.Sink
 	met   *metrics.Set
+	// rf is the rank-level fault plan (nil = no rank faults); every
+	// fault-injection check in the datapath is gated on it so the
+	// fault-free steady state pays one nil comparison.
+	rf *RankFaultSchedule
+	// collDeadline is the virtual-time deadline every rendezvous and
+	// point-to-point wait is guarded by (0 = no guard).
+	collDeadline sim.Time
+	// anyFail flips to 1 at the first crash; it gates the dead-peer
+	// check in mailbox waits so the healthy path stays branch-cheap.
+	anyFail atomic.Int32
 }
 
 // NewWorld creates a communicator with size ranks using the given cost
@@ -88,6 +99,14 @@ func (w *World) Run(fn func(p *Proc)) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
+					if _, ok := r.(rankCrash); ok {
+						// Injected crash: the rank dies quietly.
+						// crashNow already marked it dead and woke
+						// its peers, who detect the failure through
+						// the liveness machinery instead of a test
+						// panic.
+						return
+					}
 					// Re-panicking on the Run goroutine loses the rank's
 					// stack; carry it in the message.
 					panics <- fmt.Sprintf("rank %d: %v\n%s", p.rank, r, debug.Stack())
@@ -146,12 +165,77 @@ func (w *World) ResetClocks() {
 	for _, p := range w.procs {
 		p.clock = 0
 		p.nicBusy = 0
+		p.collSeq = 0
+		p.sendSeq = 0
+		p.round = 0
+		p.verSeen = 0
+		p.peerErr = nil
+		p.failSeen = 0
 	}
 	for _, b := range w.boxes {
 		b.drain()
 	}
+	w.coll.revive()
+	w.anyFail.Store(0)
 	w.sink.Reset()
 	w.met.Reset()
+}
+
+// SetRankFaults installs a rank-level fault plan (nil disables). Call it
+// before Run; it applies to every subsequent collective and send.
+func (w *World) SetRankFaults(s *RankFaultSchedule) { w.rf = s }
+
+// RankFaults returns the installed rank-fault plan (nil when off).
+func (w *World) RankFaults() *RankFaultSchedule { return w.rf }
+
+// SetCollDeadline arms a virtual-time deadline on every rendezvous and
+// point-to-point wait: a peer trailing by more than d is flagged
+// unresponsive instead of waited on forever. Zero disarms.
+func (w *World) SetCollDeadline(d sim.Time) {
+	w.collDeadline = d
+	w.coll.setDeadline(d)
+}
+
+// CollDeadline returns the armed rendezvous deadline (0 = off).
+func (w *World) CollDeadline() sim.Time { return w.collDeadline }
+
+// FailedRanks returns the ranks currently considered failed — crashed or
+// flagged as stragglers — in rank order. It is the dead set a resumed
+// collective hands to the failover assigner.
+func (w *World) FailedRanks() []int {
+	dead, suspects := w.coll.failureSets()
+	out := append([]int{}, dead...)
+	out = append(out, suspects...)
+	// Both inputs are rank-ordered and disjoint; merge by sorting.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ReviveAll clears every failure: all ranks are live again (a crashed
+// rank models a restarted process rejoining), suspects are forgiven,
+// undelivered messages from the failed attempt are dropped, and every
+// clock jumps to the latest clock so the recovered world resumes from a
+// common "now" — a straggler's inflated clock would otherwise re-trip
+// deadline detection immediately. Consumed fault rules stay consumed, so
+// the recovery attempt runs clean. Call between Run calls only.
+func (w *World) ReviveAll() {
+	w.coll.revive()
+	for _, b := range w.boxes {
+		b.drain()
+	}
+	now := w.MaxClock()
+	for _, p := range w.procs {
+		p.clock = now
+		p.nicBusy = 0
+		p.verSeen = 0
+		p.peerErr = nil
+		p.failSeen = 0
+	}
+	w.anyFail.Store(0)
 }
 
 // MaxClock returns the latest virtual clock across ranks.
@@ -205,6 +289,22 @@ type Proc struct {
 	// histograms; nil (the default) records nothing, like Trace. Set for
 	// all ranks by World.EnableMetrics.
 	Metrics *metrics.Registry
+	// collSeq counts this rank's collective operations and sendSeq its
+	// point-to-point sends: the deterministic streams rank-fault rules
+	// trigger on.
+	collSeq int64
+	sendSeq int64
+	// round is the current two-phase round (-1 outside one), mirrored
+	// from mpiio.File.SetRound for round-triggered fault rules.
+	round int
+	// verSeen / peerErr / failSeen cache the failure state this rank has
+	// observed: verSeen is the last rendezvous failure version consumed,
+	// peerErr the sticky ErrRankUnresponsive describing the failed
+	// peers, failSeen how many failed peers have been counted into the
+	// deadline-trip metric.
+	verSeen  uint64
+	peerErr  error
+	failSeen int
 }
 
 // Rank returns this process's rank in the world.
@@ -246,3 +346,76 @@ func (p *Proc) ChargeTime(phase string, d sim.Time) {
 	p.Stats.AddTime(phase, d)
 	p.Metrics.ObservePhase(phase, d)
 }
+
+// SetRound tags this rank with the current two-phase round (-1 = outside
+// a collective round) and fires round-triggered rank faults: a scheduled
+// stall charges the clock, a scheduled crash kills the rank here — after
+// the previous round's rendezvous, before this round's.
+func (p *Proc) SetRound(r int) {
+	p.round = r
+	if rf := p.w.rf; rf != nil && r >= 0 {
+		stall, crash := rf.atRound(p.rank, r)
+		if stall > 0 {
+			p.clock += stall
+		}
+		if crash {
+			p.crashNow()
+		}
+	}
+}
+
+// preRendezvous runs at the top of every collective operation: it
+// advances the rank's collective sequence number and fires
+// sequence-triggered crashes. One nil check on the fault-free path.
+func (p *Proc) preRendezvous() {
+	if rf := p.w.rf; rf != nil {
+		p.collSeq++
+		if rf.atSeq(p.rank, p.collSeq) {
+			p.crashNow()
+		}
+	}
+}
+
+// crashNow kills this rank: it is marked dead in the collective liveness
+// state (releasing any rendezvous waiting only on it), blocked receivers
+// are woken so they re-check peer liveness, and the goroutine unwinds
+// with the private crash panic World.Run absorbs.
+func (p *Proc) crashNow() {
+	p.w.coll.markDead(p.rank)
+	p.w.anyFail.Store(1)
+	for _, b := range p.w.boxes {
+		b.wake()
+	}
+	panic(rankCrash{rank: p.rank})
+}
+
+// noteVer consumes a rendezvous failure version: when it differs from the
+// last version this rank saw, the rank refreshes its view of dead and
+// suspect peers, counts the newly failed ones into the deadline-trip
+// metric, and arms PeerFailure. All ranks reading the same publish see
+// the same version, so they reach the same conclusion — that is what
+// makes the subsequent abort agreement unanimous. The fault-free path is
+// one integer compare.
+func (p *Proc) noteVer(ver uint64) {
+	if ver == p.verSeen {
+		return
+	}
+	p.verSeen = ver
+	dead, suspects := p.w.coll.failureSets()
+	n := len(dead) + len(suspects)
+	if n > p.failSeen {
+		p.Metrics.Add(metrics.CDeadlineTrips, int64(n-p.failSeen))
+		p.failSeen = n
+	}
+	if n > 0 {
+		p.peerErr = fmt.Errorf("%w: dead ranks %v, stalled ranks %v", ErrRankUnresponsive, dead, suspects)
+	} else {
+		p.peerErr = nil
+	}
+}
+
+// PeerFailure returns the sticky peer-failure error (wrapping
+// ErrRankUnresponsive) describing crashed or straggling peers this rank
+// has observed, or nil while everyone looks healthy. It is cleared by
+// World.ReviveAll.
+func (p *Proc) PeerFailure() error { return p.peerErr }

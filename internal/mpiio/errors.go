@@ -14,11 +14,12 @@ import (
 // max across ranks. The ordering is part of the protocol: every rank must
 // compute the same class for the same error.
 const (
-	ClassOK        int64 = iota // no error
-	ClassTransient              // pfs.ErrTransient after exhausting retries
-	ClassPartial                // pfs.ErrPartial with an unrecovered tail
-	ClassIO                     // pfs.ErrIO, a hard storage error
-	ClassInternal               // anything else (protocol bugs, bad arguments)
+	ClassOK           int64 = iota // no error
+	ClassTransient                 // pfs.ErrTransient after exhausting retries
+	ClassPartial                   // pfs.ErrPartial with an unrecovered tail
+	ClassIO                        // pfs.ErrIO, a hard storage error
+	ClassUnresponsive              // mpi.ErrRankUnresponsive: a peer crashed or tripped the deadline
+	ClassInternal                  // anything else (protocol bugs, bad arguments)
 )
 
 // ErrCollectiveAbort is wrapped by every error the collective
@@ -31,6 +32,8 @@ func ErrorClass(err error) int64 {
 	switch {
 	case err == nil:
 		return ClassOK
+	case errors.Is(err, mpi.ErrRankUnresponsive):
+		return ClassUnresponsive
 	case errors.Is(err, pfs.ErrIO):
 		return ClassIO
 	case errors.Is(err, pfs.ErrPartial):
@@ -53,6 +56,8 @@ func ClassName(c int64) string {
 		return "partial"
 	case ClassIO:
 		return "io"
+	case ClassUnresponsive:
+		return "unresponsive"
 	case ClassInternal:
 		return "internal"
 	default:
@@ -73,6 +78,8 @@ func ClassError(c int64) error {
 		return fmt.Errorf("%w: %w", ErrCollectiveAbort, pfs.ErrPartial)
 	case ClassIO:
 		return fmt.Errorf("%w: %w", ErrCollectiveAbort, pfs.ErrIO)
+	case ClassUnresponsive:
+		return fmt.Errorf("%w: %w", ErrCollectiveAbort, mpi.ErrRankUnresponsive)
 	default:
 		return ErrCollectiveAbort
 	}
@@ -82,10 +89,34 @@ func ClassError(c int64) error {
 // worst error class among them and either all proceed (nil) or all return
 // an error of the agreed class. Every rank of the communicator must call
 // it at the same point of the collective, like any MPI collective.
+//
+// Peer-failure detection rides the same rendezvous: a rank that has
+// observed a dead or straggling peer (Proc.PeerFailure) escalates its
+// local class to unresponsive before the vote, and a rank that learns of
+// the failure from the vote's own rendezvous — detection is versioned,
+// so every survivor reading the same publish sees the same failure set —
+// escalates the agreed class after it. Both paths leave all survivors
+// returning the same ClassUnresponsive abort.
 func AgreeError(p *mpi.Proc, local error) error {
 	t0 := p.Clock()
 	p.Trace.Begin1(t0, stats.PExchange, trace.S("what", "err_agree"))
-	agreed := p.AllreduceMaxInt64(ErrorClass(local))
+	cls := ErrorClass(local)
+	if cls < ClassUnresponsive {
+		if perr := p.PeerFailure(); perr != nil {
+			local, cls = perr, ClassUnresponsive
+		}
+	}
+	agreed := p.AllreduceMaxInt64(cls)
+	// The allreduce itself may have been the rendezvous that revealed a
+	// failure (its publish carries the new failure version). Escalate
+	// uniformly: every rank saw the same version, so every rank takes
+	// this branch together.
+	if agreed < ClassUnresponsive {
+		if perr := p.PeerFailure(); perr != nil {
+			local = perr
+			agreed = ClassUnresponsive
+		}
+	}
 	p.ChargeTime(stats.PExchange, p.Clock()-t0)
 	p.Trace.End(p.Clock())
 	if agreed == ClassOK {

@@ -235,8 +235,13 @@ func (f *File) Name() string { return f.handle.Name() }
 // SetRound tags subsequent storage operations with the collective
 // two-phase round, for fault targeting and tracing; -1 (the default)
 // means "outside a collective round". Collective implementations set it at
-// each round boundary and clear it before returning.
-func (f *File) SetRound(r int) { f.client.SetRound(r) }
+// each round boundary and clear it before returning. The rank's process
+// handle is tagged too, which is where round-triggered rank faults
+// (crashes, stalls) fire.
+func (f *File) SetRound(r int) {
+	f.proc.SetRound(r)
+	f.client.SetRound(r)
+}
 
 // PFR returns the persistent file realms established by an earlier
 // collective call (nil if none).

@@ -1,0 +1,101 @@
+package realm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Failover wraps any Assigner with a dead-rank set: the wrapped policy is
+// re-run on the surviving aggregators only, so a failed aggregator's file
+// realm is redistributed over the survivors without the two-phase engine
+// changing at all — the paper's realm-flexibility claim applied to
+// recovery. Dead aggregator slots receive empty realms (they are never
+// consulted), and dead ranks at or above the aggregator count are pure
+// clients: the assignment is then identical to the base policy's.
+//
+// Failover is as deterministic as its base: every rank computes the same
+// reassignment from the same dead set.
+type Failover struct {
+	// Base is the wrapped assignment policy.
+	Base Assigner
+	// Dead lists the failed ranks (any order; duplicates ignored).
+	Dead []int
+}
+
+// NewFailover wraps base with the given dead-rank set.
+func NewFailover(base Assigner, dead []int) Failover {
+	return Failover{Base: base, Dead: dead}
+}
+
+// Name implements Assigner.
+func (f Failover) Name() string {
+	dead := f.deadAggs(1 << 30)
+	parts := make([]string, len(dead))
+	for i, d := range dead {
+		parts[i] = fmt.Sprint(d)
+	}
+	return fmt.Sprintf("failover(%s,dead=[%s])", f.Base.Name(), strings.Join(parts, " "))
+}
+
+// NeedsSegs implements Assigner.
+func (f Failover) NeedsSegs() bool { return f.Base.NeedsSegs() }
+
+// deadAggs returns the sorted, deduplicated dead ranks below naggs.
+func (f Failover) deadAggs(naggs int) []int {
+	var dead []int
+	for _, d := range f.Dead {
+		if d < 0 || d >= naggs {
+			continue
+		}
+		seen := false
+		for _, e := range dead {
+			if e == d {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dead = append(dead, d)
+		}
+	}
+	sort.Ints(dead)
+	return dead
+}
+
+// Assign implements Assigner: the base policy runs on a context with one
+// slot per surviving aggregator, and its realms are mapped back onto the
+// survivors' original ranks in order. Dead slots get empty realms.
+func (f Failover) Assign(ctx Context) ([]Realm, error) {
+	dead := f.deadAggs(ctx.NAggs)
+	if len(dead) == 0 {
+		return f.Base.Assign(ctx)
+	}
+	if len(dead) >= ctx.NAggs {
+		return nil, fmt.Errorf("realm: failover has no surviving aggregator (naggs=%d, dead=%v)", ctx.NAggs, dead)
+	}
+	live := make([]int, 0, ctx.NAggs-len(dead))
+	for a := 0; a < ctx.NAggs; a++ {
+		isDead := false
+		for _, d := range dead {
+			if d == a {
+				isDead = true
+				break
+			}
+		}
+		if !isDead {
+			live = append(live, a)
+		}
+	}
+	sub := ctx
+	sub.NAggs = len(live)
+	realms, err := f.Base.Assign(sub)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Realm, ctx.NAggs)
+	for i, a := range live {
+		out[a] = realms[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package realm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genDead draws a random proper subset of [0, naggs) to kill, possibly
+// plus a few out-of-range ranks (pure clients, which must not change the
+// assignment).
+func genDead(rng *rand.Rand, naggs int) []int {
+	var dead []int
+	for a := 0; a < naggs; a++ {
+		if len(dead) < naggs-1 && rng.Intn(3) == 0 {
+			dead = append(dead, a)
+		}
+	}
+	// Shuffle: Failover must not care about the order it is handed.
+	rng.Shuffle(len(dead), func(i, j int) { dead[i], dead[j] = dead[j], dead[i] })
+	if rng.Intn(2) == 0 {
+		dead = append(dead, naggs+rng.Intn(4)) // dead pure client
+	}
+	return dead
+}
+
+// PropFailoverCoverage: for random contexts and any dead-rank subset, the
+// failover realms still exactly cover the file domain with no overlap,
+// and every dead aggregator's realm is empty.
+func TestQuickFailoverCovers(t *testing.T) {
+	bases := []Assigner{
+		Even{},
+		Even{Align: 8192},
+		Cyclic{Block: 4096},
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctx := genCtx(rng)
+		dead := genDead(rng, ctx.NAggs)
+		for _, base := range bases {
+			f := NewFailover(base, dead)
+			realms, err := f.Assign(ctx)
+			if err != nil {
+				return false
+			}
+			if len(realms) != ctx.NAggs {
+				return false
+			}
+			for _, d := range dead {
+				if d < ctx.NAggs && !realms[d].Empty() {
+					return false
+				}
+			}
+			if ctx.End-ctx.Start < 1<<16 {
+				if Coverage(realms, ctx.Start, ctx.End) != nil {
+					return false
+				}
+			}
+			for probe := 0; probe < 8; probe++ {
+				off := ctx.Start + int64(rng.Intn(int(ctx.End-ctx.Start+1000)))
+				owners := 0
+				for _, r := range realms {
+					c := r.Cursor()
+					if c.SeekOffset(off) && c.Offset() == off {
+						owners++
+					}
+				}
+				if owners != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PropFailoverDeterminism: survivors' realms are a pure function of
+// (context, dead set) regardless of the order the dead set is given in.
+func TestQuickFailoverDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ctx := genCtx(rng)
+		dead := genDead(rng, ctx.NAggs)
+		shuffled := append([]int(nil), dead...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		for _, base := range []Assigner{Even{}, Even{Align: 4096}, Cyclic{Block: 8192}} {
+			a, err1 := NewFailover(base, dead).Assign(ctx)
+			b, err2 := NewFailover(base, shuffled).Assign(ctx)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			for i := range a {
+				if !reflect.DeepEqual(a[i].Flat(), b[i].Flat()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A dead pure client (rank >= naggs) must leave the assignment identical
+// to the base policy's: no realm churn when no aggregator died.
+func TestFailoverDeadClientKeepsRealms(t *testing.T) {
+	ctx := Context{NAggs: 4, Start: 1000, End: 1 << 20}
+	base := Even{}
+	want, err := base.Assign(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewFailover(base, []int{5, 9}).Assign(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i].Flat(), got[i].Flat()) {
+			t.Fatalf("realm %d changed: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// Killing every aggregator is an error, not a silent empty assignment.
+func TestFailoverAllDead(t *testing.T) {
+	ctx := Context{NAggs: 2, Start: 0, End: 4096}
+	if _, err := NewFailover(Even{}, []int{0, 1}).Assign(ctx); err == nil {
+		t.Fatal("want error when no aggregator survives")
+	}
+}

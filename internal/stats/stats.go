@@ -342,13 +342,14 @@ const (
 	CIsectCacheMisses = "isect_cache_misses" // collective calls that computed intersections afresh
 
 	// Fault-tolerance counters.
-	CFaultsInjected = "faults_injected" // faults the schedule injected into this rank's ops
-	CRetries        = "io_retries"      // transient-error retries issued
-	CPartialResumes = "io_resumes"      // partial-transfer tail resumptions
-	CGiveups        = "io_giveups"      // operations abandoned after exhausting the retry policy
-	CDegradedRounds = "degraded_rounds" // collective rounds re-issued with naive I/O after a sieve fault
-	CStormRevokes   = "storm_revokes"   // extra lock revokes charged by revoke storms
-	CBrownoutServes = "brownout_serves" // OST requests served slower due to a brownout
+	CFaultsInjected = "faults_injected"  // faults the schedule injected into this rank's ops
+	CRetries        = "io_retries"       // transient-error retries issued
+	CPartialResumes = "io_resumes"       // partial-transfer tail resumptions
+	CGiveups        = "io_giveups"       // operations abandoned after exhausting the retry policy
+	CDegradedRounds = "degraded_rounds"  // collective rounds re-issued with naive I/O after a sieve fault
+	CStormRevokes   = "storm_revokes"    // extra lock revokes charged by revoke storms
+	CBrownoutServes = "brownout_serves"  // OST requests served slower due to a brownout
+	CRedeliveries   = "msg_redeliveries" // messages dropped and redelivered by rank-fault injection
 
 	// Phases.
 	PFlatten  = "flatten"     // datatype flattening / request generation

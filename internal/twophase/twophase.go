@@ -37,10 +37,21 @@ const (
 )
 
 // Impl implements mpiio.Collective.
-type Impl struct{}
+type Impl struct {
+	// journal, when set, records which (aggregator, round) sieve writes
+	// became durable so a rerun after a rank failure skips them. The
+	// baseline has no realm flexibility: a recovered rank resumes its old
+	// fixed file domain, so the epoch is the domain layout itself.
+	journal *mpiio.WriteJournal
+}
 
 // New returns the baseline implementation.
 func New() *Impl { return &Impl{} }
+
+// NewJournaled returns the baseline with a write journal attached: reruns
+// against the same journal skip rounds that were already durable when a
+// previous attempt aborted.
+func NewJournaled(j *mpiio.WriteJournal) *Impl { return &Impl{journal: j} }
 
 // Name implements mpiio.Collective.
 func (*Impl) Name() string { return "romio-twophase" }
@@ -245,6 +256,14 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		var pairs int64
 		for c := 0; c < p.Size(); c++ {
 			enc, _ := p.Recv(c, tagReq)
+			if enc == nil {
+				// The client is dead or unresponsive: treat its access as
+				// empty so the collective keeps its structure through to
+				// the next agreement point (deserting here would strand
+				// the surviving ranks in their exchanges).
+				reqs[c] = nil
+				continue
+			}
 			segs, err := datatype.DecodeSegs(enc)
 			if err != nil {
 				return fmt.Errorf("twophase: bad request from rank %d: %w", c, err)
@@ -264,6 +283,30 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	for a := 0; a < naggs; a++ {
 		if r := int((fdEnd[a] - fdStart[a] + cb - 1) / cb); r > ntimes {
 			ntimes = r
+		}
+	}
+
+	if write && i.journal != nil {
+		// The journal epoch is the file-domain layout: fixed even domains
+		// mean a rerun after recovery sees the same layout and can skip
+		// the rounds already durable. (Contrast with the flexio engine,
+		// whose failover reassignment starts a fresh epoch when realms
+		// move.)
+		h := uint64(14695981039346656037)
+		mix := func(v int64) {
+			for k := 0; k < 8; k++ {
+				h = (h ^ uint64(v>>(8*k))&0xff) * 1099511628211
+			}
+		}
+		mix(int64(naggs))
+		mix(cb)
+		for a := 0; a < naggs; a++ {
+			mix(fdStart[a])
+			mix(fdEnd[a])
+		}
+		i.journal.Begin(h)
+		if i.journal.Resuming() && p.Rank() == 0 {
+			p.Metrics.NoteFailover(i.journal.Dead(), naggs)
 		}
 	}
 
@@ -399,6 +442,15 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 				p.Trace.End(p.Clock())
 				for k, c := range recvFrom {
 					data := payloads[k]
+					if data == nil {
+						// The client died or stalled past the deadline; its
+						// round data never arrived. Skip its entries — the
+						// boundary agreement below aborts every rank.
+						if firstErr == nil {
+							firstErr = fmt.Errorf("twophase: round %d: %w", r, mpi.ErrRankUnresponsive)
+						}
+						continue
+					}
 					pos := int64(0)
 					for _, pt := range perClient[c] {
 						entries = append(entries, entry{
@@ -462,9 +514,20 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 					for _, pl := range payloads {
 						bufpool.Put(pl)
 					}
-					if firstErr == nil {
+					switch {
+					case firstErr != nil:
+					case i.journal.Done(p.Rank(), r):
+						// Already durable from the attempt that failed:
+						// the journal lets the rerun skip the sieve I/O.
+						p.Metrics.NoteReplay(0, 1)
+					default:
 						if err := f.WriteSieve(span, segs, concat); err != nil {
 							firstErr = fmt.Errorf("twophase: round %d: %w", r, err)
+						} else if p.PeerFailure() == nil {
+							i.journal.Commit(p.Rank(), r)
+							if i.journal.Resuming() {
+								p.Metrics.NoteReplay(1, 0)
+							}
 						}
 					}
 					bufpool.Put(concat) // storage copies synchronously
@@ -522,6 +585,15 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			p.Trace.Begin1(tRecv, stats.PComm, trace.S("what", "recv"))
 			for _, sp := range sent {
 				data, _ := p.Recv(sp.agg, tag)
+				if data == nil {
+					// Dead or straggling aggregator: nothing to place; the
+					// boundary agreement aborts before partial data could
+					// reach the user buffer.
+					if firstErr == nil {
+						firstErr = fmt.Errorf("twophase: round %d: %w", r, mpi.ErrRankUnresponsive)
+					}
+					continue
+				}
 				pos := int64(0)
 				for _, pt := range sp.portions {
 					copy(stream[pt.streamOff:pt.streamOff+pt.seg.Len], data[pos:pos+pt.seg.Len])
