@@ -576,6 +576,12 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	if err != nil {
 		return err
 	}
+	// Success: retire the journal's recovery state. Every rank is past its
+	// rounds (the barrier above), so clearing the committed set and the
+	// resume flags here cannot race a Done check, and the next collective
+	// on this engine starts fresh instead of skipping rounds or
+	// re-reporting the failover.
+	i.o.Journal.Complete()
 	if !write {
 		return f.UnpackMemory(stream, buf, memtype, count)
 	}
@@ -804,7 +810,10 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 		}
 		if j.Done(p.Rank(), round) {
 			// Already durable from the attempt that failed: the journal
-			// lets the resume skip the physical write entirely.
+			// lets the resume skip the physical write entirely. Done
+			// answers true only while the journal is resuming, so a fresh
+			// collective under an unchanged realm epoch never skips its
+			// own writes.
 			p.Metrics.NoteReplay(0, 1)
 			bufpool.Put(pendData)
 			pendSegs, pendData = nil, nil

@@ -124,6 +124,22 @@ func (c *collSync) isDead(rank int) bool {
 	return d
 }
 
+// liveOther reports whether any rank other than self is still live —
+// i.e. whether a wildcard (Any-source) receive could still be satisfied
+// by a future send. Self is excluded: sends are eager, so a pending
+// self-send already sits in the mailbox and is matched by the scan rather
+// than awaited.
+func (c *collSync) liveOther(self int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for r := 0; r < c.size; r++ {
+		if r != self && c.live[r] {
+			return true
+		}
+	}
+	return false
+}
+
 // ver returns the current failure version.
 func (c *collSync) ver() uint64 {
 	c.mu.Lock()

@@ -57,18 +57,28 @@ func (b *mailbox) put(e *envelope) {
 }
 
 // take blocks until a message matching (src, tag) is available and removes
-// it. src or tag may be Any. When w is non-nil and the named source rank
-// has crashed, take returns nil instead of blocking forever: the dead
-// check runs before the scan, and a rank's sends happen-before its death
-// mark, so a nil return guarantees the message was never sent — a dead
-// source's already-delivered messages are still matched.
-func (b *mailbox) take(w *World, src, tag int) *envelope {
+// it. src or tag may be Any; self is the receiving rank. When w is non-nil
+// and the named source rank has crashed, take returns nil instead of
+// blocking forever: the dead check runs before the scan, and a rank's
+// sends happen-before its death mark, so a nil return guarantees the
+// message was never sent — a dead source's already-delivered messages are
+// still matched. A wildcard receive gives up once every rank but self is
+// dead (no future send can satisfy it); if live ranks remain, it keeps
+// waiting — the mailbox cannot know which of them the caller expects, so
+// an Any receive whose intended sender crashed while others survive is
+// only unblocked by the collective abort machinery (poisonAndWake), not
+// here.
+func (b *mailbox) take(w *World, self, src, tag int) *envelope {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
 		deadSrc := false
-		if w != nil && src != Any && w.anyFail.Load() != 0 {
-			deadSrc = w.coll.isDead(src)
+		if w != nil && w.anyFail.Load() != 0 {
+			if src != Any {
+				deadSrc = w.coll.isDead(src)
+			} else {
+				deadSrc = !w.coll.liveOther(self)
+			}
 		}
 		for i, e := range b.msgs {
 			if (src == Any || e.src == src) && (tag == Any || e.tag == tag) {
@@ -147,7 +157,7 @@ func (p *Proc) Send(to, tag int, data []byte) {
 // reported through PeerFailure and the collective error agreement.
 func (p *Proc) Recv(src, tag int) (data []byte, from int) {
 	post := p.clock
-	e := p.w.boxes[p.rank].take(p.w, src, tag)
+	e := p.w.boxes[p.rank].take(p.w, p.rank, src, tag)
 	if done := p.completeRecv(post, e); !done {
 		return nil, src
 	}
@@ -250,7 +260,7 @@ func (r *Request) Wait() (data []byte, from int) {
 	if !r.isRecv {
 		return nil, 0
 	}
-	e := r.p.w.boxes[r.p.rank].take(r.p.w, r.src, r.tag)
+	e := r.p.w.boxes[r.p.rank].take(r.p.w, r.p.rank, r.src, r.tag)
 	if done := r.p.completeRecv(r.post, e); !done {
 		r.data, r.from = nil, r.src
 		return r.data, r.from

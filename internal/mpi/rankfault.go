@@ -189,7 +189,10 @@ func (s *RankFaultSchedule) dropPenalty(from, to int, seq int64) sim.Time {
 		if r.from != from || (r.to != Any && r.to != to) || r.left < 0 {
 			continue
 		}
-		if r.prob > 0 && r.prob < 1 && dropCoin(s.seed, i, from, to, seq) >= r.prob {
+		if r.prob <= 0 {
+			continue // a zero-probability rule never fires
+		}
+		if r.prob < 1 && dropCoin(s.seed, i, from, to, seq) >= r.prob {
 			continue
 		}
 		if r.left > 0 {

@@ -1,0 +1,76 @@
+package mpi
+
+import (
+	"testing"
+
+	"flexio/internal/sim"
+)
+
+// A Drop rule with prob 0 is a no-op: no matching send is charged the
+// redelivery penalty and the injection counter stays at zero.
+func TestDropZeroProbabilityNeverFires(t *testing.T) {
+	s := NewRankFaultSchedule(7).Drop(0, Any, 0, 1000, 0)
+	for seq := int64(1); seq <= 64; seq++ {
+		if pen := s.dropPenalty(0, 1, seq); pen != 0 {
+			t.Fatalf("seq %d: zero-probability drop charged penalty %v", seq, pen)
+		}
+	}
+	if n := s.Injected(); n != 0 {
+		t.Fatalf("zero-probability drop counted %d injections", n)
+	}
+}
+
+// prob >= 1 bypasses the coin and fires on every matching send.
+func TestDropCertainProbabilityAlwaysFires(t *testing.T) {
+	s := NewRankFaultSchedule(7).Drop(0, Any, 1, 1000, 0)
+	for seq := int64(1); seq <= 8; seq++ {
+		if pen := s.dropPenalty(0, 1, seq); pen != 1000 {
+			t.Fatalf("seq %d: certain drop charged %v, want 1000", seq, pen)
+		}
+	}
+}
+
+// A wildcard receive must not hang once every possible sender has
+// crashed: the liveness machinery that unblocks named-source receives
+// covers Recv(Any) too, returning nil data instead of re-parking forever.
+func TestRecvAnyAllPeersDeadReturnsNil(t *testing.T) {
+	w := NewWorld(2, sim.DefaultConfig())
+	w.SetRankFaults(NewRankFaultSchedule(1).CrashAtSeq(1, 1))
+	var data []byte
+	w.Run(func(p *Proc) {
+		// Rank 1 dies at its first collective op, before sending anything;
+		// rank 0's barrier completes through the death mark, then its
+		// wildcard receive has no live sender left to wait for.
+		p.Barrier()
+		if p.Rank() == 0 {
+			data, _ = p.Recv(Any, Any)
+		}
+	})
+	if data != nil {
+		t.Fatalf("Recv(Any) returned data %q from a dead world", data)
+	}
+	if err := w.Proc(0).PeerFailure(); err == nil {
+		t.Error("rank 0 did not observe the peer failure")
+	}
+}
+
+// A wildcard receive with a live sender still matches its message: the
+// dead-world check must not make Recv(Any) give up while a send can
+// still arrive.
+func TestRecvAnySurvivorStillDelivers(t *testing.T) {
+	w := NewWorld(3, sim.DefaultConfig())
+	w.SetRankFaults(NewRankFaultSchedule(1).CrashAtSeq(2, 1))
+	var data []byte
+	w.Run(func(p *Proc) {
+		p.Barrier() // rank 2 dies here; ranks 0 and 1 survive
+		switch p.Rank() {
+		case 0:
+			data, _ = p.Recv(Any, 5)
+		case 1:
+			p.Send(0, 5, []byte("still here"))
+		}
+	})
+	if string(data) != "still here" {
+		t.Fatalf("Recv(Any) got %q, want the survivor's message", data)
+	}
+}

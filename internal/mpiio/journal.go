@@ -71,13 +71,21 @@ func (j *WriteJournal) Commit(agg, round int) {
 	j.mu.Unlock()
 }
 
-// Done reports whether (agg, round) was committed in the current epoch.
+// Done reports whether (agg, round) may be skipped because it was
+// committed in the current epoch. It answers true only while the journal
+// is driving a recovery attempt (MarkResume): outside a resume the
+// committed set describes a *different* collective's writes — a fresh
+// collective that happens to run under the same realm epoch (the common
+// checkpoint-overwrite pattern) must never skip its own I/O.
 func (j *WriteJournal) Done(agg, round int) bool {
 	if j == nil {
 		return false
 	}
 	j.mu.Lock()
-	_, ok := j.done[journalKey{agg, round}]
+	ok := false
+	if j.resuming {
+		_, ok = j.done[journalKey{agg, round}]
+	}
 	j.mu.Unlock()
 	return ok
 }
@@ -92,6 +100,28 @@ func (j *WriteJournal) MarkResume(dead []int) {
 	j.mu.Lock()
 	j.resuming = true
 	j.dead = append(j.dead[:0], dead...)
+	j.mu.Unlock()
+}
+
+// Complete marks the collective running against the journal successfully
+// finished: the recovery flags are cleared (a later collective on the same
+// engine is a fresh attempt, not a replay) and the committed set is
+// dropped, so a subsequent collective under an unchanged realm epoch —
+// e.g. overwriting the same checkpoint region — starts with nothing to
+// skip. Every rank calls it after the collective's closing barrier;
+// repeat calls are idempotent.
+func (j *WriteJournal) Complete() {
+	if j == nil {
+		return
+	}
+	j.mu.Lock()
+	j.started = false
+	j.resuming = false
+	j.dead = j.dead[:0]
+	j.committed = 0
+	for k := range j.done {
+		delete(j.done, k)
+	}
 	j.mu.Unlock()
 }
 

@@ -1,0 +1,60 @@
+package mpiio
+
+import "testing"
+
+// Done must answer true only while the journal is driving a recovery
+// attempt: outside a resume, the committed set belongs to a different
+// collective, and skipping on it would silently lose the new data of a
+// same-epoch overwrite (the checkpoint pattern).
+func TestJournalSkipsOnlyDuringResume(t *testing.T) {
+	j := NewWriteJournal()
+	j.Begin(42)
+	j.Commit(0, 0)
+	j.Commit(0, 1)
+	if j.Done(0, 0) {
+		t.Fatal("Done answered true outside a resume: a fresh collective would skip its own writes")
+	}
+	j.MarkResume([]int{3})
+	if !j.Resuming() || !j.Done(0, 0) || !j.Done(0, 1) {
+		t.Fatal("resume does not see the committed rounds")
+	}
+	if j.Done(0, 2) {
+		t.Fatal("uncommitted round reported done")
+	}
+	// A same-epoch Begin during the resume keeps the committed set (the
+	// dead rank was a pure client; realms did not move)...
+	j.Begin(42)
+	if !j.Done(0, 0) {
+		t.Fatal("same-epoch Begin dropped the committed rounds")
+	}
+	// ...while moved realms hash to a fresh epoch and replay everything.
+	j.Begin(43)
+	if j.Done(0, 0) {
+		t.Fatal("fresh epoch kept stale commits")
+	}
+}
+
+// Complete retires the recovery state: the resume flags clear, the dead
+// set empties, and commits from the finished collective cannot leak into
+// a later attempt even if that attempt resumes under the same epoch.
+func TestJournalCompleteClearsRecoveryState(t *testing.T) {
+	j := NewWriteJournal()
+	j.Begin(42)
+	j.Commit(0, 0)
+	j.MarkResume([]int{1})
+	j.Complete()
+	if j.Resuming() {
+		t.Error("Complete left the journal resuming")
+	}
+	if d := j.Dead(); len(d) != 0 {
+		t.Errorf("Complete left dead set %v", d)
+	}
+	if n := j.Rounds(); n != 0 {
+		t.Errorf("Complete left %d committed rounds", n)
+	}
+	j.Begin(42)
+	j.MarkResume(nil)
+	if j.Done(0, 0) {
+		t.Error("commit from a completed collective survived into the next attempt")
+	}
+}

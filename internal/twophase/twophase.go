@@ -519,6 +519,9 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 					case i.journal.Done(p.Rank(), r):
 						// Already durable from the attempt that failed:
 						// the journal lets the rerun skip the sieve I/O.
+						// Done answers true only during a resume, so a
+						// fresh collective under the same file-domain
+						// epoch still performs all its writes.
 						p.Metrics.NoteReplay(0, 1)
 					default:
 						if err := f.WriteSieve(span, segs, concat); err != nil {
@@ -620,6 +623,12 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 
 	// Collective calls leave all ranks synchronized.
 	p.Barrier()
+
+	// Success: retire the journal's recovery state so the next collective
+	// starts a fresh attempt (no round skips, no repeated failover
+	// reports). All ranks are past their rounds — the barrier above — so
+	// the clear cannot race a Done check.
+	i.journal.Complete()
 
 	if !write {
 		return f.UnpackMemory(stream, buf, memtype, count)
