@@ -17,7 +17,9 @@ import (
 	"os"
 	"strings"
 
+	"flexio/internal/analyze"
 	"flexio/internal/chaos"
+	"flexio/internal/critpath"
 	"flexio/internal/experiments"
 	"flexio/internal/trace"
 )
@@ -31,6 +33,7 @@ func main() {
 	fig4aggs := flag.Int("fig4aggs", 0, "restrict figure 4 to one aggregator count (0 = all panels)")
 	tracePath := flag.String("trace", "", "write the last experiment's Chrome trace JSON (Perfetto-loadable) to this file")
 	breakdown := flag.Bool("breakdown", false, "print the last experiment's per-phase/per-round trace breakdown")
+	critRun := flag.Bool("critpath", false, "print the last experiment's critical-path profile (virtual-time causal DAG)")
 	chaosRun := flag.Bool("chaos", false, "run the deterministic fault-injection scenario matrix instead of the figures")
 	rankChaosRun := flag.Bool("rankchaos", false, "run the rank-failure/failover scenario matrix instead of the figures")
 	chaosTraces := flag.String("chaostraces", "", "directory to write chaos scenarios' Chrome traces and flight dumps into")
@@ -78,7 +81,7 @@ func main() {
 		return
 	}
 
-	if *tracePath != "" || *breakdown {
+	if *tracePath != "" || *breakdown || *critRun {
 		experiments.TraceCapacity = trace.DefaultCapacity
 	}
 
@@ -172,6 +175,18 @@ func main() {
 		fmt.Println(experiments.LastTrace.Breakdown().Format(experiments.LastStats))
 		fmt.Println()
 		fmt.Println(experiments.LastStats.Table())
+	}
+	if *critRun {
+		if experiments.LastTrace == nil {
+			fmt.Fprintln(os.Stderr, "critpath: no experiment ran, nothing to profile")
+			failed = true
+		} else {
+			rep := critpath.Analyze(experiments.LastTrace)
+			fmt.Println(rep.Format())
+			if fs := analyze.TraceFindings(experiments.LastTrace, rep); len(fs) > 0 {
+				fmt.Print(analyze.FormatReport(fs))
+			}
+		}
 	}
 
 	if failed {

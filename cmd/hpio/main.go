@@ -18,6 +18,7 @@ import (
 	"flexio/internal/chaos"
 	"flexio/internal/colltest"
 	"flexio/internal/core"
+	"flexio/internal/critpath"
 	"flexio/internal/hpio"
 	"flexio/internal/mpiio"
 	"flexio/internal/realm"
@@ -44,6 +45,7 @@ func main() {
 	verify := flag.Bool("verify", true, "verify the file image")
 	tracePath := flag.String("trace", "", "write the run's Chrome trace JSON (Perfetto-loadable) to this file")
 	breakdown := flag.Bool("breakdown", false, "print the per-phase/per-round trace breakdown")
+	critRun := flag.Bool("critpath", false, "print the run's critical-path profile (virtual-time causal DAG)")
 	metricsOut := flag.String("metrics-out", "", "write the run's Prometheus text exposition to this file")
 	analyzeRun := flag.Bool("analyze", false, "print the collective-I/O health analyzer report for the run")
 	rankSpec := flag.String("rankchaos", "", "run a rank-failure scenario \"fault:victim[:cbnodes]\" (e.g. crash-mid-rounds:1) through the chosen impl/comm instead of the benchmark")
@@ -77,6 +79,17 @@ func main() {
 			if *analyzeRun && out.Metrics != nil {
 				fmt.Println()
 				fmt.Print(analyze.FormatReport(analyze.Analyze(out.Metrics.Dump(true))))
+			}
+			if *critRun && out.Trace != nil {
+				rep := critpath.Analyze(out.Trace)
+				if out.Metrics != nil {
+					rep.Note(out.Metrics)
+				}
+				fmt.Println()
+				fmt.Println(rep.Format())
+				if fs := analyze.TraceFindings(out.Trace, rep); len(fs) > 0 {
+					fmt.Print(analyze.FormatReport(fs))
+				}
 			}
 		}
 		if verr != nil {
@@ -170,6 +183,15 @@ func main() {
 	if *breakdown {
 		fmt.Println()
 		fmt.Println(res.Trace.Breakdown().Format(agg))
+	}
+	if *critRun {
+		rep := critpath.Analyze(res.Trace)
+		rep.Note(res.Metrics)
+		fmt.Println()
+		fmt.Println(rep.Format())
+		if fs := analyze.TraceFindings(res.Trace, rep); len(fs) > 0 {
+			fmt.Print(analyze.FormatReport(fs))
+		}
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"flexio/internal/chaos"
+	"flexio/internal/critpath"
 	"flexio/internal/experiments"
 	"flexio/internal/mpiio"
 	"flexio/internal/stats"
@@ -32,6 +33,7 @@ func main() {
 	verify := flag.Bool("verify", false, "verify the final file image")
 	tracePath := flag.String("trace", "", "write the run's Chrome trace JSON (Perfetto-loadable) to this file")
 	breakdown := flag.Bool("breakdown", false, "print the per-phase/per-round trace breakdown")
+	critRun := flag.Bool("critpath", false, "print the run's critical-path profile (virtual-time causal DAG)")
 	metricsOut := flag.String("metrics-out", "", "write the run's Prometheus text exposition to this file")
 	rankSpec := flag.String("rankchaos", "", "run a rank-failure scenario \"fault:victim[:cbnodes]\" (e.g. crash-mid-rounds:1) on the core engine instead of the benchmark")
 	rankSeed := flag.Int64("rankseed", 1, "rank-fault schedule seed for -rankchaos")
@@ -56,7 +58,7 @@ func main() {
 		return
 	}
 
-	if *tracePath != "" || *breakdown {
+	if *tracePath != "" || *breakdown || *critRun {
 		experiments.TraceCapacity = trace.DefaultCapacity
 	}
 
@@ -99,6 +101,10 @@ func main() {
 	if *breakdown {
 		fmt.Println()
 		fmt.Println(experiments.LastTrace.Breakdown().Format(agg))
+	}
+	if *critRun {
+		fmt.Println()
+		fmt.Println(critpath.Analyze(experiments.LastTrace).Format())
 	}
 	if *metricsOut != "" {
 		f, err := os.Create(*metricsOut)

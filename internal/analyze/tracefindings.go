@@ -1,0 +1,93 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+
+	"flexio/internal/critpath"
+	"flexio/internal/trace"
+)
+
+// TraceFindings diagnoses the trace-derived signals: ring-buffer truncation
+// and the critical-path attribution. Pass the sink the run recorded into
+// and (optionally) the critpath report already computed from it; a nil rep
+// makes this function compute one. Findings are ranked like Analyze's; use
+// Merge to fold the two lists into one report.
+func TraceFindings(sink *trace.Sink, rep *critpath.Report) []Finding {
+	if sink == nil {
+		return nil
+	}
+	if rep == nil {
+		rep = critpath.Analyze(sink)
+	}
+	var fs []Finding
+
+	// Ring overflow loses the oldest events silently: spans orphan, edges
+	// lose their send side, and every attribution derived from the trace
+	// undercounts the early run. Surface it instead of reporting numbers
+	// that look healthy.
+	if dropped := sink.Dropped(); dropped > 0 {
+		fs = append(fs, finding(SevWarning, "trace-truncated",
+			fmt.Sprintf("trace ring buffer overflowed: %d event(s) dropped across %d rank(s); span and critical-path attribution are unreliable",
+				dropped, sink.Ranks()),
+			"raise the per-rank trace capacity (mpi.World.EnableTracing / -trace-cap) or trace a shorter window so the ring holds the whole run",
+			float64(dropped)/1024))
+	}
+
+	if rep.WindowSec <= 0 {
+		return fs
+	}
+
+	// Critical-path hotspot: one rank/phase bucket dominating the path is
+	// the "why was this slow" answer — the paper's Jumpshot analysis, but
+	// computed instead of eyeballed.
+	if top := rep.Top(); top.Rank >= 0 && rep.CoveredSec > 0 {
+		share := top.Sec / rep.CoveredSec
+		if share >= 0.30 {
+			sev := SevInfo
+			if share >= 0.60 {
+				sev = SevWarning
+			}
+			where := top.Phase
+			if top.Round >= 0 {
+				where = fmt.Sprintf("%s (round %d)", top.Phase, top.Round)
+			}
+			fs = append(fs, finding(sev, "critpath-hotspot",
+				fmt.Sprintf("critical path spends %.0f%% in rank %d %s (%.6fs of %.6fs)",
+					share*100, top.Rank, where, top.Sec, rep.CoveredSec),
+				"this rank's phase pins the finish time: rebalance its realm load, or overlap the phase with communication; every other rank has slack to absorb the move",
+				share*50))
+		}
+	}
+
+	// Communication-bound path: most of the path is wire transfer or
+	// rendezvous wait rather than local work.
+	if blocked := rep.BlockedSec(); rep.CoveredSec > 0 {
+		share := blocked / rep.CoveredSec
+		if share >= 0.50 {
+			fs = append(fs, finding(SevInfo, "critpath-serialized",
+				fmt.Sprintf("critical path is %.0f%% communication: %.6fs transfer + %.6fs rendezvous of %.6fs total",
+					share*100, rep.TransferSec, rep.RendezvousSec, rep.CoveredSec),
+				"the run is serialized on message chains, not computation or I/O: fewer/larger shuffle messages (bigger collective buffer) or more aggregators shorten the chain",
+				share*20))
+		}
+	}
+
+	return fs
+}
+
+// Merge folds finding lists into one ranked report (score descending, code
+// ascending — the same order Analyze returns).
+func Merge(lists ...[]Finding) []Finding {
+	var fs []Finding
+	for _, l := range lists {
+		fs = append(fs, l...)
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Score != fs[j].Score {
+			return fs[i].Score > fs[j].Score
+		}
+		return fs[i].Code < fs[j].Code
+	})
+	return fs
+}

@@ -1,0 +1,98 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"flexio/internal/critpath"
+	"flexio/internal/sim"
+	"flexio/internal/trace"
+)
+
+func hasCode(fs []Finding, code string) *Finding {
+	for i := range fs {
+		if fs[i].Code == code {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+func TestTraceFindingsRingDrop(t *testing.T) {
+	s := trace.NewSink(1, 4)
+	tr := s.Tracer(0)
+	for i := 0; i < 10; i++ {
+		tr.Instant(sim.Time(i), "e")
+	}
+	fs := TraceFindings(s, nil)
+	f := hasCode(fs, "trace-truncated")
+	if f == nil {
+		t.Fatalf("overflowed sink produced no trace-truncated finding: %+v", fs)
+	}
+	if f.Severity != SevWarning {
+		t.Errorf("trace-truncated severity = %v, want warning", f.Severity)
+	}
+	if !strings.Contains(f.Summary, "6 event(s) dropped") {
+		t.Errorf("summary does not carry the drop count: %q", f.Summary)
+	}
+}
+
+func TestTraceFindingsHotspotAndSerialized(t *testing.T) {
+	s := trace.NewSink(1, 0) // clean sink: no truncation finding
+	rep := &critpath.Report{
+		Ranks:         2,
+		WindowSec:     1,
+		CoveredSec:    1,
+		TransferSec:   0.4,
+		RendezvousSec: 0.3,
+		Entries: []critpath.Entry{
+			{Rank: 1, Phase: "phase_io", Round: 2, Sec: 0.65},
+			{Rank: 0, Phase: "exchange", Round: -1, Sec: 0.35},
+		},
+	}
+	fs := TraceFindings(s, rep)
+	hot := hasCode(fs, "critpath-hotspot")
+	if hot == nil {
+		t.Fatalf("dominant bucket produced no hotspot finding: %+v", fs)
+	}
+	if hot.Severity != SevWarning {
+		t.Errorf("65%% share should be a warning, got %v", hot.Severity)
+	}
+	if !strings.Contains(hot.Summary, "rank 1") || !strings.Contains(hot.Summary, "round 2") {
+		t.Errorf("hotspot summary missing rank/round: %q", hot.Summary)
+	}
+	ser := hasCode(fs, "critpath-serialized")
+	if ser == nil {
+		t.Fatalf("70%% blocked path produced no serialized finding: %+v", fs)
+	}
+	if ser.Severity != SevInfo {
+		t.Errorf("serialized severity = %v, want info", ser.Severity)
+	}
+}
+
+func TestTraceFindingsQuietPath(t *testing.T) {
+	s := trace.NewSink(1, 0)
+	rep := &critpath.Report{
+		Ranks:      2,
+		WindowSec:  1,
+		CoveredSec: 1,
+		Entries: []critpath.Entry{
+			{Rank: 0, Phase: "phase_io", Round: 0, Sec: 0.25},
+		},
+	}
+	if fs := TraceFindings(s, rep); len(fs) != 0 {
+		t.Fatalf("healthy report produced findings: %+v", fs)
+	}
+	if fs := TraceFindings(nil, nil); fs != nil {
+		t.Fatalf("nil sink produced findings: %+v", fs)
+	}
+}
+
+func TestMergeRanks(t *testing.T) {
+	a := []Finding{{Code: "b-low", Score: 1}}
+	b := []Finding{{Code: "a-high", Score: 9}, {Code: "a-low", Score: 1}}
+	got := Merge(a, b)
+	if len(got) != 3 || got[0].Code != "a-high" || got[1].Code != "a-low" || got[2].Code != "b-low" {
+		t.Fatalf("merge order wrong: %+v", got)
+	}
+}

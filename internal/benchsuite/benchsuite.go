@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"flexio/internal/core"
+	"flexio/internal/critpath"
 	"flexio/internal/datatype"
 	"flexio/internal/hpio"
 	"flexio/internal/metrics"
@@ -21,6 +22,7 @@ import (
 	"flexio/internal/mpiio"
 	"flexio/internal/pfs"
 	"flexio/internal/sim"
+	"flexio/internal/trace"
 	"flexio/internal/twophase"
 )
 
@@ -55,7 +57,18 @@ type Config struct {
 	// overhead guard test checks an armed-but-untripped guard stays
 	// allocation-free.
 	Deadline sim.Time
+	// Trace enables the per-rank event ring for this session, so the
+	// critical-path profile can be computed from the measured steps. Off
+	// by default to keep the tracked ns/op numbers comparable with the
+	// committed history; the edge-recording overhead guard compares the
+	// two settings.
+	Trace bool
 }
+
+// NodeRanks is the block node-mapping width the suite runs under: every
+// NodeRanks consecutive ranks share a simulated node, so the comm matrix
+// splits shuffle traffic into inter- and intra-node bytes.
+const NodeRanks = 2
 
 // steadyPattern is the shared workload: interleaved regions, noncontiguous
 // memory, a few two-phase rounds per call at the configured buffer size.
@@ -148,6 +161,8 @@ type Session struct {
 	bufs  [][]byte
 	mt    datatype.Type
 	met   *metrics.Set
+	comm  *mpi.CommMatrix
+	sink  *trace.Sink
 }
 
 // NewSession builds the world, opens the file collectively, installs the
@@ -164,6 +179,11 @@ func NewSession(cfg Config) (*Session, error) {
 	}
 	if !cfg.NoMetrics {
 		s.met = s.world.EnableMetrics()
+	}
+	s.comm = s.world.EnableCommMatrix()
+	s.world.SetNodeMap(mpi.BlockNodeMap(NodeRanks))
+	if cfg.Trace {
+		s.sink = s.world.EnableTracing(0)
 	}
 	if cfg.Deadline > 0 {
 		s.world.SetCollDeadline(cfg.Deadline)
@@ -240,6 +260,31 @@ func (s *Session) Elapsed() sim.Time { return s.world.MaxClock() }
 // Metrics exposes the session's live registry set (nil with NoMetrics).
 func (s *Session) Metrics() *metrics.Set { return s.met }
 
+// Comm exposes the session's rank×rank communication matrix (always on).
+func (s *Session) Comm() *mpi.CommMatrix { return s.comm }
+
+// Trace exposes the session's event sink (nil unless the config traces).
+func (s *Session) Trace() *trace.Sink { return s.sink }
+
+// InterNodeFrac is the fraction of shuffle bytes that crossed node
+// boundaries under the suite's block node map (0 when nothing shuffled).
+func (s *Session) InterNodeFrac() float64 {
+	inter, intra := s.comm.NodeSplit(s.world.NodeMap())
+	if inter+intra == 0 {
+		return 0
+	}
+	return float64(inter) / float64(inter+intra)
+}
+
+// CritPath computes the critical-path report over everything the session
+// trace recorded so far (nil unless the config traces).
+func (s *Session) CritPath() *critpath.Report {
+	if s.sink == nil {
+		return nil
+	}
+	return critpath.Analyze(s.sink)
+}
+
 // Health summarizes collective health from the session's metrics:
 // aggregator shuffle imbalance over the recorded rounds, sieve
 // read-amplification (span/useful, 1.0 = no padding moved), and server
@@ -310,4 +355,9 @@ func Run(b *testing.B, cfg Config) {
 	b.ReportMetric(imb, "imbalance")
 	b.ReportMetric(amp, "sieve-amp")
 	b.ReportMetric(hit, "cache-hit")
+	b.ReportMetric(s.InterNodeFrac(), "internode-frac")
+	if rep := s.CritPath(); rep != nil {
+		b.ReportMetric(rep.Coverage(), "critpath-cover")
+		rep.Note(s.met)
+	}
 }

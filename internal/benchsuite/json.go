@@ -21,6 +21,11 @@ type Result struct {
 	Imbalance          float64 `json:"imbalance,omitempty"`
 	SieveAmplification float64 `json:"sieve_amplification,omitempty"`
 	PageCacheHitRate   float64 `json:"page_cache_hit_rate,omitempty"`
+	// Communication-matrix and critical-path columns (see Session.InterNodeFrac
+	// and Session.CritPath); critpath coverage is only present for traced
+	// configs, and zero values are omitted like the health columns above.
+	InterNodeFrac    float64 `json:"internode_frac,omitempty"`
+	CritPathCoverage float64 `json:"critpath_coverage,omitempty"`
 }
 
 // File is the on-disk trajectory: label ("before", "after", ...) to the
@@ -56,6 +61,8 @@ func Measure(cfg Config) (Result, error) {
 		Imbalance:          r.Extra["imbalance"],
 		SieveAmplification: r.Extra["sieve-amp"],
 		PageCacheHitRate:   r.Extra["cache-hit"],
+		InterNodeFrac:      r.Extra["internode-frac"],
+		CritPathCoverage:   r.Extra["critpath-cover"],
 	}, nil
 }
 

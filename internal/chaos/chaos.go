@@ -24,6 +24,7 @@ import (
 	"os"
 
 	"flexio/internal/core"
+	"flexio/internal/critpath"
 	"flexio/internal/datatype"
 	"flexio/internal/hpio"
 	"flexio/internal/metrics"
@@ -190,7 +191,14 @@ type Outcome struct {
 	// rounds leading up to an abort and is dumped as a postmortem
 	// artifact alongside the trace.
 	Metrics *metrics.Set
+	// Comm is the rank×rank communication matrix of the faulted phase.
+	Comm *mpi.CommMatrix
 }
+
+// nodeRanks is the block node-mapping width chaos worlds run under, so
+// comm-matrix artifacts split shuffle bytes into inter- and intra-node
+// (matching benchsuite.NodeRanks).
+const nodeRanks = 2
 
 // Run executes the scenario and checks every invariant. The returned error
 // is an invariant violation (nil means the scenario behaved); the Outcome
@@ -237,6 +245,8 @@ func (s Scenario) Run() (*Outcome, error) {
 	// Trace and time only the faulted phase.
 	sink := w.EnableTracing(0)
 	met := w.EnableMetrics()
+	comm := w.EnableCommMatrix()
+	w.SetNodeMap(mpi.BlockNodeMap(nodeRanks))
 	w.ResetClocks()
 	fs.ResetTiming()
 	sched := s.schedule()
@@ -282,6 +292,7 @@ func (s Scenario) Run() (*Outcome, error) {
 		Elapsed:  w.MaxClock(),
 		Trace:    sink,
 		Metrics:  met,
+		Comm:     comm,
 	}
 
 	// Invariant 1: agreement. All ranks succeed, or all ranks fail with
@@ -443,11 +454,21 @@ func Soak(scenarios []Scenario, traceDir string, logf func(format string, args .
 			if werr := out.Trace.WriteChromeTraceFile(path); werr == nil {
 				logf("  trace written to %s", path)
 			}
+			path = traceDir + "/" + s.Name() + ".critpath.txt"
+			if werr := writeCritPathFile(out.Trace, path); werr == nil {
+				logf("  critical path written to %s", path)
+			}
 		}
 		if (err != nil || out.Class != mpiio.ClassOK) && out.Metrics != nil {
 			path := traceDir + "/" + s.Name() + ".flight.json"
 			if werr := writeFlightFile(out.Metrics, path); werr == nil {
 				logf("  flight recorder written to %s", path)
+			}
+			if out.Comm != nil {
+				path = traceDir + "/" + s.Name() + ".comm.json"
+				if werr := writeCommFile(out.Comm, path); werr == nil {
+					logf("  comm matrix written to %s", path)
+				}
 			}
 		}
 	}
@@ -461,6 +482,34 @@ func writeFlightFile(met *metrics.Set, path string) error {
 		return err
 	}
 	if err := met.Dump(false).WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeCritPathFile writes the critical-path report computed from the
+// scenario trace to path.
+func writeCritPathFile(sink *trace.Sink, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(critpath.Analyze(sink).Format()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeCommFile dumps the comm matrix JSON (under the chaos node map) to
+// path.
+func writeCommFile(comm *mpi.CommMatrix, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := comm.WriteJSON(f, mpi.BlockNodeMap(nodeRanks)); err != nil {
 		f.Close()
 		return err
 	}

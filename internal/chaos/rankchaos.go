@@ -143,6 +143,9 @@ type RankOutcome struct {
 	Elapsed sim.Time
 	Trace   *trace.Sink
 	Metrics *metrics.Set
+	// Comm is the rank×rank communication matrix accumulated across both
+	// the faulted attempt and the resume.
+	Comm *mpi.CommMatrix
 	// Stats is the merged per-rank recorder.
 	Stats *stats.Recorder
 }
@@ -189,6 +192,8 @@ func (s RankScenario) Run() (*RankOutcome, error) {
 
 	sink := w.EnableTracing(0)
 	met := w.EnableMetrics()
+	comm := w.EnableCommMatrix()
+	w.SetNodeMap(mpi.BlockNodeMap(nodeRanks))
 	w.ResetClocks()
 	fs.ResetTiming()
 	rf := s.schedule()
@@ -264,6 +269,7 @@ func (s RankScenario) Run() (*RankOutcome, error) {
 			Elapsed:       w.MaxClock(),
 			Trace:         sink,
 			Metrics:       met,
+			Comm:          comm,
 			Stats:         stats.Merge(w.Recorders()...),
 		}
 	}
@@ -502,11 +508,21 @@ func RankSoak(scenarios []RankScenario, traceDir string, logf func(format string
 			if werr := out.Trace.WriteChromeTraceFile(path); werr != nil {
 				logf("  trace export failed: %v", werr)
 			}
+			path = traceDir + "/" + s.Name() + ".critpath.txt"
+			if werr := writeCritPathFile(out.Trace, path); werr != nil {
+				logf("  critpath export failed: %v", werr)
+			}
 		}
 		if out.Metrics != nil {
 			path := traceDir + "/" + s.Name() + ".flight.json"
 			if werr := writeFlightFile(out.Metrics, path); werr != nil {
 				logf("  flight export failed: %v", werr)
+			}
+		}
+		if out.Comm != nil {
+			path := traceDir + "/" + s.Name() + ".comm.json"
+			if werr := writeCommFile(out.Comm, path); werr != nil {
+				logf("  comm export failed: %v", werr)
 			}
 		}
 	}

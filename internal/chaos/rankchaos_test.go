@@ -159,7 +159,7 @@ func TestRankSoakQuick(t *testing.T) {
 		t.Fatalf("%d rank-chaos violations", n)
 	}
 	for _, s := range scenarios {
-		for _, suffix := range []string{".trace.json", ".flight.json"} {
+		for _, suffix := range []string{".trace.json", ".flight.json", ".critpath.txt", ".comm.json"} {
 			if _, err := os.Stat(dir + "/" + s.Name() + suffix); err != nil {
 				t.Errorf("missing artifact: %v", err)
 			}

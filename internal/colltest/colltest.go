@@ -44,6 +44,9 @@ type Result struct {
 	// always enables metrics — they are allocation-free — so coherence
 	// tests can compare them against stats and trace).
 	Metrics *metrics.Set
+	// Comm is the rank×rank communication matrix of the measured phase
+	// (messages, bytes, and shuffle bytes per directed pair).
+	Comm *mpi.CommMatrix
 }
 
 // CheckTrace verifies the recorded trace is well formed: balanced spans and
@@ -113,6 +116,7 @@ func RunReadBack(cfg *sim.Config, wl Workload, info mpiio.Info) (Result, error) 
 	// clocks.
 	sink := w.EnableTracing(0)
 	met := w.EnableMetrics()
+	comm := w.EnableCommMatrix()
 	w.ResetClocks()
 	fs.ResetTiming()
 	errs := make(chan error, wl.Ranks)
@@ -148,13 +152,14 @@ func RunReadBack(cfg *sim.Config, wl Workload, info mpiio.Info) (Result, error) 
 			return Result{}, err
 		}
 	}
-	return Result{Elapsed: w.MaxClock() - start, World: w, FS: fs, Trace: sink, Metrics: met}, nil
+	return Result{Elapsed: w.MaxClock() - start, World: w, FS: fs, Trace: sink, Metrics: met, Comm: comm}, nil
 }
 
 func run(cfg *sim.Config, wl Workload, info mpiio.Info, write bool, steps int) (Result, error) {
 	w := mpi.NewWorld(wl.Ranks, cfg)
 	sink := w.EnableTracing(0)
 	met := w.EnableMetrics()
+	comm := w.EnableCommMatrix()
 	fs := pfs.NewFileSystem(cfg)
 	errs := make(chan error, wl.Ranks)
 	w.Run(func(p *mpi.Proc) {
@@ -189,6 +194,7 @@ func run(cfg *sim.Config, wl Workload, info mpiio.Info, write bool, steps int) (
 		FS:      fs,
 		Trace:   sink,
 		Metrics: met,
+		Comm:    comm,
 	}
 	res.Image = fs.Snapshot("coll.dat", int64(len(wl.Reference())))
 	return res, nil

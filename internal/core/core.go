@@ -357,6 +357,10 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		// failover still reroutes their realms and is still recorded.
 		if i.o.Journal.Resuming() && p.Rank() == 0 {
 			p.Metrics.NoteFailover(i.o.Journal.Dead(), len(realms))
+			for _, d := range i.o.Journal.Dead() {
+				p.Trace.Instant2(p.Clock(), trace.FailoverName,
+					trace.I(trace.DeadTag, int64(d)), trace.I(trace.RealmsTag, int64(len(realms))))
+			}
 		}
 	}
 	ck := clientKey{rank: p.Rank(), ft: view.Filetype, disp: view.Disp,
@@ -815,6 +819,7 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 			// collective under an unchanged realm epoch never skips its
 			// own writes.
 			p.Metrics.NoteReplay(0, 1)
+			p.Trace.Instant1(p.Clock(), trace.RoundSkipName, trace.I(trace.RoundTag, int64(round)))
 			bufpool.Put(pendData)
 			pendSegs, pendData = nil, nil
 			return
@@ -835,6 +840,7 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 			j.Commit(p.Rank(), round)
 			if j.Resuming() {
 				p.Metrics.NoteReplay(1, 0)
+				p.Trace.Instant1(p.Clock(), trace.RoundReplayName, trace.I(trace.RoundTag, int64(round)))
 			}
 		}
 		bufpool.Put(pendData)

@@ -47,6 +47,30 @@ type Flight struct {
 	abortRound int // -1 while no abort has been observed
 	abortClass string
 	failover   *FailoverEvent
+	critpath   *CritPathSummary
+}
+
+// CritPathSummary is the critical-path profiler's condensed verdict for one
+// run, published into the flight recorder by Set.NoteCritPath. Its fields
+// are virtual-time durations, which (like the *Sec round fields) can vary
+// with goroutine scheduling on contended workloads, so the summary appears
+// in full dumps only.
+type CritPathSummary struct {
+	Collectives int     `json:"collectives"`
+	TotalSec    float64 `json:"total_sec"`   // virtual wall time of the profiled window
+	CoveredSec  float64 `json:"covered_sec"` // critical-path time attributed to rank/phase buckets
+	TopRank     int     `json:"top_rank"`    // rank holding the largest share
+	TopPhase    string  `json:"top_phase"`   // phase holding the largest share on that rank
+	TopSec      float64 `json:"top_sec"`     // that largest share, virtual seconds
+	BlockedSec  float64 `json:"blocked_sec"` // time the path sat in message transfer or rendezvous waits
+}
+
+// noteCritPath publishes the profiler summary (last writer wins: a re-run
+// of the profiler over a longer window supersedes the earlier one).
+func (f *Flight) noteCritPath(cp CritPathSummary) {
+	f.mu.Lock()
+	f.critpath = &cp
+	f.mu.Unlock()
 }
 
 // FailoverEvent records an aggregator failover: which ranks were dead when
@@ -188,6 +212,7 @@ func (f *Flight) reset() {
 	f.disps = f.disps[:0]
 	f.abortRound, f.abortClass = -1, ""
 	f.failover = nil
+	f.critpath = nil
 	f.mu.Unlock()
 	for i := range f.ranks {
 		fr := &f.ranks[i]
@@ -238,6 +263,9 @@ type Dump struct {
 	Dropped    int64            `json:"dropped_records,omitempty"`
 	Rounds     []RoundSummary   `json:"rounds"`
 	Counters   map[string]int64 `json:"counters,omitempty"`
+	// CritPath carries the critical-path profiler summary; full dumps only
+	// (virtual-time fields, excluded from the canonical form like PhaseSec).
+	CritPath *CritPathSummary `json:"critpath,omitempty"`
 }
 
 // DumpSchema identifies the dump layout for downstream consumers.
@@ -267,6 +295,10 @@ func (s *Set) Dump(full bool) *Dump {
 		fe := *f.failover
 		fe.DeadRanks = append([]int(nil), f.failover.DeadRanks...)
 		d.Failover = &fe
+	}
+	if full && f.critpath != nil {
+		cp := *f.critpath
+		d.CritPath = &cp
 	}
 	f.mu.Unlock()
 

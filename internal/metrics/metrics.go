@@ -27,6 +27,10 @@ const (
 	CShuffleRecvBytes                // bytes merged at this rank while aggregating
 	CRounds                          // two-phase rounds executed
 	CCommBytes                       // all bytes through the MPI transport
+	// Node placement split of the shuffle traffic, recorded at the
+	// transport under the world's node map (ROADMAP item 2).
+	CShuffleInterNodeBytes // shuffle bytes that crossed a node boundary
+	CShuffleIntraNodeBytes // shuffle bytes that stayed on the sender's node
 
 	// Storage traffic.
 	CIOCalls // file-system calls issued
@@ -76,8 +80,9 @@ const (
 type Gauge int
 
 const (
-	GNAggs     Gauge = iota // aggregator count of the most recent collective
-	GLastRound              // last two-phase round index executed
+	GNAggs       Gauge = iota // aggregator count of the most recent collective
+	GLastRound                // last two-phase round index executed
+	GCritPathSec              // virtual seconds of the critical path attributed to this rank
 	numGauges
 )
 
@@ -110,40 +115,43 @@ type meta struct {
 }
 
 var counterMeta = [numCounters]meta{
-	CShuffleSendBytes: {"shuffle_send_bytes", "bytes shipped toward aggregators during two-phase exchanges"},
-	CShuffleRecvBytes: {"shuffle_recv_bytes", "bytes merged while acting as an aggregator"},
-	CRounds:           {"rounds", "two-phase rounds executed"},
-	CCommBytes:        {"comm_bytes", "bytes moved through the MPI transport"},
-	CIOCalls:          {"io_calls", "file-system calls issued"},
-	CIOBytes:          {"io_bytes", "bytes moved to or from the file system"},
-	CSieveSpanBytes:   {"sieve_span_bytes", "contiguous span bytes touched by data-sieving windows"},
-	CSieveUsefulBytes: {"sieve_useful_bytes", "useful data bytes inside sieve spans"},
-	CRMWPages:         {"rmw_pages", "read-modify-write page penalties"},
-	CStripeConflicts:  {"stripe_conflicts", "stripe extent-lock transfers between writers"},
-	CLockGrants:       {"lock_grants", "page-lock extents granted"},
-	CLockRevokes:      {"lock_revokes", "page locks revoked from other clients"},
-	CCacheFlushes:     {"cache_flushes", "dirty pages flushed on lock revocation"},
-	CPageCacheHits:    {"page_cache_hits", "read pages served from the client page cache"},
-	CPageCacheMisses:  {"page_cache_misses", "read pages fetched from the storage server"},
-	CMemoHits:         {"memo_hits", "collective calls served from the layout memo"},
-	CMemoMisses:       {"memo_misses", "collective calls that computed intersections afresh"},
-	CRetries:          {"io_retries", "transient-error retries issued"},
-	CResumes:          {"io_resumes", "partial-transfer tail resumptions"},
-	CGiveups:          {"io_giveups", "operations abandoned after exhausting the retry policy"},
-	CFaults:           {"faults_injected", "faults the schedule injected into this rank's operations"},
-	CAborts:           {"collective_aborts", "collective operations aborted by error agreement"},
-	CRealmsAssigned:   {"realms_assigned", "file realms handed out by the assigner"},
-	CRealmsMisaligned: {"realms_misaligned", "file realms whose start offset is not stripe-aligned"},
-	CDeadlineTrips:    {"deadline_trips", "failed peers detected via the collective deadline guard"},
-	CFailovers:        {"failovers", "collectives resumed with realms reassigned off dead ranks"},
-	CRoundsReplayed:   {"rounds_replayed", "journalled two-phase rounds re-executed during a resume"},
-	CRoundsSkipped:    {"rounds_skipped", "journalled two-phase rounds skipped during a resume"},
-	CRedelivered:      {"msg_redeliveries", "messages dropped and redelivered by rank-fault injection"},
+	CShuffleSendBytes:      {"shuffle_send_bytes", "bytes shipped toward aggregators during two-phase exchanges"},
+	CShuffleRecvBytes:      {"shuffle_recv_bytes", "bytes merged while acting as an aggregator"},
+	CShuffleInterNodeBytes: {"shuffle_internode_bytes", "shuffle bytes sent across a node boundary under the installed node map"},
+	CShuffleIntraNodeBytes: {"shuffle_intranode_bytes", "shuffle bytes sent within the sender's node under the installed node map"},
+	CRounds:                {"rounds", "two-phase rounds executed"},
+	CCommBytes:             {"comm_bytes", "bytes moved through the MPI transport"},
+	CIOCalls:               {"io_calls", "file-system calls issued"},
+	CIOBytes:               {"io_bytes", "bytes moved to or from the file system"},
+	CSieveSpanBytes:        {"sieve_span_bytes", "contiguous span bytes touched by data-sieving windows"},
+	CSieveUsefulBytes:      {"sieve_useful_bytes", "useful data bytes inside sieve spans"},
+	CRMWPages:              {"rmw_pages", "read-modify-write page penalties"},
+	CStripeConflicts:       {"stripe_conflicts", "stripe extent-lock transfers between writers"},
+	CLockGrants:            {"lock_grants", "page-lock extents granted"},
+	CLockRevokes:           {"lock_revokes", "page locks revoked from other clients"},
+	CCacheFlushes:          {"cache_flushes", "dirty pages flushed on lock revocation"},
+	CPageCacheHits:         {"page_cache_hits", "read pages served from the client page cache"},
+	CPageCacheMisses:       {"page_cache_misses", "read pages fetched from the storage server"},
+	CMemoHits:              {"memo_hits", "collective calls served from the layout memo"},
+	CMemoMisses:            {"memo_misses", "collective calls that computed intersections afresh"},
+	CRetries:               {"io_retries", "transient-error retries issued"},
+	CResumes:               {"io_resumes", "partial-transfer tail resumptions"},
+	CGiveups:               {"io_giveups", "operations abandoned after exhausting the retry policy"},
+	CFaults:                {"faults_injected", "faults the schedule injected into this rank's operations"},
+	CAborts:                {"collective_aborts", "collective operations aborted by error agreement"},
+	CRealmsAssigned:        {"realms_assigned", "file realms handed out by the assigner"},
+	CRealmsMisaligned:      {"realms_misaligned", "file realms whose start offset is not stripe-aligned"},
+	CDeadlineTrips:         {"deadline_trips", "failed peers detected via the collective deadline guard"},
+	CFailovers:             {"failovers", "collectives resumed with realms reassigned off dead ranks"},
+	CRoundsReplayed:        {"rounds_replayed", "journalled two-phase rounds re-executed during a resume"},
+	CRoundsSkipped:         {"rounds_skipped", "journalled two-phase rounds skipped during a resume"},
+	CRedelivered:           {"msg_redeliveries", "messages dropped and redelivered by rank-fault injection"},
 }
 
 var gaugeMeta = [numGauges]meta{
-	GNAggs:     {"naggs", "aggregator count of the most recent collective"},
-	GLastRound: {"last_round", "last two-phase round index executed"},
+	GNAggs:       {"naggs", "aggregator count of the most recent collective"},
+	GLastRound:   {"last_round", "last two-phase round index executed"},
+	GCritPathSec: {"critpath_seconds", "virtual seconds of the critical path attributed to this rank"},
 }
 
 // histMeta additionally carries an optional label pair so related
@@ -503,6 +511,22 @@ func (s *Set) Merged() *Registry {
 		}
 	}
 	return out
+}
+
+// NoteCritPath publishes the critical-path profiler's summary into the
+// flight recorder (surfaced by full dumps) and sets each rank's
+// critpath_seconds gauge from perRankSec, so Prometheus exposition carries
+// the per-rank attribution. Entries beyond the rank count are ignored.
+func (s *Set) NoteCritPath(cp CritPathSummary, perRankSec []float64) {
+	if s == nil {
+		return
+	}
+	s.flight.noteCritPath(cp)
+	for i, r := range s.regs {
+		if i < len(perRankSec) {
+			r.SetGauge(GCritPathSec, perRankSec[i])
+		}
+	}
 }
 
 // Reset clears every registry and the flight recorder (for reuse across

@@ -7,6 +7,7 @@ import (
 	"flexio/internal/metrics"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
+	"flexio/internal/trace"
 )
 
 // collSync implements a reusable all-ranks rendezvous: every collective is
@@ -36,6 +37,7 @@ type collSync struct {
 	snapI64   []int64
 	snapMax   sim.Time
 	snapVer   uint64
+	snapBy    int // rank whose (capped) clock set snapMax; first max wins
 	poisoned  bool
 	kindI64   bool
 	deadline  sim.Time // 0 = no deadline guard
@@ -216,6 +218,7 @@ func (c *collSync) tryPublish() {
 		}
 	}
 	var m sim.Time
+	by := -1
 	for r := 0; r < c.size; r++ {
 		if !c.live[r] || !c.deposited[r] {
 			continue
@@ -224,8 +227,9 @@ func (c *collSync) tryPublish() {
 		if c.deadline > 0 && t > base+c.deadline {
 			t = base + c.deadline
 		}
-		if t > m {
+		if t > m || by < 0 {
 			m = t
+			by = r
 		}
 	}
 	if c.deathPending {
@@ -252,6 +256,7 @@ func (c *collSync) tryPublish() {
 	}
 	c.snapMax = m
 	c.snapVer = c.failVer
+	c.snapBy = by
 	c.arrived = 0
 	for r := 0; r < c.size; r++ {
 		c.deposited[r] = false
@@ -262,9 +267,11 @@ func (c *collSync) tryPublish() {
 }
 
 // exchange deposits val for this rank and returns every rank's value
-// (crashed ranks' slots are nil), the snapshot clock, and the failure
-// version at publish time.
-func (c *collSync) exchange(rank int, clock sim.Time, val interface{}) ([]interface{}, sim.Time, uint64) {
+// (crashed ranks' slots are nil), the snapshot clock, the failure version
+// at publish time, the rendezvous generation (the same on every
+// participating rank, so trace instants tagged with it pair up across
+// tracks), and the rank whose arrival released the rendezvous.
+func (c *collSync) exchange(rank int, clock sim.Time, val interface{}) ([]interface{}, sim.Time, uint64, int, int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	gen := c.gen
@@ -280,7 +287,7 @@ func (c *collSync) exchange(rank int, clock sim.Time, val interface{}) ([]interf
 	if c.poisoned {
 		panic("mpi: collective aborted after peer failure")
 	}
-	return c.snapVals, c.snapMax, c.snapVer
+	return c.snapVals, c.snapMax, c.snapVer, gen, c.snapBy
 }
 
 // exchangeInt64 is exchange specialized to one int64 per rank. It reuses
@@ -290,7 +297,7 @@ func (c *collSync) exchange(rank int, clock sim.Time, val interface{}) ([]interf
 // each rank does only after it finished reading the current one. The
 // returned slice is that shared snapshot: callers must copy out what they
 // keep and must not write to it. Crashed ranks' slots read zero.
-func (c *collSync) exchangeInt64(rank int, clock sim.Time, val int64) ([]int64, sim.Time, uint64) {
+func (c *collSync) exchangeInt64(rank int, clock sim.Time, val int64) ([]int64, sim.Time, uint64, int, int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	gen := c.gen
@@ -306,7 +313,7 @@ func (c *collSync) exchangeInt64(rank int, clock sim.Time, val int64) ([]int64, 
 	if c.poisoned {
 		panic("mpi: collective aborted after peer failure")
 	}
-	return c.snapI64, c.snapMax, c.snapVer
+	return c.snapI64, c.snapMax, c.snapVer, gen, c.snapBy
 }
 
 // log2ceil returns ceil(log2(n)), at least 1 for n > 1 and 0 for n <= 1.
@@ -322,30 +329,76 @@ func (p *Proc) treeLatency() sim.Time {
 	return sim.Time(float64(log2ceil(p.w.size))*p.w.cfg.CollLatencyFactor) * p.w.cfg.NetLatency
 }
 
+// traceColl records the paired rendezvous instants for one collective:
+// enter at the clock this rank arrived with, exit at its release clock
+// (p.clock — call after the clock update; both pushes stay in timestamp
+// order because nothing else is recorded in between). seq is the
+// world-global rendezvous generation, identical on every participating
+// rank, so the instants pair up across tracks; by is the rank whose late
+// arrival released everyone.
+func (p *Proc) traceColl(enter sim.Time, seq, by int) {
+	if p.Trace == nil {
+		return
+	}
+	p.Trace.Instant1(enter, trace.CollEnterName, trace.I(trace.SeqTag, int64(seq)))
+	p.Trace.Instant2(p.clock, trace.CollExitName, trace.I(trace.SeqTag, int64(seq)), trace.I(trace.ByTag, int64(by)))
+}
+
+// recordVectorRow accounts one per-destination row of a vector collective
+// (alltoallv/w, allgather, bcast) into the communication matrix and — when
+// inside a two-phase round — the inter/intra-node shuffle split. Empty
+// rows are skipped so message counts stay meaningful.
+func (p *Proc) recordVectorRow(dst int, n int64) {
+	if n == 0 {
+		return
+	}
+	shuffle := p.round >= 0
+	if shuffle {
+		if p.w.node(p.rank) == p.w.node(dst) {
+			p.Metrics.Add(metrics.CShuffleIntraNodeBytes, n)
+		} else {
+			p.Metrics.Add(metrics.CShuffleInterNodeBytes, n)
+		}
+	}
+	if m := p.w.comm; m != nil {
+		m.add(p.rank, dst, n, shuffle)
+	}
+}
+
 // Barrier synchronizes all ranks: every clock advances to the maximum
 // entering clock plus a binomial-tree latency term.
 func (p *Proc) Barrier() {
 	p.preRendezvous()
-	_, m, ver := p.w.coll.exchange(p.rank, p.clock, nil)
+	enter := p.clock
+	_, m, ver, seq, by := p.w.coll.exchange(p.rank, p.clock, nil)
 	p.clock = sim.Max(p.clock, m) + p.treeLatency()
+	p.traceColl(enter, seq, by)
 	p.noteVer(ver)
 }
 
 // Bcast distributes root's buffer to every rank. Non-root callers pass nil.
 func (p *Proc) Bcast(root int, data []byte) []byte {
 	p.preRendezvous()
+	enter := p.clock
 	var dep interface{}
 	if p.rank == root {
 		dep = data
 	}
-	vals, m, ver := p.w.coll.exchange(p.rank, p.clock, dep)
+	vals, m, ver, seq, by := p.w.coll.exchange(p.rank, p.clock, dep)
 	out, _ := vals[root].([]byte)
 	n := int64(len(out))
 	p.clock = sim.Max(p.clock, m) + p.treeLatency() + sim.Time(float64(log2ceil(p.w.size)))*p.w.cfg.TransferTime(n)
 	if p.rank != root {
 		p.Stats.Add(stats.CBytesComm, n)
 		p.Metrics.Add(metrics.CCommBytes, n)
+	} else {
+		for d := 0; d < p.w.size; d++ {
+			if d != root {
+				p.recordVectorRow(d, n)
+			}
+		}
 	}
+	p.traceColl(enter, seq, by)
 	p.noteVer(ver)
 	return out
 }
@@ -354,7 +407,8 @@ func (p *Proc) Bcast(root int, data []byte) []byte {
 // contribution (nil for crashed ranks).
 func (p *Proc) Allgather(data []byte) [][]byte {
 	p.preRendezvous()
-	vals, m, ver := p.w.coll.exchange(p.rank, p.clock, data)
+	enter := p.clock
+	vals, m, ver, seq, by := p.w.coll.exchange(p.rank, p.clock, data)
 	out := make([][]byte, p.w.size)
 	var others int64
 	for i, v := range vals {
@@ -362,11 +416,13 @@ func (p *Proc) Allgather(data []byte) [][]byte {
 		out[i] = b
 		if i != p.rank {
 			others += int64(len(b))
+			p.recordVectorRow(i, int64(len(data)))
 		}
 	}
 	p.clock = sim.Max(p.clock, m) + p.treeLatency() + p.w.cfg.TransferTime(others)
 	p.Stats.Add(stats.CBytesComm, others)
 	p.Metrics.Add(metrics.CCommBytes, others)
+	p.traceColl(enter, seq, by)
 	p.noteVer(ver)
 	return out
 }
@@ -385,9 +441,11 @@ func (p *Proc) AllgatherInt64(v int64) []int64 {
 // consult PeerFailure after the call.
 func (p *Proc) AllgatherInt64Into(v int64, out []int64) {
 	p.preRendezvous()
-	snap, m, ver := p.w.coll.exchangeInt64(p.rank, p.clock, v)
+	enter := p.clock
+	snap, m, ver, seq, by := p.w.coll.exchangeInt64(p.rank, p.clock, v)
 	copy(out, snap)
 	p.clock = sim.Max(p.clock, m) + p.treeLatency() + p.w.cfg.TransferTime(int64(8*(p.w.size-1)))
+	p.traceColl(enter, seq, by)
 	p.noteVer(ver)
 }
 
@@ -395,12 +453,14 @@ func (p *Proc) AllgatherInt64Into(v int64, out []int64) {
 // allocating nothing.
 func (p *Proc) allreduceInt64(v int64, fold func(acc, x int64) int64) int64 {
 	p.preRendezvous()
-	snap, m, ver := p.w.coll.exchangeInt64(p.rank, p.clock, v)
+	enter := p.clock
+	snap, m, ver, seq, by := p.w.coll.exchangeInt64(p.rank, p.clock, v)
 	acc := snap[0]
 	for _, x := range snap[1:] {
 		acc = fold(acc, x)
 	}
 	p.clock = sim.Max(p.clock, m) + p.treeLatency() + p.w.cfg.TransferTime(int64(8*(p.w.size-1)))
+	p.traceColl(enter, seq, by)
 	p.noteVer(ver)
 	return acc
 }
@@ -441,10 +501,12 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 		panic("mpi: Alltoallv send slice must have one entry per rank")
 	}
 	p.preRendezvous()
-	vals, m, ver := p.w.coll.exchange(p.rank, p.clock, send)
+	enter := p.clock
+	vals, m, ver, seq, by := p.w.coll.exchange(p.rank, p.clock, send)
 	out := make([][]byte, p.w.size)
 	var sent, recvd int64
 	for d, b := range send {
+		p.recordVectorRow(d, int64(len(b)))
 		if d != p.rank {
 			sent += int64(len(b))
 		}
@@ -466,6 +528,7 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 	p.clock = sim.Max(p.clock, m) + p.treeLatency() + p.w.cfg.TransferTime(vol)
 	p.Stats.Add(stats.CBytesComm, sent)
 	p.Metrics.Add(metrics.CCommBytes, sent)
+	p.traceColl(enter, seq, by)
 	p.noteVer(ver)
 	return out
 }
@@ -483,15 +546,18 @@ func (p *Proc) AlltoallvIov(send [][][]byte) [][][]byte {
 		panic("mpi: AlltoallvIov send slice must have one entry per rank")
 	}
 	p.preRendezvous()
-	vals, m, ver := p.w.coll.exchange(p.rank, p.clock, send)
+	enter := p.clock
+	vals, m, ver, seq, by := p.w.coll.exchange(p.rank, p.clock, send)
 	out := make([][][]byte, p.w.size)
 	var sent, recvd int64
 	for d, iov := range send {
-		if d == p.rank {
-			continue
-		}
+		var row int64
 		for _, b := range iov {
-			sent += int64(len(b))
+			row += int64(len(b))
+		}
+		p.recordVectorRow(d, row)
+		if d != p.rank {
+			sent += row
 		}
 	}
 	for s, v := range vals {
@@ -514,6 +580,7 @@ func (p *Proc) AlltoallvIov(send [][][]byte) [][][]byte {
 	p.clock = sim.Max(p.clock, m) + p.treeLatency() + p.w.cfg.TransferTime(vol)
 	p.Stats.Add(stats.CBytesComm, sent)
 	p.Metrics.Add(metrics.CCommBytes, sent)
+	p.traceColl(enter, seq, by)
 	p.noteVer(ver)
 	return out
 }

@@ -1,0 +1,234 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// CommCell is one (source, destination) cell of the communication matrix.
+// Bytes counts every payload byte through the transport on that edge;
+// ShuffleBytes counts only the bytes moved inside a two-phase round (the
+// data shuffle between clients and aggregators), which is the traffic the
+// shuffle_send/recv byte counters account — the comm-matrix property test
+// asserts the row/column sums agree exactly.
+type CommCell struct {
+	Msgs         int64 `json:"msgs"`
+	Bytes        int64 `json:"bytes"`
+	ShuffleBytes int64 `json:"shuffle_bytes,omitempty"`
+}
+
+// CommMatrix accumulates a rank×rank accounting of payload traffic:
+// point-to-point sends and the per-destination rows of vector collectives
+// (alltoallv/w, allgather, bcast). Scalar rendezvous payloads (barrier,
+// int64 allreduce/allgather bounds exchanges) move no user data and are
+// not recorded.
+//
+// Each cell (src, dst) is written only by the sending rank's goroutine —
+// row src is owned by rank src — so recording is lock-free and, because
+// all storage is preallocated, allocation-free on the steady-state
+// datapath. Read it only after World.Run returns.
+type CommMatrix struct {
+	size  int
+	cells []CommCell // row-major [src*size+dst]
+}
+
+func newCommMatrix(size int) *CommMatrix {
+	return &CommMatrix{size: size, cells: make([]CommCell, size*size)}
+}
+
+// add records one transfer of n payload bytes; shuffle says whether it
+// happened inside a two-phase round.
+func (m *CommMatrix) add(src, dst int, n int64, shuffle bool) {
+	c := &m.cells[src*m.size+dst]
+	c.Msgs++
+	c.Bytes += n
+	if shuffle {
+		c.ShuffleBytes += n
+	}
+}
+
+// Size returns the world size the matrix was built for.
+func (m *CommMatrix) Size() int {
+	if m == nil {
+		return 0
+	}
+	return m.size
+}
+
+// Cell returns the (src, dst) cell by value.
+func (m *CommMatrix) Cell(src, dst int) CommCell {
+	return m.cells[src*m.size+dst]
+}
+
+// RowBytes sums the payload bytes rank src sent (to every destination,
+// including itself).
+func (m *CommMatrix) RowBytes(src int) int64 {
+	var n int64
+	for d := 0; d < m.size; d++ {
+		n += m.cells[src*m.size+d].Bytes
+	}
+	return n
+}
+
+// ColBytes sums the payload bytes rank dst received.
+func (m *CommMatrix) ColBytes(dst int) int64 {
+	var n int64
+	for s := 0; s < m.size; s++ {
+		n += m.cells[s*m.size+dst].Bytes
+	}
+	return n
+}
+
+// ShuffleRowBytes sums the two-phase shuffle bytes rank src sent.
+func (m *CommMatrix) ShuffleRowBytes(src int) int64 {
+	var n int64
+	for d := 0; d < m.size; d++ {
+		n += m.cells[src*m.size+d].ShuffleBytes
+	}
+	return n
+}
+
+// ShuffleColBytes sums the two-phase shuffle bytes rank dst received.
+func (m *CommMatrix) ShuffleColBytes(dst int) int64 {
+	var n int64
+	for s := 0; s < m.size; s++ {
+		n += m.cells[s*m.size+dst].ShuffleBytes
+	}
+	return n
+}
+
+// TotalBytes sums all payload bytes through the transport.
+func (m *CommMatrix) TotalBytes() int64 {
+	var n int64
+	for i := range m.cells {
+		n += m.cells[i].Bytes
+	}
+	return n
+}
+
+// TotalMsgs sums all recorded transfers.
+func (m *CommMatrix) TotalMsgs() int64 {
+	var n int64
+	for i := range m.cells {
+		n += m.cells[i].Msgs
+	}
+	return n
+}
+
+// NodeSplit classifies the shuffle bytes with a node map (nodeOf(rank) ->
+// node id; nil means one rank per node): inter-node bytes crossed a node
+// boundary, intra-node bytes stayed on one node. This is the ROADMAP's
+// shuffle_internode_bytes metric, computable post hoc under any placement.
+func (m *CommMatrix) NodeSplit(nodeOf func(rank int) int) (inter, intra int64) {
+	if m == nil {
+		return 0, 0
+	}
+	node := func(r int) int {
+		if nodeOf == nil {
+			return r
+		}
+		return nodeOf(r)
+	}
+	for s := 0; s < m.size; s++ {
+		for d := 0; d < m.size; d++ {
+			b := m.cells[s*m.size+d].ShuffleBytes
+			if b == 0 {
+				continue
+			}
+			if node(s) == node(d) {
+				intra += b
+			} else {
+				inter += b
+			}
+		}
+	}
+	return inter, intra
+}
+
+// reset zeroes every cell in place.
+func (m *CommMatrix) reset() {
+	if m == nil {
+		return
+	}
+	for i := range m.cells {
+		m.cells[i] = CommCell{}
+	}
+}
+
+// Format renders the matrix as deterministic text: a bytes grid plus
+// per-rank row/column totals and the shuffle node split under the given
+// node map (nil = one rank per node).
+func (m *CommMatrix) Format(nodeOf func(rank int) int) string {
+	if m == nil {
+		return "comm matrix: disabled"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== comm matrix: %d rank(s), %d msg(s), %d byte(s) ==\n", m.size, m.TotalMsgs(), m.TotalBytes())
+	sb.WriteString("bytes (row = sender, col = receiver):\n")
+	sb.WriteString("       ")
+	for d := 0; d < m.size; d++ {
+		fmt.Fprintf(&sb, " %10s", fmt.Sprintf("r%d", d))
+	}
+	sb.WriteString("        row\n")
+	for s := 0; s < m.size; s++ {
+		fmt.Fprintf(&sb, "  r%-4d", s)
+		for d := 0; d < m.size; d++ {
+			fmt.Fprintf(&sb, " %10d", m.cells[s*m.size+d].Bytes)
+		}
+		fmt.Fprintf(&sb, " %10d\n", m.RowBytes(s))
+	}
+	sb.WriteString("  col  ")
+	for d := 0; d < m.size; d++ {
+		fmt.Fprintf(&sb, " %10d", m.ColBytes(d))
+	}
+	sb.WriteByte('\n')
+	inter, intra := m.NodeSplit(nodeOf)
+	fmt.Fprintf(&sb, "shuffle bytes: internode %d, intranode %d\n", inter, intra)
+	return strings.TrimRight(sb.String(), "\n")
+}
+
+// commMatrixJSON is the serialized form of a matrix.
+type commMatrixJSON struct {
+	Schema         string     `json:"schema"`
+	Ranks          int        `json:"ranks"`
+	Cells          []CommCell `json:"cells"` // row-major src*ranks+dst
+	InterNodeBytes int64      `json:"shuffle_internode_bytes"`
+	IntraNodeBytes int64      `json:"shuffle_intranode_bytes"`
+}
+
+// CommMatrixSchema identifies the JSON layout for downstream consumers.
+const CommMatrixSchema = "flexio-commmatrix-v1"
+
+// WriteJSON writes the matrix (with its node split under nodeOf; nil = one
+// rank per node) as indented JSON. Output is byte-deterministic for a
+// deterministic run.
+func (m *CommMatrix) WriteJSON(w io.Writer, nodeOf func(rank int) int) error {
+	inter, intra := m.NodeSplit(nodeOf)
+	doc := commMatrixJSON{
+		Schema:         CommMatrixSchema,
+		Ranks:          m.Size(),
+		Cells:          m.cells,
+		InterNodeBytes: inter,
+		IntraNodeBytes: intra,
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&doc); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// BlockNodeMap returns a node-mapping function that packs perNode
+// consecutive ranks onto each simulated node (perNode <= 1 means one rank
+// per node), the usual MPI block placement.
+func BlockNodeMap(perNode int) func(rank int) int {
+	if perNode <= 1 {
+		return func(rank int) int { return rank }
+	}
+	return func(rank int) int { return rank / perNode }
+}

@@ -1,0 +1,115 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCommMatrixAccounting(t *testing.T) {
+	m := newCommMatrix(3)
+	m.add(0, 1, 100, false)
+	m.add(0, 1, 50, true)
+	m.add(1, 2, 25, true)
+	m.add(2, 2, 10, true) // self-delivery
+
+	if got := m.RowBytes(0); got != 150 {
+		t.Errorf("RowBytes(0) = %d, want 150", got)
+	}
+	if got := m.ColBytes(1); got != 150 {
+		t.Errorf("ColBytes(1) = %d, want 150", got)
+	}
+	if got := m.ShuffleRowBytes(0); got != 50 {
+		t.Errorf("ShuffleRowBytes(0) = %d, want 50", got)
+	}
+	if got := m.ShuffleColBytes(2); got != 35 {
+		t.Errorf("ShuffleColBytes(2) = %d, want 35", got)
+	}
+	if m.TotalBytes() != 185 || m.TotalMsgs() != 4 {
+		t.Errorf("totals = (%d bytes, %d msgs), want (185, 4)", m.TotalBytes(), m.TotalMsgs())
+	}
+	if c := m.Cell(0, 1); c.Msgs != 2 || c.Bytes != 150 || c.ShuffleBytes != 50 {
+		t.Errorf("Cell(0,1) = %+v", c)
+	}
+
+	// Identity map: only the self-delivery is intra-node.
+	inter, intra := m.NodeSplit(nil)
+	if inter != 75 || intra != 10 {
+		t.Errorf("identity NodeSplit = (%d, %d), want (75, 10)", inter, intra)
+	}
+	// All three ranks on one node: everything is intra.
+	inter, intra = m.NodeSplit(func(int) int { return 0 })
+	if inter != 0 || intra != 85 {
+		t.Errorf("one-node NodeSplit = (%d, %d), want (0, 85)", inter, intra)
+	}
+
+	m.reset()
+	if m.TotalBytes() != 0 || m.TotalMsgs() != 0 {
+		t.Error("reset left traffic behind")
+	}
+}
+
+func TestBlockNodeMap(t *testing.T) {
+	id := BlockNodeMap(1)
+	if id(0) != 0 || id(5) != 5 {
+		t.Error("perNode<=1 should be the identity map")
+	}
+	pairs := BlockNodeMap(2)
+	if pairs(0) != 0 || pairs(1) != 0 || pairs(2) != 1 || pairs(7) != 3 {
+		t.Error("BlockNodeMap(2) should pack consecutive rank pairs")
+	}
+}
+
+func TestCommMatrixJSONAndFormat(t *testing.T) {
+	m := newCommMatrix(2)
+	m.add(0, 1, 64, true)
+	m.add(1, 0, 32, false)
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema string     `json:"schema"`
+		Ranks  int        `json:"ranks"`
+		Cells  []CommCell `json:"cells"`
+		Inter  int64      `json:"shuffle_internode_bytes"`
+		Intra  int64      `json:"shuffle_intranode_bytes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteJSON output is not JSON: %v", err)
+	}
+	if doc.Schema != CommMatrixSchema || doc.Ranks != 2 || len(doc.Cells) != 4 {
+		t.Fatalf("bad doc header: %+v", doc)
+	}
+	if doc.Inter != 64 || doc.Intra != 0 {
+		t.Errorf("node split = (%d, %d), want (64, 0)", doc.Inter, doc.Intra)
+	}
+
+	// Byte-deterministic: same matrix, same bytes.
+	var again bytes.Buffer
+	if err := m.WriteJSON(&again, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("WriteJSON is not deterministic")
+	}
+
+	txt := m.Format(nil)
+	for _, want := range []string{
+		"== comm matrix: 2 rank(s), 2 msg(s), 96 byte(s) ==",
+		"shuffle bytes: internode 64, intranode 0",
+	} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Format missing %q in:\n%s", want, txt)
+		}
+	}
+	if txt != m.Format(nil) {
+		t.Error("Format is not deterministic")
+	}
+	var nilM *CommMatrix
+	if nilM.Format(nil) != "comm matrix: disabled" {
+		t.Error("nil matrix Format should say disabled")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"flexio/internal/metrics"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
+	"flexio/internal/trace"
 )
 
 // envelope is one in-flight message.
@@ -15,6 +16,7 @@ type envelope struct {
 	tag   int
 	data  []byte
 	stamp sim.Time // sender clock when the message left
+	edge  int64    // causal edge id, shared by the send/recv trace instants
 }
 
 // envPool recycles envelope structs (not their payloads). *envelope is a
@@ -23,9 +25,9 @@ type envelope struct {
 // theirs to the GC.
 var envPool = sync.Pool{New: func() any { return new(envelope) }}
 
-func newEnvelope(src, tag int, data []byte, stamp sim.Time) *envelope {
+func newEnvelope(src, tag int, data []byte, stamp sim.Time, edge int64) *envelope {
 	e := envPool.Get().(*envelope)
-	*e = envelope{src: src, tag: tag, data: data, stamp: stamp}
+	*e = envelope{src: src, tag: tag, data: data, stamp: stamp, edge: edge}
 	return e
 }
 
@@ -141,9 +143,30 @@ func (p *Proc) Send(to, tag int, data []byte) {
 		}
 	}
 	p.clock += p.w.cfg.SendOverhead
-	p.Stats.Add(stats.CBytesComm, int64(len(data)))
-	p.Metrics.Add(metrics.CCommBytes, int64(len(data)))
-	p.w.boxes[to].put(newEnvelope(p.rank, tag, data, p.clock))
+	n := int64(len(data))
+	p.Stats.Add(stats.CBytesComm, n)
+	p.Metrics.Add(metrics.CCommBytes, n)
+	// Edge id: the sender alone sequences its (src,dst) stream, so the id
+	// is deterministic across goroutine schedules, and the receiver's
+	// matching instant carries the same id via the envelope.
+	seq := p.sendsTo[to]
+	p.sendsTo[to]++
+	size := int64(p.w.size)
+	edge := (seq*size+int64(p.rank))*size + int64(to)
+	if shuffle := p.round >= 0; shuffle {
+		if p.w.node(p.rank) == p.w.node(to) {
+			p.Metrics.Add(metrics.CShuffleIntraNodeBytes, n)
+		} else {
+			p.Metrics.Add(metrics.CShuffleInterNodeBytes, n)
+		}
+		if m := p.w.comm; m != nil {
+			m.add(p.rank, to, n, true)
+		}
+	} else if m := p.w.comm; m != nil {
+		m.add(p.rank, to, n, false)
+	}
+	p.Trace.Instant2(p.clock, trace.MsgSendName, trace.I(trace.EdgeTag, edge), trace.I(trace.BytesTag, n))
+	p.w.boxes[to].put(newEnvelope(p.rank, tag, data, p.clock, edge))
 }
 
 // Recv blocks until a message from src (or Any) with tag (or Any) arrives.
@@ -189,6 +212,11 @@ func (p *Proc) completeRecv(post sim.Time, e *envelope) bool {
 		return false
 	}
 	p.SyncClock(p.arrivalTime(post, e))
+	var blocked int64
+	if e.stamp > post {
+		blocked = 1 // the sender's departure, not our post, gated delivery
+	}
+	p.Trace.Instant2(p.clock, trace.MsgRecvName, trace.I(trace.EdgeTag, e.edge), trace.I(trace.BlockedTag, blocked))
 	return true
 }
 

@@ -47,6 +47,12 @@ type World struct {
 	// anyFail flips to 1 at the first crash; it gates the dead-peer
 	// check in mailbox waits so the healthy path stays branch-cheap.
 	anyFail atomic.Int32
+	// comm is the rank×rank communication matrix (nil = accounting off);
+	// every datapath record is gated on it, like rf.
+	comm *CommMatrix
+	// nodeOf maps ranks to simulated nodes for the inter/intra-node
+	// shuffle-byte split (nil = one rank per node).
+	nodeOf func(rank int) int
 }
 
 // NewWorld creates a communicator with size ranks using the given cost
@@ -70,7 +76,7 @@ func NewWorld(size int, cfg *sim.Config) *World {
 		w.boxes[i] = newMailbox()
 	}
 	for i := range w.procs {
-		w.procs[i] = &Proc{w: w, rank: i, Stats: stats.New()}
+		w.procs[i] = &Proc{w: w, rank: i, round: -1, Stats: stats.New(), sendsTo: make([]int64, size)}
 	}
 	return w
 }
@@ -158,6 +164,35 @@ func (w *World) EnableMetrics() *metrics.Set {
 // MetricsSet returns the attached metrics set (nil when metrics are off).
 func (w *World) MetricsSet() *metrics.Set { return w.met }
 
+// EnableCommMatrix attaches a rank×rank communication matrix that every
+// point-to-point send and vector-collective row is accounted into. Call it
+// before Run; it returns the matrix for inspection after the ranks finish.
+func (w *World) EnableCommMatrix() *CommMatrix {
+	w.comm = newCommMatrix(w.size)
+	return w.comm
+}
+
+// CommMatrix returns the attached communication matrix (nil when off).
+func (w *World) CommMatrix() *CommMatrix { return w.comm }
+
+// SetNodeMap installs the rank→node placement used to split shuffle bytes
+// into inter-node vs. intra-node (the ROADMAP's shuffle_internode_bytes).
+// nil restores the default of one rank per node (all traffic inter-node).
+// Call it before Run.
+func (w *World) SetNodeMap(nodeOf func(rank int) int) { w.nodeOf = nodeOf }
+
+// NodeMap returns the installed rank→node placement (nil = one rank per
+// node).
+func (w *World) NodeMap() func(rank int) int { return w.nodeOf }
+
+// node returns the simulated node hosting rank r.
+func (w *World) node(r int) int {
+	if w.nodeOf == nil {
+		return r
+	}
+	return w.nodeOf(r)
+}
+
 // ResetClocks zeroes every rank's virtual clock and drops undelivered
 // messages, making the world ready for an independent experiment. Any
 // attached trace sink is cleared too: its timestamps restart from zero.
@@ -167,10 +202,13 @@ func (w *World) ResetClocks() {
 		p.nicBusy = 0
 		p.collSeq = 0
 		p.sendSeq = 0
-		p.round = 0
+		p.round = -1
 		p.verSeen = 0
 		p.peerErr = nil
 		p.failSeen = 0
+		for i := range p.sendsTo {
+			p.sendsTo[i] = 0
+		}
 	}
 	for _, b := range w.boxes {
 		b.drain()
@@ -179,6 +217,7 @@ func (w *World) ResetClocks() {
 	w.anyFail.Store(0)
 	w.sink.Reset()
 	w.met.Reset()
+	w.comm.reset()
 }
 
 // SetRankFaults installs a rank-level fault plan (nil disables). Call it
@@ -294,6 +333,11 @@ type Proc struct {
 	// trigger on.
 	collSeq int64
 	sendSeq int64
+	// sendsTo[d] counts this rank's sends to rank d; it seeds the
+	// deterministic per-message edge id ((seq*size)+src)*size+dst, which
+	// is stable across goroutine schedules because each (src,dst) stream
+	// is sequenced by the sender alone.
+	sendsTo []int64
 	// round is the current two-phase round (-1 outside one), mirrored
 	// from mpiio.File.SetRound for round-triggered fault rules.
 	round int
@@ -368,8 +412,8 @@ func (p *Proc) SetRound(r int) {
 // advances the rank's collective sequence number and fires
 // sequence-triggered crashes. One nil check on the fault-free path.
 func (p *Proc) preRendezvous() {
+	p.collSeq++
 	if rf := p.w.rf; rf != nil {
-		p.collSeq++
 		if rf.atSeq(p.rank, p.collSeq) {
 			p.crashNow()
 		}
@@ -381,6 +425,7 @@ func (p *Proc) preRendezvous() {
 // are woken so they re-check peer liveness, and the goroutine unwinds
 // with the private crash panic World.Run absorbs.
 func (p *Proc) crashNow() {
+	p.Trace.Instant1(p.clock, trace.CrashName, trace.I(trace.RankTag, int64(p.rank)))
 	p.w.coll.markDead(p.rank)
 	p.w.anyFail.Store(1)
 	for _, b := range p.w.boxes {

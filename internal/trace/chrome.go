@@ -61,6 +61,9 @@ func (s *Sink) WriteChromeTrace(w io.Writer) error {
 			case KindInstant:
 				emit(fmt.Sprintf(`{"name":%s,"cat":"event","ph":"i","s":"t","pid":0,"tid":%d,"ts":%.3f%s}`,
 					strconv.Quote(e.Name), rank, ts, argsJSON(e.Tags)))
+				if line, ok := flowJSON(e, rank, ts); ok {
+					emit(line)
+				}
 			case KindCounter:
 				emit(fmt.Sprintf(`{"name":%s,"ph":"C","pid":0,"tid":%d,"ts":%.3f,"args":{"value":%s}}`,
 					strconv.Quote(e.Name), rank, ts, strconv.FormatFloat(e.Value, 'g', -1, 64)))
@@ -87,6 +90,45 @@ func (s *Sink) WriteChromeTraceFile(path string) error {
 		return err
 	}
 	return f.Close()
+}
+
+// flowJSON renders the Perfetto flow event paired with a causal instant, so
+// cross-rank arrows appear on the timeline: a message edge starts ("ph":"s")
+// at its msg_send instant and finishes ("ph":"f") at the matching msg_recv,
+// bound by the shared edge id; a rank crash starts a "failover" flow that
+// finishes at rank 0's failover instant for that dead rank. Flow ids are
+// strings ("e<edge>", "fo-<rank>") so the two families can never collide.
+// Instants without a causal role return ok=false.
+func flowJSON(e Event, rank int, ts float64) (line string, ok bool) {
+	switch e.Name {
+	case MsgSendName:
+		if id, found := tagInt(e.Tags, EdgeTag); found {
+			return fmt.Sprintf(`{"name":"msg","cat":"flow","ph":"s","id":"e%d","pid":0,"tid":%d,"ts":%.3f}`, id, rank, ts), true
+		}
+	case MsgRecvName:
+		if id, found := tagInt(e.Tags, EdgeTag); found {
+			return fmt.Sprintf(`{"name":"msg","cat":"flow","ph":"f","bp":"e","id":"e%d","pid":0,"tid":%d,"ts":%.3f}`, id, rank, ts), true
+		}
+	case CrashName:
+		if r, found := tagInt(e.Tags, RankTag); found {
+			return fmt.Sprintf(`{"name":"failover","cat":"flow","ph":"s","id":"fo-%d","pid":0,"tid":%d,"ts":%.3f}`, r, rank, ts), true
+		}
+	case FailoverName:
+		if r, found := tagInt(e.Tags, DeadTag); found {
+			return fmt.Sprintf(`{"name":"failover","cat":"flow","ph":"f","bp":"e","id":"fo-%d","pid":0,"tid":%d,"ts":%.3f}`, r, rank, ts), true
+		}
+	}
+	return "", false
+}
+
+// tagInt returns the first integer tag with the given key.
+func tagInt(tags []Tag, key string) (int64, bool) {
+	for _, tg := range tags {
+		if tg.Key == key && !tg.IsStr {
+			return tg.Int, true
+		}
+	}
+	return 0, false
 }
 
 // argsJSON renders tags as a trace-event args object (empty string when

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flexio/internal/sim"
+)
+
+// flowSink builds a two-rank trace exercising both flow families: a message
+// edge (send on r0, blocked receive on r1) and a failover (crash on r1,
+// failover instant on r0).
+func flowSink() *Sink {
+	s := NewSink(2, 0)
+	r0, r1 := s.Tracer(0), s.Tracer(1)
+	r0.Instant2(1, MsgSendName, I(EdgeTag, 3), I(BytesTag, 10))
+	r1.Instant2(2, MsgRecvName, I(EdgeTag, 3), I(BlockedTag, 1))
+	r1.Instant1(2.5, CrashName, I(RankTag, 1))
+	r0.Instant2(3, FailoverName, I(DeadTag, 1), I(RealmsTag, 2))
+	return s
+}
+
+func export(t *testing.T, s *Sink) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	return buf.String()
+}
+
+func TestFlowEventsExported(t *testing.T) {
+	out := export(t, flowSink())
+	for _, want := range []string{
+		// Message edge: start at the send, finish (binding point enclosing)
+		// at the receive, joined by the string id "e3".
+		`{"name":"msg","cat":"flow","ph":"s","id":"e3","pid":0,"tid":0,"ts":1000000.000}`,
+		`{"name":"msg","cat":"flow","ph":"f","bp":"e","id":"e3","pid":0,"tid":1,"ts":2000000.000}`,
+		// Failover: start at the crash, finish at rank 0's failover record.
+		`{"name":"failover","cat":"flow","ph":"s","id":"fo-1","pid":0,"tid":1,"ts":2500000.000}`,
+		`{"name":"failover","cat":"flow","ph":"f","bp":"e","id":"fo-1","pid":0,"tid":0,"ts":3000000.000}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing flow line %s", want)
+		}
+	}
+	// The causal instants themselves still export alongside their flows.
+	if !strings.Contains(out, `"name":"msg_send"`) || !strings.Contains(out, `"name":"msg_recv"`) {
+		t.Error("export lost the instant events the flows pair with")
+	}
+}
+
+// TestFlowExportDeterministic pins the byte-determinism the CI artifact
+// comparison relies on: two identically recorded sinks export identically,
+// including when ring overflow produced orphaned flow ends and orphaned
+// span ends.
+func TestFlowExportDeterministic(t *testing.T) {
+	build := func() *Sink {
+		s := NewSink(2, 4)
+		r0, r1 := s.Tracer(0), s.Tracer(1)
+		r0.Begin(0, "phase")
+		r0.Instant2(1, MsgSendName, I(EdgeTag, 9), I(BytesTag, 5))
+		// Overflow r0's ring: the Begin and the send fall out, leaving an
+		// orphan End and (on r1) a flow finish with no start.
+		for i := 0; i < 5; i++ {
+			r0.Instant(sim.Time(2+float64(i)*0.1), "noise")
+		}
+		r0.End(3)
+		r1.Instant2(4, MsgRecvName, I(EdgeTag, 9), I(BlockedTag, 1))
+		return s
+	}
+	a, b := export(t, build()), export(t, build())
+	if a != b {
+		t.Fatal("identical traces exported different bytes")
+	}
+	// The dropped send means no flow start, but the finish still exports
+	// deterministically.
+	if strings.Contains(a, `"ph":"s","id":"e9"`) {
+		t.Error("flow start survived although its send was dropped")
+	}
+	if !strings.Contains(a, `"ph":"f","bp":"e","id":"e9"`) {
+		t.Error("flow finish missing from overflowed export")
+	}
+	if plain := export(t, flowSink()); plain != export(t, flowSink()) {
+		t.Fatal("flow export is not deterministic on the complete trace")
+	}
+}

@@ -56,6 +56,58 @@ const (
 	BytesTag = "bytes"
 )
 
+// Causal message-flow vocabulary (PR 6): every point-to-point delivery and
+// collective rendezvous is stamped with paired instants carrying an edge
+// (or rendezvous sequence) identifier, so exporters can draw cross-rank
+// arrows and the critical-path profiler can rebuild the causal DAG.
+const (
+	// MsgSendName marks the sender side of a point-to-point edge; tags:
+	// EdgeTag (edge id), BytesTag (payload length).
+	MsgSendName = "msg_send"
+	// MsgRecvName marks the receiver side of the same edge; tags: EdgeTag,
+	// BlockedTag (1 when the sender's stamp, not the receive post,
+	// governed the completion time — i.e. the receiver waited).
+	MsgRecvName = "msg_recv"
+	// CollEnterName marks a rank's arrival at a collective rendezvous;
+	// tags: SeqTag (the world-global rendezvous generation).
+	CollEnterName = "coll_enter"
+	// CollExitName marks the rank's release from the rendezvous; tags:
+	// SeqTag, ByTag (the rank whose late arrival released everyone).
+	CollExitName = "coll_exit"
+	// EdgeTag carries the deterministic point-to-point edge id
+	// ((seq*size)+src)*size+dst, unique per (src,dst) message.
+	EdgeTag = "edge"
+	// BlockedTag is 1 when the receiver sat waiting on the sender.
+	BlockedTag = "blocked"
+	// SeqTag carries the collective rendezvous generation.
+	SeqTag = "seq"
+	// ByTag carries the rank that held a rendezvous open longest.
+	ByTag = "by"
+)
+
+// Failure and recovery vocabulary (PR 5 events surfaced on the timeline):
+// exporters pair CrashName/FailoverName instants into recovery flow arrows.
+const (
+	// CrashName marks an injected rank crash on the dying rank's own
+	// track; tags: RankTag.
+	CrashName = "rank_crash"
+	// FailoverName marks a resumed collective noting one dead rank (one
+	// instant per dead rank, on rank 0); tags: DeadTag, RealmsTag.
+	FailoverName = "failover"
+	// RoundSkipName marks a journalled round skipped during a resume
+	// (already durable); tags: RoundTag.
+	RoundSkipName = "round_skip"
+	// RoundReplayName marks a journalled round re-executed during a
+	// resume; tags: RoundTag.
+	RoundReplayName = "round_replay"
+	// RankTag carries a rank id on a crash instant.
+	RankTag = "rank"
+	// DeadTag carries one dead rank id on a failover instant.
+	DeadTag = "dead"
+	// RealmsTag carries the post-failover realm count.
+	RealmsTag = "realms"
+)
+
 // Tag is one key/value annotation on an event. Values are either int64 or
 // string; fixed fields keep events allocation-light and exports
 // deterministic (tags render in call-site order, never map order).

@@ -307,6 +307,10 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		i.journal.Begin(h)
 		if i.journal.Resuming() && p.Rank() == 0 {
 			p.Metrics.NoteFailover(i.journal.Dead(), naggs)
+			for _, d := range i.journal.Dead() {
+				p.Trace.Instant2(p.Clock(), trace.FailoverName,
+					trace.I(trace.DeadTag, int64(d)), trace.I(trace.RealmsTag, int64(naggs)))
+			}
 		}
 	}
 
@@ -523,6 +527,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 						// fresh collective under the same file-domain
 						// epoch still performs all its writes.
 						p.Metrics.NoteReplay(0, 1)
+						p.Trace.Instant1(p.Clock(), trace.RoundSkipName, trace.I(trace.RoundTag, int64(r)))
 					default:
 						if err := f.WriteSieve(span, segs, concat); err != nil {
 							firstErr = fmt.Errorf("twophase: round %d: %w", r, err)
@@ -530,6 +535,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 							i.journal.Commit(p.Rank(), r)
 							if i.journal.Resuming() {
 								p.Metrics.NoteReplay(1, 0)
+								p.Trace.Instant1(p.Clock(), trace.RoundReplayName, trace.I(trace.RoundTag, int64(r)))
 							}
 						}
 					}
