@@ -36,6 +36,7 @@ func main() {
 	critRun := flag.Bool("critpath", false, "print the last experiment's critical-path profile (virtual-time causal DAG)")
 	chaosRun := flag.Bool("chaos", false, "run the deterministic fault-injection scenario matrix instead of the figures")
 	rankChaosRun := flag.Bool("rankchaos", false, "run the rank-failure/failover scenario matrix instead of the figures")
+	tenantChaosRun := flag.Bool("tenantchaos", false, "run the multi-tenant interference scenario matrix instead of the figures")
 	chaosTraces := flag.String("chaostraces", "", "directory to write chaos scenarios' Chrome traces and flight dumps into")
 	benchJSON := flag.String("benchjson", "", "run the tracked benchmark matrix and merge results into this JSON trajectory file")
 	benchLabel := flag.String("benchlabel", "after", "label to store -benchjson results under (e.g. before, after, ci)")
@@ -78,6 +79,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("rankchaos: all scenarios recovered byte-identically")
+		return
+	}
+
+	if *tenantChaosRun {
+		logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+		if failures := chaos.TenantSoak(chaos.TenantMatrix(), *chaosTraces, logf); failures > 0 {
+			fmt.Fprintf(os.Stderr, "tenantchaos: %d scenario(s) violated invariants\n", failures)
+			os.Exit(1)
+		}
+		fmt.Println("tenantchaos: all scenarios held their invariants")
 		return
 	}
 

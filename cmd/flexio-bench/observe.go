@@ -1,10 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"flexio/internal/analyze"
 	"flexio/internal/metrics"
@@ -55,7 +60,39 @@ func runObservability(doAnalyze bool, metricsOut, serveAddr string) error {
 			}{status, findings})
 		})
 		fmt.Printf("serving /metrics and /healthz on %s\n", serveAddr)
-		return http.ListenAndServe(serveAddr, mux)
+		return serveUntilSignal(serveAddr, mux)
+	}
+	return nil
+}
+
+// serveUntilSignal runs an HTTP server with read/write timeouts until
+// SIGINT or SIGTERM, then drains in-flight requests before returning.
+func serveUntilSignal(addr string, handler http.Handler) error {
+	srv := &http.Server{
+		Addr:         addr,
+		Handler:      handler,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("signal received, draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
 	}
 	return nil
 }

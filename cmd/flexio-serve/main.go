@@ -1,0 +1,226 @@
+// Command flexio-serve hosts the multi-tenant collective-I/O service as a
+// long-running process: it builds one shared simulated file system, registers
+// a few demonstration tenants with different admission envelopes, drives
+// traffic through them, and serves the service's Prometheus exposition and a
+// health endpoint.
+//
+// Usage:
+//
+//	flexio-serve                      # serve on :9090, healthy traffic
+//	flexio-serve -chaos               # inject a noisy neighbor while serving
+//	flexio-serve -once                # one traffic burst, exposition to stdout
+//	flexio-serve -addr :8080 -period 250ms
+//
+// Endpoints:
+//
+//	/metrics  Prometheus text exposition: per-tenant service counters,
+//	          per-OST breaker state and trips, fault attribution, and the
+//	          tenants' folded engine counters.
+//	/healthz  JSON health verdict from the tenant analyzer (noisy-neighbor,
+//	          admission-pressure, breaker-churn); 503 on critical findings.
+//	/tenants  JSON per-tenant stats snapshot.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"flexio/internal/analyze"
+	"flexio/internal/hpio"
+	"flexio/internal/pfs"
+	"flexio/internal/sim"
+	"flexio/internal/tenant"
+)
+
+func main() {
+	addr := flag.String("addr", ":9090", "address to serve /metrics, /healthz, and /tenants on")
+	chaosMode := flag.Bool("chaos", false, "inject hard sieve faults under the 'batch' tenant (noisy-neighbor demo)")
+	period := flag.Duration("period", 500*time.Millisecond, "wall-clock interval between traffic rounds (each round is one logical tick)")
+	once := flag.Bool("once", false, "run one traffic burst, write the exposition to stdout, and exit")
+	rounds := flag.Int("rounds", 8, "traffic rounds for -once mode")
+	flag.Parse()
+
+	if err := run(*addr, *chaosMode, *period, *once, *rounds); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// demo tiles: the batch tenant moves several times the bytes of the
+// interactive tenants.
+var (
+	batchTile = hpio.Pattern{Ranks: 4, RegionSize: 256, RegionCount: 16, Spacing: 256}
+	smallTile = hpio.Pattern{Ranks: 2, RegionSize: 64, RegionCount: 8, Spacing: 64}
+)
+
+func run(addr string, chaosMode bool, period time.Duration, once bool, rounds int) error {
+	cfg := sim.DefaultConfig()
+	fs := pfs.NewFileSystem(cfg)
+	if chaosMode {
+		sched := pfs.NewFaultSchedule(1)
+		sched.Add(pfs.Rule{Name: "batch.dat", Kind: "write", Class: pfs.ClassIO,
+			Match: func(op pfs.Op) bool { return op.Sieve }})
+		fs.SetFaultSchedule(sched)
+	}
+	svc, err := tenant.NewService(tenant.Config{FS: fs, Sim: cfg})
+	if err != nil {
+		return err
+	}
+	// Three envelopes: an unlimited batch tenant, a token-limited
+	// interactive tenant with a short queue, and a light best-effort one.
+	if _, err := svc.AddTenant("batch", tenant.Limits{Weight: 1}); err != nil {
+		return err
+	}
+	interactive := tenant.Limits{Tokens: 2, Refill: 1, QueueDepth: 2, DeadlineTicks: 4, Weight: 4}
+	if _, err := svc.AddTenant("interactive", interactive); err != nil {
+		return err
+	}
+	if _, err := svc.AddTenant("best-effort", tenant.Limits{Tokens: 1, Refill: -1}); err != nil {
+		return err
+	}
+
+	// trafficRound submits one job per tenant and advances logical time.
+	// Admission rejections and collective aborts are expected service
+	// behavior here, not process errors: they show up in the exposition.
+	trafficRound := func(engine string) {
+		svc.Submit("batch", tenant.Job{
+			File: "batch.dat", Engine: engine, Write: true,
+			Pattern: batchTile, CollBuf: 1024, Verify: true, Trace: true,
+		})
+		svc.Submit("interactive", tenant.Job{
+			File: "interactive.dat", Engine: engine, Write: true,
+			Pattern: smallTile, CollBuf: 1024, Verify: true, Trace: true,
+		})
+		svc.Submit("best-effort", tenant.Job{
+			File: "best-effort.dat", Engine: engine, Write: true,
+			Pattern: smallTile, CollBuf: 1024, Verify: true, Trace: true,
+		})
+		svc.Tick()
+	}
+
+	engines := []string{"core-nb", "core-a2a", "twophase"}
+
+	if once {
+		for r := 0; r < rounds; r++ {
+			trafficRound(engines[r%len(engines)])
+		}
+		return svc.WriteProm(os.Stdout)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := svc.WriteProm(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/tenants", func(w http.ResponseWriter, _ *http.Request) {
+		type stats struct {
+			tenant.Stats
+			Shed int64 `json:"shed"`
+		}
+		sts := svc.TenantStats()
+		out := make([]stats, len(sts))
+		for i, st := range sts {
+			out[i] = stats{st, st.Shed()}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		findings := analyze.TenantFindings(usage(svc))
+		status, code := "ok", http.StatusOK
+		for _, f := range findings {
+			if f.Severity == analyze.SevCritical {
+				status, code = "unhealthy", http.StatusServiceUnavailable
+				break
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(struct {
+			Status   string            `json:"status"`
+			Findings []analyze.Finding `json:"findings"`
+		}{status, findings})
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Traffic loop: one round per period until shutdown.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		r := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				trafficRound(engines[r%len(engines)])
+				r++
+			}
+		}
+	}()
+
+	srv := &http.Server{
+		Addr:         addr,
+		Handler:      mux,
+		ReadTimeout:  10 * time.Second,
+		WriteTimeout: 30 * time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+	fmt.Printf("flexio-serve: /metrics, /healthz, /tenants on %s (chaos=%v)\n", addr, chaosMode)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		stop()
+		wg.Wait()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Println("flexio-serve: signal received, draining")
+	wg.Wait()
+	svc.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// usage converts the service's stats and breaker trips into the analyzer's
+// input.
+func usage(svc *tenant.Service) []analyze.TenantUsage {
+	var trips int64
+	for _, b := range svc.Breakers().Status() {
+		trips += b.Trips
+	}
+	sts := svc.TenantStats()
+	us := make([]analyze.TenantUsage, 0, len(sts))
+	for _, st := range sts {
+		us = append(us, analyze.TenantUsage{
+			Name: st.Name, Ops: st.Ops, Bytes: st.Bytes,
+			Shed: st.Shed(), Rejected: st.Rejected - st.Shed(),
+			Degraded: st.Degraded, Trips: trips,
+		})
+	}
+	return us
+}

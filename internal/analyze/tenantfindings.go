@@ -1,0 +1,103 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TenantUsage is the per-tenant accounting slice the tenant-service
+// findings operate on. It mirrors the tenant service's stats snapshot
+// without importing it, so the analyzer stays usable over serialized
+// artifacts.
+type TenantUsage struct {
+	Name     string `json:"name"`
+	Ops      int64  `json:"ops"`
+	Bytes    int64  `json:"bytes"`
+	Shed     int64  `json:"shed"`
+	Rejected int64  `json:"rejected"`
+	Degraded int64  `json:"degraded"`
+	Trips    int64  `json:"trips"` // breaker trips observed service-wide during the window
+}
+
+// TenantFindings diagnoses cross-tenant health from a usage snapshot:
+// noisy neighbors (one tenant dominating bytes while others shed),
+// shed-heavy tenants, and breaker churn. Findings are ranked most severe
+// first with ties broken by code then summary, matching Analyze.
+func TenantFindings(us []TenantUsage) []Finding {
+	if len(us) == 0 {
+		return nil
+	}
+	var fs []Finding
+
+	// Noisy neighbor: a tenant moving the dominant share of bytes while
+	// at least one other tenant is losing work to admission control. The
+	// dominance threshold is 2x all other tenants combined.
+	var total, maxBytes int64
+	noisy := ""
+	var shedElsewhere int64
+	for _, u := range us {
+		total += u.Bytes
+		if u.Bytes > maxBytes {
+			maxBytes = u.Bytes
+			noisy = u.Name
+		}
+	}
+	for _, u := range us {
+		if u.Name != noisy {
+			shedElsewhere += u.Shed + u.Rejected
+		}
+	}
+	if len(us) > 1 && total > 0 {
+		rest := total - maxBytes
+		if maxBytes >= 2*rest && shedElsewhere > 0 {
+			frac := float64(maxBytes) / float64(total)
+			fs = append(fs, finding(SevWarning, "noisy-neighbor",
+				fmt.Sprintf("tenant %q moved %.0f%% of all bytes while other tenants shed %d jobs/steps",
+					noisy, 100*frac, shedElsewhere),
+				"lower the noisy tenant's fair-share weight or token refill, or raise the victims' queue depth; check flexio_tenant_shed_total by reason",
+				100*frac))
+		}
+	}
+
+	// Per-tenant shed pressure: admission control is rejecting a large
+	// fraction of a tenant's offered work.
+	for _, u := range us {
+		offered := u.Ops + u.Shed + u.Rejected
+		if offered == 0 || u.Shed+u.Rejected == 0 {
+			continue
+		}
+		frac := float64(u.Shed+u.Rejected) / float64(offered)
+		if frac >= 0.5 {
+			fs = append(fs, finding(SevWarning, "admission-pressure",
+				fmt.Sprintf("tenant %q lost %.0f%% of offered work to admission control", u.Name, 100*frac),
+				"raise the tenant's token bucket or queue depth, or add service capacity (MaxConcurrent)",
+				100*frac))
+		}
+	}
+
+	// Breaker churn: repeated trips mean the storage kept hurting through
+	// the cooldown cycle.
+	var trips int64
+	for _, u := range us {
+		if u.Trips > trips {
+			trips = u.Trips
+		}
+	}
+	if trips >= 3 {
+		fs = append(fs, finding(SevWarning, "breaker-churn",
+			fmt.Sprintf("OST breakers tripped %d times during the window", trips),
+			"the half-open probes keep finding a hurting OST; lengthen the cooldown or investigate the brownout source",
+			float64(trips)))
+	}
+
+	sort.Slice(fs, func(i, j int) bool {
+		if fs[i].Score != fs[j].Score {
+			return fs[i].Score > fs[j].Score
+		}
+		if fs[i].Code != fs[j].Code {
+			return fs[i].Code < fs[j].Code
+		}
+		return fs[i].Summary < fs[j].Summary
+	})
+	return fs
+}

@@ -1,0 +1,71 @@
+package analyze
+
+import "testing"
+
+func codes(fs []Finding) map[string]int {
+	m := map[string]int{}
+	for _, f := range fs {
+		m[f.Code]++
+	}
+	return m
+}
+
+func TestTenantFindingsEmpty(t *testing.T) {
+	if fs := TenantFindings(nil); fs != nil {
+		t.Fatalf("nil usage produced findings: %v", fs)
+	}
+	// A single healthy tenant, or balanced tenants, report nothing.
+	fs := TenantFindings([]TenantUsage{
+		{Name: "a", Ops: 10, Bytes: 1000},
+		{Name: "b", Ops: 10, Bytes: 900},
+	})
+	if len(fs) != 0 {
+		t.Fatalf("balanced tenants produced findings: %v", fs)
+	}
+}
+
+func TestTenantFindingsNoisyNeighbor(t *testing.T) {
+	fs := TenantFindings([]TenantUsage{
+		{Name: "bully", Ops: 40, Bytes: 9000},
+		{Name: "victim", Ops: 4, Bytes: 500, Shed: 6},
+	})
+	got := codes(fs)
+	if got["noisy-neighbor"] != 1 {
+		t.Fatalf("want one noisy-neighbor finding, got %v", fs)
+	}
+	for _, f := range fs {
+		if f.Code == "noisy-neighbor" && f.Severity != SevWarning {
+			t.Fatalf("noisy-neighbor severity = %v, want warning", f.Severity)
+		}
+	}
+
+	// Dominance without victim sheds is just a big tenant, not a noisy
+	// neighbor.
+	fs = TenantFindings([]TenantUsage{
+		{Name: "big", Ops: 40, Bytes: 9000},
+		{Name: "small", Ops: 4, Bytes: 500},
+	})
+	if got := codes(fs); got["noisy-neighbor"] != 0 {
+		t.Fatalf("no-shed snapshot still flagged noisy-neighbor: %v", fs)
+	}
+}
+
+func TestTenantFindingsAdmissionPressureAndChurn(t *testing.T) {
+	fs := TenantFindings([]TenantUsage{
+		{Name: "starved", Ops: 2, Bytes: 100, Shed: 3, Rejected: 1, Trips: 4},
+		{Name: "fine", Ops: 20, Bytes: 150},
+	})
+	got := codes(fs)
+	if got["admission-pressure"] != 1 {
+		t.Fatalf("want admission-pressure for starved tenant, got %v", fs)
+	}
+	if got["breaker-churn"] != 1 {
+		t.Fatalf("want breaker-churn at 4 trips, got %v", fs)
+	}
+	// Findings come back sorted by score, descending.
+	for i := 1; i < len(fs); i++ {
+		if fs[i-1].Score < fs[i].Score {
+			t.Fatalf("findings not sorted by score: %v", fs)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package benchsuite
+
+import (
+	"testing"
+
+	"flexio/internal/pfs"
+	"flexio/internal/sim"
+	"flexio/internal/tenant"
+)
+
+// TestTenantSessionStaysWithinGate guards the tenant service's single-tenant
+// fast path: a steady-state session admitted through the tenant layer (no
+// token bucket, breakers closed) must stay within the committed BENCH_PR3
+// allocs/op gate for the identical tracked workload — the same 20% tolerance
+// and absolute grace the CI benchmark gate applies. A failure here means the
+// admission or breaker machinery leaked allocations onto the hot path.
+func TestTenantSessionStaysWithinGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocs/op comparisons are unstable under the race detector")
+	}
+	cfg := trackedConfig(t, "core-pfr/nonblocking/write")
+	traj, err := Load("../../BENCH_PR3.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, ok := traj.Get("after", cfg.Name)
+	if !ok {
+		t.Fatalf("BENCH_PR3.json has no 'after' entry for %s", cfg.Name)
+	}
+
+	simCfg := sim.DefaultConfig()
+	svc, err := tenant.NewService(tenant.Config{
+		FS:        pfs.NewFileSystem(simCfg),
+		Sim:       simCfg,
+		NodeRanks: NodeRanks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.AddTenant("bench", tenant.Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	ses, err := svc.OpenSession("bench", tenant.SessionSpec{
+		File:    "bench.dat",
+		Engine:  "core-nb",
+		Write:   cfg.Write,
+		Pattern: cfg.Pattern,
+		CollBuf: cfg.CollBuf,
+		CbNodes: cfg.Naggs,
+		PFR:     cfg.PFR,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ses.Close()
+
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := ses.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Same gate arithmetic as Compare: tolFrac 0.20, grace 8 allocs.
+	limit := base.AllocsPerOp + int64(float64(base.AllocsPerOp)*0.20)
+	if limit < base.AllocsPerOp+8 {
+		limit = base.AllocsPerOp + 8
+	}
+	if int64(allocs) > limit {
+		t.Errorf("tenant session fast path: %.1f allocs/op > gate %d (baseline %d for %s)",
+			allocs, limit, base.AllocsPerOp, cfg.Name)
+	}
+
+	// The session must have been accounted as tenant work.
+	st := svc.TenantStats()[0]
+	if st.Ops == 0 || st.Bytes == 0 {
+		t.Errorf("session steps not accounted: ops=%d bytes=%d", st.Ops, st.Bytes)
+	}
+	if st.Rejected != 0 || st.Degraded != 0 {
+		t.Errorf("healthy fast path recorded rejected=%d degraded=%d", st.Rejected, st.Degraded)
+	}
+}

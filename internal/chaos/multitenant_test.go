@@ -1,0 +1,94 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTenantMatrix runs every multi-tenant scenario (the quick subset in
+// short mode) and requires every invariant to hold.
+func TestTenantMatrix(t *testing.T) {
+	scenarios := TenantMatrix()
+	if testing.Short() {
+		scenarios = TenantQuick()
+	}
+	for _, s := range scenarios {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			out, err := s.Run()
+			if err != nil {
+				t.Fatalf("invariant violated: %v", err)
+			}
+			if out == nil {
+				t.Fatal("no outcome")
+			}
+			if len(out.Prom) == 0 {
+				t.Fatal("empty exposition")
+			}
+			if len(out.Stats) < 2 {
+				t.Fatalf("scenario hosted %d tenants, want >= 2", len(out.Stats))
+			}
+		})
+	}
+}
+
+// TestTenantMatrixShape pins the matrix floor: at least ten scenarios and
+// all three engines exercised.
+func TestTenantMatrixShape(t *testing.T) {
+	ms := TenantMatrix()
+	if len(ms) < 10 {
+		t.Fatalf("matrix has %d scenarios, want >= 10", len(ms))
+	}
+	engines := map[string]bool{}
+	names := map[string]bool{}
+	for _, s := range ms {
+		engines[s.Engine] = true
+		if names[s.Name()] {
+			t.Fatalf("duplicate scenario name %q", s.Name())
+		}
+		names[s.Name()] = true
+	}
+	for _, e := range []string{"core-nb", "core-a2a", "twophase"} {
+		if !engines[e] {
+			t.Fatalf("matrix never uses engine %q", e)
+		}
+	}
+}
+
+// TestTenantSoakArtifacts runs one scenario through the soak driver and
+// checks the per-tenant artifacts land on disk.
+func TestTenantSoakArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	s := TenantScenario{Kind: TKindErrorStorm, Engine: "core-nb", Seed: 7001}
+	if n := TenantSoak([]TenantScenario{s}, dir, t.Logf); n != 0 {
+		t.Fatalf("soak reported %d failures", n)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flights, critpaths int
+	for _, ent := range ents {
+		if strings.HasSuffix(ent.Name(), ".flight.json") {
+			flights++
+		}
+		if strings.HasSuffix(ent.Name(), ".critpath.txt") {
+			critpaths++
+		}
+		fi, err := ent.Info()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("artifact %s is empty", ent.Name())
+		}
+	}
+	// Both tenants ran traced jobs, so both kinds of artifact exist per
+	// tenant.
+	if flights < 2 || critpaths < 2 {
+		t.Fatalf("got %d flight and %d critpath artifacts in %s, want >= 2 each",
+			flights, critpaths, filepath.Base(dir))
+	}
+}

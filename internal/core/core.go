@@ -85,6 +85,14 @@ type Options struct {
 	// touches only the useful bytes, so it sidesteps faults on the
 	// sieve path).
 	Degraded bool
+	// Degrade, when non-nil, extends Degraded dynamically: the fallback
+	// additionally engages whenever it reports true at the moment a sieve
+	// round fails. A tenancy layer points it at its per-OST circuit
+	// breakers so collectives already in flight route around a browning-
+	// out target without reopening the file. It is called only on round
+	// failures (never on the hot path) and must be safe for concurrent
+	// use by all ranks.
+	Degrade func() bool
 	// Validate checks realm coverage of the aggregate access region
 	// before every call (debugging aid; O(realms) per call).
 	Validate bool
@@ -126,6 +134,13 @@ type rankScratch struct {
 	from         []int
 	heap         realmHeap
 	realmDisps   []int64
+}
+
+// degradeNow reports whether a failed sieve round should fall back to
+// naive I/O: statically via Options.Degraded, or dynamically while the
+// Degrade hook (a tenancy layer's breaker check) says so.
+func (i *Impl) degradeNow() bool {
+	return i.o.Degraded || (i.o.Degrade != nil && i.o.Degrade())
 }
 
 func (i *Impl) scratchFor(rank int) *rankScratch {
@@ -825,7 +840,7 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 			return
 		}
 		err := f.WriteStream(pendSegs, pendData, method)
-		if err != nil && i.o.Degraded && method == mpiio.DataSieve {
+		if err != nil && i.degradeNow() && method == mpiio.DataSieve {
 			p.Stats.Add(stats.CDegradedRounds, 1)
 			p.Trace.Instant2(p.Clock(), "degrade",
 				trace.I(trace.RoundTag, int64(round)), trace.S("op", "write"))
@@ -1064,7 +1079,7 @@ func (i *Impl) readRounds(f *mpiio.File, scr *rankScratch, stream []byte, realms
 					}
 				} else {
 					err := f.ReadStream(segs, rbuf, method)
-					if err != nil && i.o.Degraded && method == mpiio.DataSieve {
+					if err != nil && i.degradeNow() && method == mpiio.DataSieve {
 						p.Stats.Add(stats.CDegradedRounds, 1)
 						p.Trace.Instant2(p.Clock(), "degrade",
 							trace.I(trace.RoundTag, int64(r)), trace.S("op", "read"))

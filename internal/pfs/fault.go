@@ -218,6 +218,19 @@ type RevokeStorm struct {
 	PerGrant int
 }
 
+// OSTFaults is one OST's cumulative injected-fault record: how often the
+// schedule hurt requests that this target served. Circuit breakers key
+// their trip decisions on deltas of these counts, so every injection path
+// attributes its damage to the OST holding the op's first byte.
+type OSTFaults struct {
+	// Errors counts rule- and hook-injected op failures (all classes).
+	Errors int64
+	// Slowed counts requests served slower because a brownout was active.
+	Slowed int64
+	// StormRevokes counts extra lock revokes charged by revoke storms.
+	StormRevokes int64
+}
+
 // FaultSchedule is a seeded, deterministic, virtual-time-aware fault plan:
 // a set of error-injection rules plus OST brownouts and lock-revoke storms.
 // It is safe for concurrent use by many clients, and — given the same seed,
@@ -232,6 +245,7 @@ type FaultSchedule struct {
 	storms    []RevokeStorm
 	hook      FaultHook
 	injected  int64
+	ost       []OSTFaults // per-OST attribution, grown on demand
 }
 
 // NewFaultSchedule returns an empty schedule. The seed drives the
@@ -283,6 +297,44 @@ func (s *FaultSchedule) Injected() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.injected
+}
+
+// ostSlot returns the attribution record for ost, growing the table on
+// demand. Negative targets (a rule fired before the OST is known) land on
+// slot 0. Callers hold s.mu.
+func (s *FaultSchedule) ostSlot(ost int) *OSTFaults {
+	if ost < 0 {
+		ost = 0
+	}
+	for len(s.ost) <= ost {
+		s.ost = append(s.ost, OSTFaults{})
+	}
+	return &s.ost[ost]
+}
+
+// noteOSTError attributes one injected op failure to ost.
+func (s *FaultSchedule) noteOSTError(ost int) {
+	s.mu.Lock()
+	s.ostSlot(ost).Errors++
+	s.mu.Unlock()
+}
+
+// noteStormRevokes attributes n storm-charged lock revokes to ost.
+func (s *FaultSchedule) noteStormRevokes(ost int, n int64) {
+	s.mu.Lock()
+	s.ostSlot(ost).StormRevokes += n
+	s.mu.Unlock()
+}
+
+// OSTFaultCounts returns a copy of the cumulative per-OST fault
+// attribution. The slice is indexed by OST and only as long as the highest
+// target hurt so far (empty when nothing was injected).
+func (s *FaultSchedule) OSTFaultCounts() []OSTFaults {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]OSTFaults, len(s.ost))
+	copy(out, s.ost)
+	return out
 }
 
 // fault is one evaluated injection decision.
@@ -367,6 +419,9 @@ func (s *FaultSchedule) slowdown(ost int, now sim.Time) (mult float64, extra sim
 		if b.ExtraLatency > 0 {
 			extra += b.ExtraLatency
 		}
+	}
+	if mult > 1 || extra > 0 {
+		s.ostSlot(ost).Slowed++
 	}
 	return mult, extra
 }

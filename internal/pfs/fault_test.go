@@ -251,3 +251,132 @@ func TestSieveRMWReadFaultBecomesTransient(t *testing.T) {
 		t.Errorf("RMW read fault should classify transient, got %v", err)
 	}
 }
+
+func TestOverlappingBrownoutsCompound(t *testing.T) {
+	// Two windows on the same OST: [100, 300) with x2, [200, 400) with x4
+	// plus extra latency. Where they overlap the multipliers compound and
+	// the extras add; outside the overlap only the active window applies.
+	sched := NewFaultSchedule(0).
+		AddBrownout(Brownout{OST: 1, From: 100, Until: 300, Slowdown: 2}).
+		AddBrownout(Brownout{OST: 1, From: 200, Until: 400, Slowdown: 4, ExtraLatency: 5})
+	for _, tc := range []struct {
+		now       sim.Time
+		wantMult  float64
+		wantExtra sim.Time
+	}{
+		{50, 1, 0},  // before both
+		{100, 2, 0}, // first window start is inclusive
+		{150, 2, 0}, // only the first
+		{200, 8, 5}, // overlap: 2*4, extra from the second
+		{299, 8, 5}, // last overlapping instant
+		{300, 4, 5}, // first window's Until is exclusive
+		{399, 4, 5}, // only the second
+		{400, 1, 0}, // second window's Until is exclusive
+	} {
+		mult, extra := sched.slowdown(1, tc.now)
+		if mult != tc.wantMult || extra != tc.wantExtra {
+			t.Errorf("slowdown(1, %v) = (%v, %v), want (%v, %v)",
+				tc.now, mult, extra, tc.wantMult, tc.wantExtra)
+		}
+	}
+	// The other OST never browns out.
+	if mult, extra := sched.slowdown(0, 250); mult != 1 || extra != 0 {
+		t.Errorf("OST 0 caught OST 1's brownout: (%v, %v)", mult, extra)
+	}
+}
+
+func TestAdjacentBrownoutWindowsDoNotOverlap(t *testing.T) {
+	// Adjacent windows [100, 200) and [200, 300): exactly one is active at
+	// the shared boundary because Until is exclusive and From inclusive.
+	sched := NewFaultSchedule(0).
+		AddBrownout(Brownout{OST: 0, From: 100, Until: 200, Slowdown: 3}).
+		AddBrownout(Brownout{OST: 0, From: 200, Until: 300, Slowdown: 5})
+	if mult, _ := sched.slowdown(0, 199); mult != 3 {
+		t.Errorf("just before the boundary: mult %v, want 3", mult)
+	}
+	if mult, _ := sched.slowdown(0, 200); mult != 5 {
+		t.Errorf("at the boundary: mult %v, want 5 (first window must have closed)", mult)
+	}
+	if mult, _ := sched.slowdown(0, 300); mult != 1 {
+		t.Errorf("after both: mult %v, want 1", mult)
+	}
+}
+
+func TestContainedBrownoutWindowCompounds(t *testing.T) {
+	// An all-OST window containing a narrower per-OST window: inside the
+	// inner window both apply to the targeted OST, only the outer applies
+	// elsewhere.
+	sched := NewFaultSchedule(0).
+		AddBrownout(Brownout{OST: -1, From: 0, Until: 1000, Slowdown: 2}).
+		AddBrownout(Brownout{OST: 2, From: 400, Until: 600, Slowdown: 3, ExtraLatency: 7})
+	if mult, extra := sched.slowdown(2, 500); mult != 6 || extra != 7 {
+		t.Errorf("contained window on its OST: (%v, %v), want (6, 7)", mult, extra)
+	}
+	if mult, extra := sched.slowdown(0, 500); mult != 2 || extra != 0 {
+		t.Errorf("contained window leaked to another OST: (%v, %v), want (2, 0)", mult, extra)
+	}
+	if mult, _ := sched.slowdown(2, 600); mult != 2 {
+		t.Errorf("inner Until not exclusive: mult %v, want 2", mult)
+	}
+}
+
+func TestOverlappingStormsSumPerGrant(t *testing.T) {
+	sched := NewFaultSchedule(0).
+		AddStorm(RevokeStorm{From: 100, Until: 300, PerGrant: 2}).
+		AddStorm(RevokeStorm{From: 200, Until: 400, PerGrant: 3})
+	for _, tc := range []struct {
+		now  sim.Time
+		want int
+	}{
+		{50, 0},
+		{100, 2}, // first storm's From is inclusive
+		{199, 2},
+		{200, 5}, // overlap sums
+		{299, 5},
+		{300, 3}, // first storm's Until is exclusive
+		{399, 3},
+		{400, 0}, // second storm's Until is exclusive
+	} {
+		if got := sched.stormRevokes(tc.now); got != tc.want {
+			t.Errorf("stormRevokes(%v) = %d, want %d", tc.now, got, tc.want)
+		}
+	}
+}
+
+func TestOSTFaultAttribution(t *testing.T) {
+	// Every injection path attributes its damage to the OST serving the
+	// op's first byte, so breakers can observe per-OST error rates.
+	cfg := sim.DefaultConfig()
+	fs := NewFileSystem(cfg)
+	c := fs.NewClient(stats.New())
+	sched := NewFaultSchedule(0).
+		Add(Rule{Kind: "write", MinOff: cfg.StripeSize, Class: ClassIO, Count: 1}).
+		AddBrownout(Brownout{OST: 0, Slowdown: 4}).
+		AddStorm(RevokeStorm{PerGrant: 2})
+	fs.SetFaultSchedule(sched)
+	h := c.Open("attr.dat")
+	// Lands on OST 0: slowed by the brownout, storm-charged, no error.
+	if _, err := h.WriteAt(0, make([]byte, 64), 0); err != nil {
+		t.Fatal(err)
+	}
+	// First byte on OST 1: the rule fires a hard error there.
+	if _, err := h.WriteAt(cfg.StripeSize, make([]byte, 64), 0); !errors.Is(err, ErrIO) {
+		t.Fatalf("expected injected hard error on OST 1, got %v", err)
+	}
+	counts := sched.OSTFaultCounts()
+	if len(counts) < 2 {
+		t.Fatalf("OSTFaultCounts covers %d OSTs, want >= 2", len(counts))
+	}
+	if counts[0].Slowed == 0 {
+		t.Error("OST 0 brownout-slowed count stayed zero")
+	}
+	if counts[0].StormRevokes == 0 {
+		t.Error("OST 0 storm-revoke count stayed zero")
+	}
+	if counts[0].Errors != 0 {
+		t.Errorf("OST 0 errors = %d, want 0", counts[0].Errors)
+	}
+	if counts[1].Errors != 1 {
+		t.Errorf("OST 1 errors = %d, want 1", counts[1].Errors)
+	}
+}

@@ -159,6 +159,23 @@ func (fs *FileSystem) SetFaultSchedule(s *FaultSchedule) {
 	fs.mu.Unlock()
 }
 
+// Schedule returns the installed fault schedule (nil when faults are off),
+// so observers can read its cumulative injection counts.
+func (fs *FileSystem) Schedule() *FaultSchedule {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.sched
+}
+
+// ostOf maps a file offset onto the OST serving it under the striping
+// config.
+func (fs *FileSystem) ostOf(off int64) int {
+	if off < 0 {
+		return 0
+	}
+	return int((off / fs.cfg.StripeSize) % int64(fs.cfg.StripeCount))
+}
+
 // evalFault consults the installed schedule for op. It must be called
 // without fs.mu held: legacy hooks may call back into the file system.
 func (fs *FileSystem) evalFault(op Op, now sim.Time) fault {
@@ -426,7 +443,7 @@ func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []b
 				w = 0
 			}
 			partial = &PartialError{Written: w}
-			c.noteFault(now, kind, flt.class, w)
+			c.noteFault(now, kind, flt.class, w, segs[0].Off)
 			if w == 0 {
 				return now + fs.cfg.IOCallOverhead, fmt.Errorf("pfs: %s %q: %w", kind, f.name, partial)
 			}
@@ -440,7 +457,7 @@ func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []b
 			}
 			total = w
 		} else {
-			c.noteFault(now, kind, flt.class, 0)
+			c.noteFault(now, kind, flt.class, 0, segs[0].Off)
 			return now + fs.cfg.IOCallOverhead, fmt.Errorf("pfs: %s %q: %w", kind, f.name, flt.wrapped())
 		}
 	}
@@ -486,10 +503,15 @@ func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []b
 	return completion, nil
 }
 
-// noteFault records an injected fault on the owning rank's stats and trace.
-func (c *Client) noteFault(now sim.Time, kind string, cl Class, written int64) {
+// noteFault records an injected fault on the owning rank's stats and trace,
+// and attributes it to the OST holding the op's first byte so per-OST
+// breakers can observe the error rate. Called without fs.mu held.
+func (c *Client) noteFault(now sim.Time, kind string, cl Class, written, off int64) {
 	c.rec.Add(stats.CFaultsInjected, 1)
 	c.met.Inc(metrics.CFaults)
+	if s := c.fs.Schedule(); s != nil {
+		s.noteOSTError(c.fs.ostOf(off))
+	}
 	c.tr.Instant(now, "fault", trace.S("kind", kind),
 		trace.S("class", cl.String()), trace.I("written", written), trace.I("seq", c.seq))
 }
@@ -601,6 +623,7 @@ func (c *Client) lockSpan(f *fileData, segs []datatype.Seg, write bool, now sim.
 			n := grants * int64(per)
 			cost += sim.Time(float64(n)) * fs.cfg.LockRevokeCost
 			c.rec.Add(stats.CStormRevokes, n)
+			fs.sched.noteStormRevokes(fs.ostOf(segs[0].Off), n)
 			c.tr.Instant(now, "revoke_storm", trace.I("revokes", n))
 		}
 	}

@@ -1,0 +1,201 @@
+package tenant
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"flexio/internal/pfs"
+)
+
+// BreakerState is one OST breaker's position in the trip cycle.
+type BreakerState int
+
+const (
+	// BreakerClosed: the OST looks healthy; jobs use it normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the OST is hurting; collectives route onto the
+	// engines' Degraded fallback paths until the cooldown expires.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown expired; the next jobs probe the OST
+	// and the following observation closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String names the state for logs and exposition labels.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes the per-OST circuit breakers. Thresholds compare
+// against the delta of the fault schedule's cumulative per-OST counts
+// between consecutive observations (one observation per completed job), so
+// "trip" means "this much new damage since the last job finished".
+type BreakerConfig struct {
+	// ErrorTrip is the injected-error delta that trips a breaker
+	// (<= 0 means 1: any fresh error on the OST).
+	ErrorTrip int64
+	// SlowTrip is the brownout-slowed request delta that trips a breaker
+	// (<= 0 means 8).
+	SlowTrip int64
+	// RevokeTrip is the storm-revoke delta that trips a breaker
+	// (<= 0 means 64).
+	RevokeTrip int64
+	// CoolDownTicks is how many service ticks an open breaker waits
+	// before moving to half-open (<= 0 means 2).
+	CoolDownTicks int64
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.ErrorTrip <= 0 {
+		c.ErrorTrip = 1
+	}
+	if c.SlowTrip <= 0 {
+		c.SlowTrip = 8
+	}
+	if c.RevokeTrip <= 0 {
+		c.RevokeTrip = 64
+	}
+	if c.CoolDownTicks <= 0 {
+		c.CoolDownTicks = 2
+	}
+	return c
+}
+
+// breaker is one OST's trip state.
+type breaker struct {
+	state  BreakerState
+	trips  int64
+	opened int64         // tick when last opened
+	last   pfs.OSTFaults // cumulative counts at the previous observation
+}
+
+// BreakerSet holds one circuit breaker per OST. Observations and ticks are
+// serialized by the owning Service; AnyOpen is a single atomic load so the
+// collective hot paths (the engines' Degrade hooks, session steps) stay
+// allocation-free and uncontended.
+type BreakerSet struct {
+	cfg     BreakerConfig
+	mu      sync.Mutex
+	brks    []breaker
+	anyOpen atomic.Bool
+}
+
+// NewBreakerSet builds breakers for osts targets (grown on demand if the
+// fault schedule attributes damage beyond that).
+func NewBreakerSet(cfg BreakerConfig, osts int) *BreakerSet {
+	if osts < 0 {
+		osts = 0
+	}
+	return &BreakerSet{cfg: cfg.withDefaults(), brks: make([]breaker, osts)}
+}
+
+// AnyOpen reports whether at least one breaker is open (half-open counts
+// as closed: probes run normally).
+func (b *BreakerSet) AnyOpen() bool {
+	if b == nil {
+		return false
+	}
+	return b.anyOpen.Load()
+}
+
+// Observe feeds the schedule's cumulative per-OST fault counts (one call
+// per completed job, at now ticks). Each OST's delta since the previous
+// observation decides: a closed breaker over threshold trips open; a
+// half-open breaker closes on a clean delta and re-opens on a dirty one;
+// an open breaker that is still being hurt restarts its cooldown.
+func (b *BreakerSet) Observe(counts []pfs.OSTFaults, now int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.brks) < len(counts) {
+		b.brks = append(b.brks, breaker{})
+	}
+	for i := range counts {
+		br := &b.brks[i]
+		d := pfs.OSTFaults{
+			Errors:       counts[i].Errors - br.last.Errors,
+			Slowed:       counts[i].Slowed - br.last.Slowed,
+			StormRevokes: counts[i].StormRevokes - br.last.StormRevokes,
+		}
+		if d.Errors < 0 || d.Slowed < 0 || d.StormRevokes < 0 {
+			// Counts went backwards: the fault schedule was swapped and its
+			// cumulative counters restarted from zero. The new counts are the
+			// delta.
+			d = counts[i]
+		}
+		br.last = counts[i]
+		dirty := d.Errors >= b.cfg.ErrorTrip ||
+			d.Slowed >= b.cfg.SlowTrip ||
+			d.StormRevokes >= b.cfg.RevokeTrip
+		switch br.state {
+		case BreakerClosed:
+			if dirty {
+				br.state = BreakerOpen
+				br.trips++
+				br.opened = now
+			}
+		case BreakerHalfOpen:
+			if dirty {
+				br.state = BreakerOpen
+				br.trips++
+				br.opened = now
+			} else {
+				br.state = BreakerClosed
+			}
+		case BreakerOpen:
+			if dirty {
+				br.opened = now // still hurting: restart the cooldown
+			}
+		}
+	}
+	b.refreshLocked()
+}
+
+// Tick advances open breakers whose cooldown expired to half-open.
+func (b *BreakerSet) Tick(now int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i := range b.brks {
+		br := &b.brks[i]
+		if br.state == BreakerOpen && now-br.opened >= b.cfg.CoolDownTicks {
+			br.state = BreakerHalfOpen
+		}
+	}
+	b.refreshLocked()
+}
+
+// refreshLocked recomputes the fast-path any-open flag. Callers hold b.mu.
+func (b *BreakerSet) refreshLocked() {
+	open := false
+	for i := range b.brks {
+		if b.brks[i].state == BreakerOpen {
+			open = true
+			break
+		}
+	}
+	b.anyOpen.Store(open)
+}
+
+// BreakerStatus is one OST breaker's exported view.
+type BreakerStatus struct {
+	OST   int
+	State BreakerState
+	Trips int64
+}
+
+// Status snapshots every breaker.
+func (b *BreakerSet) Status() []BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BreakerStatus, len(b.brks))
+	for i := range b.brks {
+		out[i] = BreakerStatus{OST: i, State: b.brks[i].state, Trips: b.brks[i].trips}
+	}
+	return out
+}

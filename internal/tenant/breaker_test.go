@@ -1,0 +1,106 @@
+package tenant
+
+import (
+	"testing"
+
+	"flexio/internal/pfs"
+)
+
+func TestBreakerTripHalfOpenClose(t *testing.T) {
+	b := NewBreakerSet(BreakerConfig{ErrorTrip: 2, CoolDownTicks: 2}, 2)
+	if b.AnyOpen() {
+		t.Fatal("fresh breaker set reports open")
+	}
+
+	// Below threshold: stays closed.
+	b.Observe([]pfs.OSTFaults{{Errors: 1}, {}}, 0)
+	if b.AnyOpen() {
+		t.Fatal("one error tripped a 2-error breaker")
+	}
+
+	// Delta of 2 fresh errors on OST 0: trips.
+	b.Observe([]pfs.OSTFaults{{Errors: 3}, {}}, 1)
+	if !b.AnyOpen() {
+		t.Fatal("threshold delta did not trip")
+	}
+	st := b.Status()
+	if st[0].State != BreakerOpen || st[0].Trips != 1 {
+		t.Fatalf("OST 0 = %v trips %d, want open/1", st[0].State, st[0].Trips)
+	}
+	if st[1].State != BreakerClosed {
+		t.Fatalf("OST 1 = %v, want closed", st[1].State)
+	}
+
+	// Cooldown: not yet at tick 2 (opened at 1, CoolDownTicks 2).
+	b.Tick(2)
+	if got := b.Status()[0].State; got != BreakerOpen {
+		t.Fatalf("after 1 tick: %v, want still open", got)
+	}
+	b.Tick(3)
+	if got := b.Status()[0].State; got != BreakerHalfOpen {
+		t.Fatalf("after cooldown: %v, want half-open", got)
+	}
+	if b.AnyOpen() {
+		t.Fatal("half-open must not count as open (probes run normally)")
+	}
+
+	// Dirty probe: re-opens and counts a trip.
+	b.Observe([]pfs.OSTFaults{{Errors: 5}, {}}, 3)
+	st = b.Status()
+	if st[0].State != BreakerOpen || st[0].Trips != 2 {
+		t.Fatalf("dirty probe: %v trips %d, want open/2", st[0].State, st[0].Trips)
+	}
+
+	// Cooldown again, then a clean probe closes it.
+	b.Tick(5)
+	b.Observe([]pfs.OSTFaults{{Errors: 5}, {}}, 5)
+	st = b.Status()
+	if st[0].State != BreakerClosed || st[0].Trips != 2 {
+		t.Fatalf("clean probe: %v trips %d, want closed/2", st[0].State, st[0].Trips)
+	}
+	if b.AnyOpen() {
+		t.Fatal("closed breaker still reports open")
+	}
+}
+
+func TestBreakerOpenRestartsCooldownWhileHurting(t *testing.T) {
+	b := NewBreakerSet(BreakerConfig{SlowTrip: 4, CoolDownTicks: 2}, 1)
+	b.Observe([]pfs.OSTFaults{{Slowed: 4}}, 0)
+	if got := b.Status()[0].State; got != BreakerOpen {
+		t.Fatalf("slow trip: %v, want open", got)
+	}
+	// Still being slowed at tick 1: the cooldown restarts from 1.
+	b.Observe([]pfs.OSTFaults{{Slowed: 9}}, 1)
+	b.Tick(2)
+	if got := b.Status()[0].State; got != BreakerOpen {
+		t.Fatalf("cooldown should have restarted; got %v", got)
+	}
+	b.Tick(3)
+	if got := b.Status()[0].State; got != BreakerHalfOpen {
+		t.Fatalf("after restarted cooldown: %v, want half-open", got)
+	}
+}
+
+func TestBreakerGrowsForUnknownOSTs(t *testing.T) {
+	b := NewBreakerSet(BreakerConfig{RevokeTrip: 10}, 0)
+	b.Observe([]pfs.OSTFaults{{}, {}, {StormRevokes: 12}}, 0)
+	st := b.Status()
+	if len(st) != 3 {
+		t.Fatalf("status covers %d OSTs, want 3", len(st))
+	}
+	if st[2].State != BreakerOpen {
+		t.Fatalf("OST 2 = %v, want open (revoke trip)", st[2].State)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(st), got, want)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package tenant
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"flexio/internal/metrics"
+)
+
+// promPrefix matches the metrics package's namespace so one scrape config
+// covers both expositions.
+const promPrefix = "flexio_"
+
+// WriteProm writes the service's state in Prometheus text exposition
+// format (version 0.0.4): per-tenant service counters and gauges labeled
+// by tenant, per-OST breaker state and trip counts, the fault schedule's
+// per-OST injected-fault attribution, and the tenants' folded engine
+// counters (the per-rank allocation-free registries of completed jobs,
+// merged per tenant). Tenants are emitted in registration order and
+// counters in schema order, so the exposition of a deterministic run is
+// itself deterministic; the output round-trips through metrics.ParseProm.
+func (s *Service) WriteProm(w io.Writer) error {
+	stats := s.TenantStats()
+	bw := bufio.NewWriter(w)
+
+	counter := func(name, help string, val func(Stats) int64) {
+		full := promPrefix + name + "_total"
+		fmt.Fprintf(bw, "# HELP %s %s\n", full, help)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", full)
+		for _, st := range stats {
+			fmt.Fprintf(bw, "%s{tenant=%q} %d\n", full, st.Name, val(st))
+		}
+	}
+	gauge := func(name, help string, val func(Stats) int64) {
+		full := promPrefix + name
+		fmt.Fprintf(bw, "# HELP %s %s\n", full, help)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", full)
+		for _, st := range stats {
+			fmt.Fprintf(bw, "%s{tenant=%q} %d\n", full, st.Name, val(st))
+		}
+	}
+
+	counter("tenant_jobs", "jobs completed per tenant", func(st Stats) int64 { return st.Jobs })
+	counter("tenant_ops", "collective calls performed per tenant", func(st Stats) int64 { return st.Ops })
+	counter("tenant_bytes", "I/O bytes moved per tenant", func(st Stats) int64 { return st.Bytes })
+	counter("tenant_rejected", "admission rejections per tenant (all reasons)", func(st Stats) int64 { return st.Rejected })
+	counter("tenant_degraded", "jobs or steps run while an OST breaker was open", func(st Stats) int64 { return st.Degraded })
+
+	// Sheds, labeled by reason.
+	shedName := promPrefix + "tenant_shed_total"
+	fmt.Fprintf(bw, "# HELP %s queued or offered jobs shed by admission control\n", shedName)
+	fmt.Fprintf(bw, "# TYPE %s counter\n", shedName)
+	for _, st := range stats {
+		fmt.Fprintf(bw, "%s{tenant=%q,reason=%q} %d\n", shedName, st.Name, RejectQueueFull, st.ShedQueueFull)
+		fmt.Fprintf(bw, "%s{tenant=%q,reason=%q} %d\n", shedName, st.Name, RejectDeadline, st.ShedDeadline)
+		fmt.Fprintf(bw, "%s{tenant=%q,reason=%q} %d\n", shedName, st.Name, RejectClosed, st.ShedClosed)
+	}
+
+	gauge("tenant_queue_depth", "jobs waiting in the tenant's admission queue", func(st Stats) int64 { return int64(st.Queued) })
+	gauge("tenant_inflight", "jobs currently running", func(st Stats) int64 { return int64(st.InFlight) })
+	gauge("tenant_tokens", "tokens left in the tenant's bucket", func(st Stats) int64 { return st.Tokens })
+
+	// Per-OST breakers.
+	status := s.brk.Status()
+	name := promPrefix + "ost_breaker_state"
+	fmt.Fprintf(bw, "# HELP %s breaker position per OST (0 closed, 1 open, 2 half-open)\n", name)
+	fmt.Fprintf(bw, "# TYPE %s gauge\n", name)
+	for _, b := range status {
+		fmt.Fprintf(bw, "%s{ost=\"%d\"} %d\n", name, b.OST, int(b.State))
+	}
+	name = promPrefix + "ost_breaker_trips_total"
+	fmt.Fprintf(bw, "# HELP %s times each OST's breaker tripped open\n", name)
+	fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+	for _, b := range status {
+		fmt.Fprintf(bw, "%s{ost=\"%d\"} %d\n", name, b.OST, b.Trips)
+	}
+
+	// Fault schedule attribution, the breakers' input signal.
+	if sched := s.fs.Schedule(); sched != nil {
+		counts := sched.OSTFaultCounts()
+		if len(counts) > 0 {
+			name = promPrefix + "ost_faults_total"
+			fmt.Fprintf(bw, "# HELP %s injected faults attributed per OST by the fault schedule\n", name)
+			fmt.Fprintf(bw, "# TYPE %s counter\n", name)
+			for ost, c := range counts {
+				fmt.Fprintf(bw, "%s{ost=\"%d\",kind=\"errors\"} %d\n", name, ost, c.Errors)
+				fmt.Fprintf(bw, "%s{ost=\"%d\",kind=\"slowed\"} %d\n", name, ost, c.Slowed)
+				fmt.Fprintf(bw, "%s{ost=\"%d\",kind=\"storm_revokes\"} %d\n", name, ost, c.StormRevokes)
+			}
+		}
+	}
+
+	// Folded engine counters: completed jobs' merged registries, one
+	// sample per tenant under the shared counter schema.
+	s.mu.Lock()
+	folded := make([][]int64, len(s.order))
+	names := make([]string, len(s.order))
+	for i, t := range s.order {
+		cp := make([]int64, len(t.folded))
+		copy(cp, t.folded)
+		folded[i] = cp
+		names[i] = t.name
+	}
+	s.mu.Unlock()
+	for c := 0; c < metrics.CounterCount(); c++ {
+		any := false
+		for _, f := range folded {
+			if f[c] != 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		mc := metrics.Counter(c)
+		full := promPrefix + "tenant_" + metrics.CounterName(mc) + "_total"
+		fmt.Fprintf(bw, "# HELP %s %s (summed over the tenant's completed jobs)\n", full, metrics.CounterHelp(mc))
+		fmt.Fprintf(bw, "# TYPE %s counter\n", full)
+		for i, f := range folded {
+			fmt.Fprintf(bw, "%s{tenant=%q} %d\n", full, names[i], f[c])
+		}
+	}
+	return bw.Flush()
+}

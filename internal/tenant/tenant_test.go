@@ -1,0 +1,358 @@
+package tenant
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"flexio/internal/hpio"
+	"flexio/internal/metrics"
+	"flexio/internal/mpiio"
+	"flexio/internal/pfs"
+	"flexio/internal/sim"
+)
+
+// smallPattern keeps tenant-test jobs fast: 2 ranks, a few rounds under a
+// tiny collective buffer.
+var smallPattern = hpio.Pattern{Ranks: 2, RegionSize: 64, RegionCount: 8, Spacing: 64}
+
+func newTestService(t *testing.T, cfg Config) *Service {
+	t.Helper()
+	if cfg.FS == nil {
+		cfg.FS = pfs.NewFileSystem(sim.DefaultConfig())
+	}
+	s, err := NewService(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func writeJob(file string) Job {
+	return Job{File: file, Write: true, Pattern: smallPattern, CollBuf: 512, Verify: true}
+}
+
+func TestSubmitRunsInlineAndAccounts(t *testing.T) {
+	s := newTestService(t, Config{})
+	if _, err := s.AddTenant("a", Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitWait("a", writeJob("a.dat")); err != nil {
+		t.Fatal(err)
+	}
+	st := s.TenantStats()[0]
+	if st.Jobs != 1 || st.Ops != 1 {
+		t.Errorf("jobs=%d ops=%d, want 1/1", st.Jobs, st.Ops)
+	}
+	if st.Bytes == 0 {
+		t.Error("no bytes accounted")
+	}
+	if st.Shed() != 0 || st.Rejected != 0 {
+		t.Errorf("unexpected sheds: %+v", st)
+	}
+}
+
+func TestSubmitUnknownTenant(t *testing.T) {
+	s := newTestService(t, Config{})
+	_, err := s.Submit("ghost", writeJob("g.dat"))
+	if !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("unknown tenant: %v, want ErrAdmissionRejected", err)
+	}
+}
+
+func TestTokenBucketQueuesAndDrainsOnTick(t *testing.T) {
+	s := newTestService(t, Config{})
+	if _, err := s.AddTenant("a", Limits{Tokens: 1, QueueDepth: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// First job takes the only token and runs inline.
+	if err := s.SubmitWait("a", writeJob("a.dat")); err != nil {
+		t.Fatal(err)
+	}
+	// Second job queues: no tokens left.
+	p, err := s.Submit("a", writeJob("a.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.TenantStats()[0]; st.Queued != 1 {
+		t.Fatalf("queued = %d, want 1", st.Queued)
+	}
+	select {
+	case <-p.done:
+		t.Fatal("queued job completed without a tick")
+	default:
+	}
+	// The tick refills the bucket and drains the queue.
+	s.Tick()
+	if err := p.Wait(); err != nil {
+		t.Fatalf("drained job failed: %v", err)
+	}
+	if st := s.TenantStats()[0]; st.Jobs != 2 || st.Queued != 0 {
+		t.Fatalf("after tick: %+v", st)
+	}
+}
+
+func TestQueueFullSheds(t *testing.T) {
+	s := newTestService(t, Config{})
+	if _, err := s.AddTenant("a", Limits{Tokens: 1, Refill: -1, QueueDepth: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitWait("a", writeJob("a.dat")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit("a", writeJob("a.dat")); err != nil { // queued
+		t.Fatal(err)
+	}
+	p, err := s.Submit("a", writeJob("a.dat")) // queue full
+	if err != nil {
+		t.Fatal(err)
+	}
+	werr := p.Wait()
+	var ae *AdmissionError
+	if !errors.As(werr, &ae) || ae.Reason != RejectQueueFull {
+		t.Fatalf("queue-full shed: %v, want AdmissionError{queue-full}", werr)
+	}
+	if !errors.Is(werr, ErrAdmissionRejected) {
+		t.Error("AdmissionError does not match ErrAdmissionRejected")
+	}
+	st := s.TenantStats()[0]
+	if st.ShedQueueFull != 1 || st.Rejected != 1 {
+		t.Fatalf("shed accounting: %+v", st)
+	}
+}
+
+func TestNoQueueShedsImmediately(t *testing.T) {
+	s := newTestService(t, Config{})
+	if _, err := s.AddTenant("a", Limits{Tokens: 1, Refill: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitWait("a", writeJob("a.dat")); err != nil {
+		t.Fatal(err)
+	}
+	err := s.SubmitWait("a", writeJob("a.dat"))
+	if !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("zero QueueDepth should shed at once, got %v", err)
+	}
+}
+
+func TestDeadlineShedding(t *testing.T) {
+	s := newTestService(t, Config{})
+	if _, err := s.AddTenant("a", Limits{Tokens: 1, Refill: -1, QueueDepth: 4, DeadlineTicks: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitWait("a", writeJob("a.dat")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Submit("a", writeJob("a.dat")) // queued at tick 0; never refilled
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tick() // waited 1 tick: stays
+	select {
+	case <-p.done:
+		t.Fatal("job shed before its deadline")
+	default:
+	}
+	s.Tick() // waited 2 ticks: shed
+	werr := p.Wait()
+	var ae *AdmissionError
+	if !errors.As(werr, &ae) || ae.Reason != RejectDeadline {
+		t.Fatalf("deadline shed: %v, want AdmissionError{deadline}", werr)
+	}
+	if st := s.TenantStats()[0]; st.ShedDeadline != 1 {
+		t.Fatalf("deadline accounting: %+v", st)
+	}
+}
+
+func TestCloseShedsQueueAndRejectsNewWork(t *testing.T) {
+	s := newTestService(t, Config{})
+	if _, err := s.AddTenant("a", Limits{Tokens: 1, Refill: -1, QueueDepth: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitWait("a", writeJob("a.dat")); err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Submit("a", writeJob("a.dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	werr := p.Wait()
+	var ae *AdmissionError
+	if !errors.As(werr, &ae) || ae.Reason != RejectClosed {
+		t.Fatalf("close shed: %v, want AdmissionError{closed}", werr)
+	}
+	if err := s.SubmitWait("a", writeJob("a.dat")); !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("submit after close: %v, want rejection", err)
+	}
+}
+
+func TestFairShareReleasesLighterTenantFirst(t *testing.T) {
+	// Two tenants with queued jobs writing the same file with different
+	// patterns: after one Tick both run, and last-writer-wins shows the
+	// release order. The noisy tenant (higher share: same cost, lower
+	// weight) must run last.
+	s := newTestService(t, Config{})
+	if _, err := s.AddTenant("noisy", Limits{Tokens: 1, Refill: 1, QueueDepth: 4, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddTenant("light", Limits{Tokens: 1, Refill: 1, QueueDepth: 4, Weight: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Give both tenants identical prior cost and drain their tokens.
+	if err := s.SubmitWait("noisy", writeJob("noisy.dat")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitWait("light", writeJob("light.dat")); err != nil {
+		t.Fatal(err)
+	}
+	noisyPat := hpio.Pattern{Ranks: 2, RegionSize: 32, RegionCount: 8, Spacing: 32}
+	lightPat := hpio.Pattern{Ranks: 2, RegionSize: 48, RegionCount: 8, Spacing: 48}
+	pn, err := s.Submit("noisy", Job{File: "shared.dat", Write: true, Pattern: noisyPat, CollBuf: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := s.Submit("light", Job{File: "shared.dat", Write: true, Pattern: lightPat, CollBuf: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tick()
+	if err := pn.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// light drains first (smaller weighted share), noisy overwrites: the
+	// file must carry noisy's image where the patterns overlap.
+	img := s.FS().Snapshot("shared.dat", noisyPat.FileSize())
+	ref := noisyPat.Reference()
+	for i := range ref {
+		if ref[i] != 0 && img[i] != ref[i] {
+			t.Fatalf("byte %d = %d, want %d: noisy did not run last", i, img[i], ref[i])
+		}
+	}
+}
+
+func TestBreakerRoutesLaterJobsOntoDegradedPath(t *testing.T) {
+	// Hard errors scoped to sieve ops on tenant a's file: the first job
+	// aborts (breaker closed, no fallback), its errors trip the breaker,
+	// and the next job routes onto naive I/O and completes cleanly.
+	fs := pfs.NewFileSystem(sim.DefaultConfig())
+	sched := pfs.NewFaultSchedule(7).Add(pfs.Rule{
+		Kind: "write", Name: "a.dat", Class: pfs.ClassIO,
+		Match: func(op pfs.Op) bool { return op.Sieve },
+	})
+	fs.SetFaultSchedule(sched)
+	s := newTestService(t, Config{FS: fs, Breakers: BreakerConfig{ErrorTrip: 1}})
+	if _, err := s.AddTenant("a", Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	err := s.SubmitWait("a", writeJob("a.dat"))
+	if err == nil || !errors.Is(err, mpiio.ErrCollectiveAbort) {
+		t.Fatalf("first job should abort collectively, got %v", err)
+	}
+	if !s.Breakers().AnyOpen() {
+		t.Fatal("injected errors did not trip a breaker")
+	}
+	if err := s.SubmitWait("a", writeJob("a.dat")); err != nil {
+		t.Fatalf("degraded-routed job failed: %v", err)
+	}
+	st := s.TenantStats()[0]
+	if st.Degraded == 0 {
+		t.Error("degraded job not counted")
+	}
+}
+
+func TestSessionStepsAndTokenRejection(t *testing.T) {
+	s := newTestService(t, Config{})
+	if _, err := s.AddTenant("a", Limits{Tokens: 3, Refill: -1}); err != nil {
+		t.Fatal(err)
+	}
+	ses, err := s.OpenSession("a", SessionSpec{
+		File: "sess.dat", Write: true, Pattern: smallPattern, CollBuf: 512, PFR: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ses.Close()
+	// Open spent 1 token; two steps spend the rest.
+	for i := 0; i < 2; i++ {
+		if err := ses.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	err = ses.Step()
+	var ae *AdmissionError
+	if !errors.As(err, &ae) || ae.Reason != RejectTokens {
+		t.Fatalf("empty bucket: %v, want AdmissionError{tokens}", err)
+	}
+	st := s.TenantStats()[0]
+	if st.Ops != 2 || st.Bytes == 0 || st.Rejected != 1 {
+		t.Fatalf("session accounting: %+v", st)
+	}
+	// A tick refills nothing (Refill -1), so steps stay rejected.
+	s.Tick()
+	if err := ses.Step(); !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("still-empty bucket: %v", err)
+	}
+}
+
+func TestWritePromRoundTrips(t *testing.T) {
+	fs := pfs.NewFileSystem(sim.DefaultConfig())
+	fs.SetFaultSchedule(pfs.NewFaultSchedule(3).AddStorm(pfs.RevokeStorm{PerGrant: 1}))
+	s := newTestService(t, Config{FS: fs})
+	if _, err := s.AddTenant("a", Limits{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddTenant("b", Limits{Tokens: 1, Refill: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitWait("a", writeJob("a.dat")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitWait("b", writeJob("b.dat")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitWait("b", writeJob("b.dat")); !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("want rejection to expose a shed sample, got %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	series, err := metrics.ParseProm(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	for _, want := range []string{
+		`flexio_tenant_jobs_total{tenant="a"}`,
+		`flexio_tenant_bytes_total{tenant="b"}`,
+		`flexio_tenant_shed_total{tenant="b",reason="queue-full"}`,
+		`flexio_ost_breaker_state{ost="0"}`,
+		`flexio_ost_faults_total{ost="0",kind="storm_revokes"}`,
+		`flexio_tenant_io_bytes_total{tenant="a"}`,
+	} {
+		if _, ok := series[want]; !ok {
+			t.Errorf("series %s missing from exposition", want)
+		}
+	}
+	if got := series[`flexio_tenant_shed_total{tenant="b",reason="queue-full"}`]; got != 1 {
+		t.Errorf("shed sample = %v, want 1", got)
+	}
+
+	// Determinism: the same submission sequence reproduces the exposition
+	// byte for byte.
+	var buf2 bytes.Buffer
+	if err := s.WriteProm(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two expositions of the same state differ")
+	}
+	if !strings.Contains(buf.String(), "# TYPE flexio_tenant_jobs_total counter") {
+		t.Error("TYPE header missing")
+	}
+}

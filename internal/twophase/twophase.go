@@ -43,6 +43,12 @@ type Impl struct {
 	// baseline has no realm flexibility: a recovered rank resumes its old
 	// fixed file domain, so the epoch is the domain layout itself.
 	journal *mpiio.WriteJournal
+	// degrade, when non-nil, enables the graceful-degradation fallback
+	// the flexio engine has: if a round's integrated sieve access fails
+	// while degrade() reports true, the aggregator re-issues the round's
+	// useful bytes with naive per-segment I/O before reporting an error.
+	// Called only on round failures; must be safe for concurrent use.
+	degrade func() bool
 }
 
 // New returns the baseline implementation.
@@ -52,6 +58,12 @@ func New() *Impl { return &Impl{} }
 // against the same journal skip rounds that were already durable when a
 // previous attempt aborted.
 func NewJournaled(j *mpiio.WriteJournal) *Impl { return &Impl{journal: j} }
+
+// NewDegradable returns the baseline with a dynamic degrade hook, the
+// tenant service's entry point for routing jobs off a failing OST: while
+// the hook reports true, failed sieve rounds fall back to naive I/O
+// (touching only useful bytes) instead of aborting the collective.
+func NewDegradable(degrade func() bool) *Impl { return &Impl{degrade: degrade} }
 
 // Name implements mpiio.Collective.
 func (*Impl) Name() string { return "romio-twophase" }
@@ -529,7 +541,14 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 						p.Metrics.NoteReplay(0, 1)
 						p.Trace.Instant1(p.Clock(), trace.RoundSkipName, trace.I(trace.RoundTag, int64(r)))
 					default:
-						if err := f.WriteSieve(span, segs, concat); err != nil {
+						err := f.WriteSieve(span, segs, concat)
+						if err != nil && i.degrade != nil && i.degrade() {
+							p.Stats.Add(stats.CDegradedRounds, 1)
+							p.Trace.Instant2(p.Clock(), "degrade",
+								trace.I(trace.RoundTag, int64(r)), trace.S("op", "write"))
+							err = f.WriteStream(segs, concat, mpiio.Naive)
+						}
+						if err != nil {
 							firstErr = fmt.Errorf("twophase: round %d: %w", r, err)
 						} else if p.PeerFailure() == nil {
 							i.journal.Commit(p.Rank(), r)
@@ -546,7 +565,14 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 					p.Trace.Begin2(tio, stats.PIO, trace.S("op", "read"), trace.I(trace.BytesTag, total))
 					rbuf := bufpool.Get(total)
 					if firstErr == nil {
-						if err := f.ReadSieve(span, segs, rbuf); err != nil {
+						err := f.ReadSieve(span, segs, rbuf)
+						if err != nil && i.degrade != nil && i.degrade() {
+							p.Stats.Add(stats.CDegradedRounds, 1)
+							p.Trace.Instant2(p.Clock(), "degrade",
+								trace.I(trace.RoundTag, int64(r)), trace.S("op", "read"))
+							err = f.ReadStream(segs, rbuf, mpiio.Naive)
+						}
+						if err != nil {
 							firstErr = fmt.Errorf("twophase: round %d: %w", r, err)
 							// Serve deterministic zeros, as a fresh buffer
 							// would have.
