@@ -11,6 +11,65 @@ import (
 // against the committed "after" entries (-benchcheck). Both at once is
 // allowed: CI records its fresh numbers as an artifact and still fails on
 // regression.
+// runPreaggSuite handles the two-level-exchange trajectory (BENCH_PR8.json).
+// With jsonPath set it measures the matrix twice — flat exchange under
+// "before", pre-aggregation plus NodeLocal realms under "after" — and saves
+// both labels. With checkPath set it measures the pre-aggregated matrix and
+// fails if any row's inter-node shuffle bytes per op regressed more than
+// 10% against the committed "after" entries.
+func runPreaggSuite(jsonPath, checkPath string) error {
+	logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	if jsonPath != "" {
+		before, err := benchsuite.MeasureAllPreagg(false, logf)
+		if err != nil {
+			return err
+		}
+		after, err := benchsuite.MeasureAllPreagg(true, logf)
+		if err != nil {
+			return err
+		}
+		f, err := benchsuite.Load(jsonPath)
+		if err != nil {
+			return err
+		}
+		f.Set("before", before)
+		f.Set("after", after)
+		if err := f.Save(jsonPath); err != nil {
+			return err
+		}
+		for i := range after {
+			if b, a := before[i].InterNodeBytesPerOp, after[i].InterNodeBytesPerOp; a > 0 {
+				fmt.Printf("%-34s internode bytes/op %12.0f -> %12.0f (%.1fx reduction)\n",
+					after[i].Name, b, a, b/a)
+			}
+		}
+		fmt.Printf("recorded %d before/after row pairs in %s\n", len(after), jsonPath)
+	}
+	if checkPath != "" {
+		fresh, err := benchsuite.MeasureAllPreagg(true, logf)
+		if err != nil {
+			return err
+		}
+		f, err := benchsuite.Load(checkPath)
+		if err != nil {
+			return err
+		}
+		baseline := f.Results["after"]
+		if len(baseline) == 0 {
+			return fmt.Errorf("preaggcheck: %s has no 'after' entries to regress against", checkPath)
+		}
+		problems := benchsuite.ComparePreagg(baseline, fresh, 0.10, 4096)
+		for _, p := range problems {
+			fmt.Printf("preaggcheck: %s\n", p)
+		}
+		if len(problems) > 0 {
+			return fmt.Errorf("preaggcheck: %d regression(s) against %s", len(problems), checkPath)
+		}
+		fmt.Printf("preaggcheck: all %d pre-aggregated rows within 10%% of the committed internode bytes\n", len(fresh))
+	}
+	return nil
+}
+
 func runBenchSuite(jsonPath, label, checkPath string) error {
 	results, err := benchsuite.MeasureAll(func(format string, args ...any) {
 		fmt.Printf(format+"\n", args...)

@@ -41,10 +41,15 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "run the tracked benchmark matrix and merge results into this JSON trajectory file")
 	benchLabel := flag.String("benchlabel", "after", "label to store -benchjson results under (e.g. before, after, ci)")
 	benchCheck := flag.String("benchcheck", "", "run the tracked benchmark matrix and fail if allocs/op regress >20% against the 'after' entries of this JSON file")
+	preaggJSON := flag.String("preaggjson", "", "run the two-level-exchange matrix with pre-aggregation off and on and record the 'before'/'after' labels in this JSON trajectory file")
+	preaggCheck := flag.String("preaggcheck", "", "run the pre-aggregated two-level-exchange matrix and fail if internode bytes/op regress >10% against the 'after' entries of this JSON file")
+	nodes := flag.Int("nodes", 0, "ranks per simulated node for the figure harness runs (0 = one rank per node)")
 	analyzeRun := flag.Bool("analyze", false, "run the diagnostic demo workload and print the collective-I/O health analyzer report")
 	metricsOut := flag.String("metrics-out", "", "run the diagnostic demo workload and write its Prometheus text exposition to this file")
 	serveAddr := flag.String("serve", "", "run the diagnostic demo workload and serve /metrics and /healthz on this address (e.g. :9090)")
 	flag.Parse()
+
+	experiments.NodeRanks = *nodes
 
 	if *analyzeRun || *metricsOut != "" || *serveAddr != "" {
 		if err := runObservability(*analyzeRun, *metricsOut, *serveAddr); err != nil {
@@ -56,6 +61,14 @@ func main() {
 
 	if *benchJSON != "" || *benchCheck != "" {
 		if err := runBenchSuite(*benchJSON, *benchLabel, *benchCheck); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *preaggJSON != "" || *preaggCheck != "" {
+		if err := runPreaggSuite(*preaggJSON, *preaggCheck); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -33,6 +33,8 @@ func main() {
 	count := flag.Int64("count", 4096, "regions per process")
 	spacing := flag.Int64("spacing", 128, "file spacing between regions in bytes")
 	aggs := flag.Int("aggs", 0, "I/O aggregators (0 = all processes)")
+	nodes := flag.Int("nodes", 0, "ranks per simulated node (0 = one rank per node)")
+	preagg := flag.Bool("preagg", false, "node-local pre-aggregation (two-level exchange); with -impl new also installs the topology-aware node-local realms unless -cyclic is set")
 	impl := flag.String("impl", "new", "collective implementation: new, old, or none")
 	method := flag.String("method", "datasieve", "buffer access method for the new code: datasieve, naive, listio, conditional")
 	comm := flag.String("comm", "nonblocking", "data exchange for the new code: nonblocking or alltoallw")
@@ -107,6 +109,7 @@ func main() {
 		MemNoncontig: !*memContig,
 		MemGap:       *spacing,
 		Enumerate:    *enumerate,
+		NodeRanks:    *nodes,
 	}
 	if err := wl.Validate(); err != nil {
 		log.Fatal(err)
@@ -115,7 +118,11 @@ func main() {
 	var coll mpiio.Collective
 	switch *impl {
 	case "old":
-		coll = twophase.New()
+		tw := twophase.New()
+		if *preagg {
+			tw.WithPreagg()
+		}
+		coll = tw
 	case "none":
 		coll = nil
 	case "new":
@@ -140,8 +147,11 @@ func main() {
 		default:
 			log.Fatalf("unknown comm %q", *comm)
 		}
+		o.Preagg = *preagg
 		if *cyclic > 0 {
 			o.Assigner = realm.Cyclic{Block: *cyclic}
+		} else if *preagg {
+			o.Assigner = realm.NodeLocal{}
 		}
 		coll = core.New(o)
 	default:

@@ -30,6 +30,7 @@ func main() {
 	steps := flag.Int("steps", 32, "time steps (one collective write each)")
 	pfr := flag.Bool("pfr", false, "persistent file realms")
 	align := flag.Int64("align", 0, "file realm alignment in bytes (0 = off; the paper uses the 2MB stripe)")
+	nodes := flag.Int("nodes", 0, "ranks per simulated node (0 = one rank per node)")
 	verify := flag.Bool("verify", false, "verify the final file image")
 	tracePath := flag.String("trace", "", "write the run's Chrome trace JSON (Perfetto-loadable) to this file")
 	breakdown := flag.Bool("breakdown", false, "print the per-phase/per-round trace breakdown")
@@ -38,6 +39,8 @@ func main() {
 	rankSpec := flag.String("rankchaos", "", "run a rank-failure scenario \"fault:victim[:cbnodes]\" (e.g. crash-mid-rounds:1) on the core engine instead of the benchmark")
 	rankSeed := flag.Int64("rankseed", 1, "rank-fault schedule seed for -rankchaos")
 	flag.Parse()
+
+	experiments.NodeRanks = *nodes
 
 	if *rankSpec != "" {
 		s, err := chaos.ParseRankSpec("core-nb", *rankSpec, *rankSeed)

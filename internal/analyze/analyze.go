@@ -209,6 +209,19 @@ func Analyze(d *metrics.Dump) []Finding {
 			float64(conf+rev)/10))
 	}
 
+	// Inter-node-heavy shuffle: ranks share nodes, yet most shuffle bytes
+	// still cross node boundaries — the traffic the two-level exchange
+	// (node-local pre-aggregation plus node-local realm placement) keeps
+	// on the cheap intra-node transport.
+	if inter, intra := c("shuffle_internode_bytes"), c("shuffle_intranode_bytes"); d.Nodes > 0 && d.Nodes < d.Ranks && inter > intra && inter > 0 {
+		frac := float64(inter) / float64(inter+intra)
+		fs = append(fs, finding(SevWarning, "internode-heavy",
+			fmt.Sprintf("%.0f%% of shuffle bytes cross node boundaries (%d inter vs %d intra) despite %d ranks sharing %d nodes",
+				frac*100, inter, intra, d.Ranks, d.Nodes),
+			"enable node-local pre-aggregation (core.Options.Preagg / twophase.WithPreagg) and the topology-aware assigner (realm.NodeLocal) so co-resident ranks merge requests before data leaves the node",
+			frac*10))
+	}
+
 	// Retry pressure: transient I/O failures being absorbed by the
 	// retry/backoff machinery — or not (giveups).
 	if give := c("io_giveups"); give > 0 {

@@ -155,3 +155,44 @@ func TestAnalyzeAbortAndRetries(t *testing.T) {
 		t.Error("retry-pressure reported alongside retry-giveup")
 	}
 }
+
+// TestAnalyzeInterNodeHeavy exercises the topology finding: multi-rank
+// nodes whose shuffle traffic mostly crosses node boundaries must be
+// flagged with the pre-aggregation hint, and the finding must stay silent
+// when the topology is one rank per node or the traffic is mostly local.
+func TestAnalyzeInterNodeHeavy(t *testing.T) {
+	d := &metrics.Dump{
+		Schema: metrics.DumpSchema,
+		Ranks:  8,
+		NAggs:  8,
+		Nodes:  2,
+		Counters: map[string]int64{
+			"shuffle_internode_bytes": 3 << 20,
+			"shuffle_intranode_bytes": 1 << 20,
+		},
+	}
+	f := get(Analyze(d), "internode-heavy")
+	if f == nil || f.Severity != SevWarning {
+		t.Fatalf("internode-heavy finding missing or wrong severity: %+v", Analyze(d))
+	}
+	if !strings.Contains(f.Summary, "75%") || !strings.Contains(f.Summary, "8 ranks sharing 2 nodes") {
+		t.Errorf("internode-heavy summary lacks triggering values: %s", f.Summary)
+	}
+	if !strings.Contains(f.Hint, "Preagg") || !strings.Contains(f.Hint, "NodeLocal") {
+		t.Errorf("internode-heavy hint lacks the remedy: %s", f.Hint)
+	}
+
+	// One rank per node: inter-node traffic is unavoidable, stay silent.
+	d.Nodes = 8
+	if get(Analyze(d), "internode-heavy") != nil {
+		t.Error("internode-heavy reported with one rank per node")
+	}
+
+	// Mostly-local traffic: the two-level exchange is already working.
+	d.Nodes = 2
+	d.Counters["shuffle_internode_bytes"] = 1 << 10
+	d.Counters["shuffle_intranode_bytes"] = 4 << 20
+	if get(Analyze(d), "internode-heavy") != nil {
+		t.Error("internode-heavy reported on mostly intra-node traffic")
+	}
+}

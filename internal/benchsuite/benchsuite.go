@@ -21,6 +21,7 @@ import (
 	"flexio/internal/mpi"
 	"flexio/internal/mpiio"
 	"flexio/internal/pfs"
+	"flexio/internal/realm"
 	"flexio/internal/sim"
 	"flexio/internal/trace"
 	"flexio/internal/twophase"
@@ -63,6 +64,21 @@ type Config struct {
 	// committed history; the edge-recording overhead guard compares the
 	// two settings.
 	Trace bool
+	// NodeRanks overrides the suite's block node-mapping width for this
+	// config (0 = the package default NodeRanks).
+	NodeRanks int
+	// Preagg enables node-local pre-aggregation (the two-level exchange)
+	// in whichever engine the config runs.
+	Preagg bool
+	// NodeLocal swaps the core engine's realm assigner for the
+	// topology-aware realm.NodeLocal policy, which places each byte range
+	// on an aggregator of the node that accesses it (ignored for
+	// twophase). Pre-aggregation only reduces inter-node shuffle bytes
+	// when paired with this placement.
+	NodeLocal bool
+	// Sim overrides the simulated cluster profile for the session's world
+	// and file system (nil = sim.DefaultConfig).
+	Sim *sim.Config
 }
 
 // NodeRanks is the block node-mapping width the suite runs under: every
@@ -131,6 +147,65 @@ func SteadyStateNames() []string {
 	}
 }
 
+// netBoundSim is the cluster profile the preagg-net rows run under: a
+// congested commodity interconnect in front of a fast storage tier, the
+// regime the two-level exchange targets — inter-node bytes are the
+// bottleneck, so eliminating them shows up directly in virtual time. The
+// default profile's rows show the placement tradeoff instead: NodeLocal
+// realms fragment aggregator file domains across the interleaved pattern,
+// so sieve spans grow while inter-node bytes vanish.
+func netBoundSim() *sim.Config {
+	c := sim.DefaultConfig()
+	c.NetBandwidth = 10e6
+	// Flash-backed, log-structured storage tier: high bandwidth, cheap
+	// calls, no mechanical seeks, and no stripe-lock revocation storms.
+	c.ServerBandwidth = 1e9
+	c.IOCallOverhead = 20e-6
+	c.SeekCost = 5e-6
+	c.LockGrantCost = 5e-6
+	c.LockRevokeCost = 20e-6
+	c.StripeLockCost = 50e-6
+	return c
+}
+
+// PreaggConfigs returns the two-level-exchange benchmark rows committed to
+// BENCH_PR8.json: the steady-state core-pfr matrix at four ranks per node,
+// under the default (disk-bound) and network-bound cluster profiles. With
+// on=false the rows run the flat exchange (Even realms, no pre-aggregation,
+// the "before" label); with on=true they run node-local pre-aggregation
+// plus the NodeLocal assigner (the "after" label). Names are identical in
+// both modes so the trajectory compares row by row. These rows are
+// deliberately not part of Default(): the BENCH_PR3 allocation gate
+// compares that matrix by name and would flag unknown rows.
+func PreaggConfigs(on bool) []Config {
+	var out []Config
+	for _, net := range []bool{false, true} {
+		prefix, simCfg := "preagg", (*sim.Config)(nil)
+		if net {
+			prefix, simCfg = "preagg-net", netBoundSim()
+		}
+		for _, comm := range []core.CommStrategy{core.Nonblocking, core.Alltoallw} {
+			for _, write := range []bool{true, false} {
+				out = append(out, Config{
+					Name:      fmt.Sprintf("%s/core-pfr/%s/%s", prefix, comm, dir(write)),
+					Engine:    "core",
+					Comm:      comm,
+					Write:     write,
+					PFR:       true,
+					Pattern:   steadyPattern,
+					Naggs:     8,
+					CollBuf:   64 << 10,
+					NodeRanks: 4,
+					Preagg:    on,
+					NodeLocal: on,
+					Sim:       simCfg,
+				})
+			}
+		}
+	}
+	return out
+}
+
 func dir(write bool) string {
 	if write {
 		return "write"
@@ -138,12 +213,27 @@ func dir(write bool) string {
 	return "read"
 }
 
+func (c Config) nodeRanks() int {
+	if c.NodeRanks > 0 {
+		return c.NodeRanks
+	}
+	return NodeRanks
+}
+
 func (c Config) info() mpiio.Info {
 	var coll mpiio.Collective
 	if c.Engine == "twophase" {
-		coll = twophase.New()
+		tw := twophase.New()
+		if c.Preagg {
+			tw.WithPreagg()
+		}
+		coll = tw
 	} else {
-		coll = core.New(core.Options{Comm: c.Comm, Persistent: c.PFR})
+		opts := core.Options{Comm: c.Comm, Persistent: c.PFR, Preagg: c.Preagg}
+		if c.NodeLocal {
+			opts.Assigner = realm.NodeLocal{}
+		}
+		coll = core.New(opts)
 	}
 	return mpiio.Info{Collective: coll, CbNodes: c.Naggs, CollBufSize: c.CollBuf}
 }
@@ -170,10 +260,14 @@ type Session struct {
 // persistent realms and engine caches reach their steady state.
 func NewSession(cfg Config) (*Session, error) {
 	wl := cfg.Pattern
+	simCfg := cfg.Sim
+	if simCfg == nil {
+		simCfg = sim.DefaultConfig()
+	}
 	s := &Session{
 		cfg:   cfg,
-		world: mpi.NewWorld(wl.Ranks, sim.DefaultConfig()),
-		fs:    pfs.NewFileSystem(sim.DefaultConfig()),
+		world: mpi.NewWorld(wl.Ranks, simCfg),
+		fs:    pfs.NewFileSystem(simCfg),
 		files: make([]*mpiio.File, wl.Ranks),
 		bufs:  make([][]byte, wl.Ranks),
 	}
@@ -181,7 +275,7 @@ func NewSession(cfg Config) (*Session, error) {
 		s.met = s.world.EnableMetrics()
 	}
 	s.comm = s.world.EnableCommMatrix()
-	s.world.SetNodeMap(mpi.BlockNodeMap(NodeRanks))
+	s.world.SetNodeMap(mpi.BlockNodeMap(cfg.nodeRanks()))
 	if cfg.Trace {
 		s.sink = s.world.EnableTracing(0)
 	}
@@ -276,6 +370,14 @@ func (s *Session) InterNodeFrac() float64 {
 	return float64(inter) / float64(inter+intra)
 }
 
+// InterNodeBytes is the cumulative shuffle byte count that crossed node
+// boundaries so far; Run deltas it across the measured loop to report
+// internode-B/op, the column the BENCH_PR8 gate regresses.
+func (s *Session) InterNodeBytes() int64 {
+	inter, _ := s.comm.NodeSplit(s.world.NodeMap())
+	return inter
+}
+
 // CritPath computes the critical-path report over everything the session
 // trace recorded so far (nil unless the config traces).
 func (s *Session) CritPath() *critpath.Report {
@@ -340,6 +442,7 @@ func Run(b *testing.B, cfg Config) {
 	}
 	b.ReportAllocs()
 	start := s.Elapsed()
+	interStart := s.InterNodeBytes()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := s.Step(); err != nil {
@@ -351,6 +454,7 @@ func Run(b *testing.B, cfg Config) {
 		b.Fatal(err)
 	}
 	b.ReportMetric((s.Elapsed()-start).Seconds()/float64(b.N), "virt-s/op")
+	b.ReportMetric(float64(s.InterNodeBytes()-interStart)/float64(b.N), "internode-B/op")
 	imb, amp, hit := s.Health()
 	b.ReportMetric(imb, "imbalance")
 	b.ReportMetric(amp, "sieve-amp")

@@ -26,6 +26,10 @@ type Result struct {
 	// configs, and zero values are omitted like the health columns above.
 	InterNodeFrac    float64 `json:"internode_frac,omitempty"`
 	CritPathCoverage float64 `json:"critpath_coverage,omitempty"`
+	// InterNodeBytesPerOp is the shuffle bytes per collective call that
+	// crossed node boundaries — the column the two-level-exchange gate
+	// (BENCH_PR8.json) regresses against.
+	InterNodeBytesPerOp float64 `json:"internode_bytes_per_op,omitempty"`
 }
 
 // File is the on-disk trajectory: label ("before", "after", ...) to the
@@ -53,16 +57,17 @@ func Measure(cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("benchsuite: %s failed to run", cfg.Name)
 	}
 	return Result{
-		Name:               cfg.Name,
-		NsPerOp:            float64(r.NsPerOp()),
-		BytesPerOp:         r.AllocedBytesPerOp(),
-		AllocsPerOp:        r.AllocsPerOp(),
-		VirtSecPerOp:       r.Extra["virt-s/op"],
-		Imbalance:          r.Extra["imbalance"],
-		SieveAmplification: r.Extra["sieve-amp"],
-		PageCacheHitRate:   r.Extra["cache-hit"],
-		InterNodeFrac:      r.Extra["internode-frac"],
-		CritPathCoverage:   r.Extra["critpath-cover"],
+		Name:                cfg.Name,
+		NsPerOp:             float64(r.NsPerOp()),
+		BytesPerOp:          r.AllocedBytesPerOp(),
+		AllocsPerOp:         r.AllocsPerOp(),
+		VirtSecPerOp:        r.Extra["virt-s/op"],
+		Imbalance:           r.Extra["imbalance"],
+		SieveAmplification:  r.Extra["sieve-amp"],
+		PageCacheHitRate:    r.Extra["cache-hit"],
+		InterNodeFrac:       r.Extra["internode-frac"],
+		CritPathCoverage:    r.Extra["critpath-cover"],
+		InterNodeBytesPerOp: r.Extra["internode-B/op"],
 	}, nil
 }
 
@@ -81,6 +86,67 @@ func MeasureAll(logf func(format string, args ...any)) ([]Result, error) {
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// MeasureAllPreagg measures the two-level-exchange matrix (PreaggConfigs)
+// with pre-aggregation plus NodeLocal realms on or off.
+func MeasureAllPreagg(on bool, logf func(format string, args ...any)) ([]Result, error) {
+	var out []Result
+	for _, cfg := range PreaggConfigs(on) {
+		res, err := Measure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if logf != nil {
+			logf("%-34s preagg=%-5v %.6f virt-s/op %12.0f internode-B/op %6.3f internode-frac",
+				res.Name, on, res.VirtSecPerOp, res.InterNodeBytesPerOp, res.InterNodeFrac)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ComparePreagg checks fresh two-level-exchange results against the
+// committed baseline label and returns one error line per regression:
+// internode bytes per op more than tolFrac worse (with an absolute grace
+// of graceBytes so near-zero baselines do not flap on a stray message).
+// Names present only on one side are reported, so the gate notices a
+// silently dropped row.
+func ComparePreagg(baseline []Result, fresh []Result, tolFrac float64, graceBytes float64) []string {
+	base := map[string]Result{}
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var problems []string
+	seen := map[string]bool{}
+	for _, r := range fresh {
+		seen[r.Name] = true
+		b, ok := base[r.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: no committed baseline entry", r.Name))
+			continue
+		}
+		limit := b.InterNodeBytesPerOp * (1 + tolFrac)
+		if limit < b.InterNodeBytesPerOp+graceBytes {
+			limit = b.InterNodeBytesPerOp + graceBytes
+		}
+		if r.InterNodeBytesPerOp > limit {
+			problems = append(problems, fmt.Sprintf(
+				"%s: internode bytes/op regressed: %.0f > limit %.0f (baseline %.0f, tolerance %.0f%%)",
+				r.Name, r.InterNodeBytesPerOp, limit, b.InterNodeBytesPerOp, tolFrac*100))
+		}
+	}
+	var missing []string
+	for name := range base {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		problems = append(problems, fmt.Sprintf("%s: committed baseline entry was not measured", name))
+	}
+	return problems
 }
 
 // Load reads a trajectory file; a missing file yields an empty trajectory.

@@ -78,6 +78,10 @@ type Scenario struct {
 	Fault Fault
 	// Seed drives the fault schedule's probability coins.
 	Seed int64
+	// Preagg enables node-local pre-aggregation, so the fault planes also
+	// exercise the two-level exchange (chaos worlds run under a node map of
+	// nodeRanks ranks per node).
+	Preagg bool
 }
 
 // Name is a stable identifier for logs, subtests, and trace file names.
@@ -89,6 +93,9 @@ func (s Scenario) Name() string {
 	n := fmt.Sprintf("%s-%s-%s-%s", s.Engine, dir, s.Method, s.Fault)
 	if s.Degraded {
 		n += "-degraded"
+	}
+	if s.Preagg {
+		n += "-pre"
 	}
 	return n
 }
@@ -164,11 +171,15 @@ func (s Scenario) schedule() *pfs.FaultSchedule {
 func (s Scenario) collective() mpiio.Collective {
 	switch s.Engine {
 	case "core-a2a":
-		return core.New(core.Options{Comm: core.Alltoallw, Method: s.Method, Degraded: s.Degraded})
+		return core.New(core.Options{Comm: core.Alltoallw, Method: s.Method, Degraded: s.Degraded, Preagg: s.Preagg})
 	case "twophase":
-		return twophase.New()
+		tw := twophase.New()
+		if s.Preagg {
+			tw.WithPreagg()
+		}
+		return tw
 	default:
-		return core.New(core.Options{Method: s.Method, Degraded: s.Degraded})
+		return core.New(core.Options{Method: s.Method, Degraded: s.Degraded, Preagg: s.Preagg})
 	}
 }
 
@@ -401,6 +412,20 @@ func Matrix() []Scenario {
 				Engine: e, Write: true, Method: mpiio.DataSieve,
 				Degraded: degraded, Fault: FaultSieveHard, Seed: 1000 + i,
 			})
+		}
+	}
+	// Pre-aggregation riding the storage-fault planes: the two-level
+	// exchange must keep agreement and integrity through retries, partial
+	// transfers, and hard round aborts on every engine and direction.
+	for _, e := range []string{"core-nb", "core-a2a", "twophase"} {
+		for _, write := range []bool{true, false} {
+			for _, f := range []Fault{FaultTransient, FaultPartial, FaultRound1} {
+				i++
+				ms = append(ms, Scenario{
+					Engine: e, Write: write, Method: mpiio.DataSieve,
+					Fault: f, Seed: 1000 + i, Preagg: true,
+				})
+			}
 		}
 	}
 	return ms

@@ -82,6 +82,10 @@ type RankScenario struct {
 	CbNodes int
 	// Seed drives the drop-rule probability coins.
 	Seed int64
+	// Preagg enables node-local pre-aggregation on the engine under test,
+	// so leader and member crashes exercise the two-level exchange's
+	// failover: the resume elects the next live co-resident leader.
+	Preagg bool
 }
 
 // Name is a stable identifier for logs, subtests, and artifact file names.
@@ -89,6 +93,9 @@ func (s RankScenario) Name() string {
 	n := fmt.Sprintf("%s-%s-v%d", s.Engine, s.Fault, s.Victim)
 	if s.CbNodes > 0 {
 		n += fmt.Sprintf("-cb%d", s.CbNodes)
+	}
+	if s.Preagg {
+		n += "-pre"
 	}
 	return n
 }
@@ -206,13 +213,17 @@ func (s RankScenario) Run() (*RankOutcome, error) {
 	}
 
 	journal := mpiio.NewWriteJournal()
-	baseOpts := core.Options{Method: mpiio.DataSieve, Journal: journal}
+	baseOpts := core.Options{Method: mpiio.DataSieve, Journal: journal, Preagg: s.Preagg}
 	if s.Engine == "core-a2a" {
 		baseOpts.Comm = core.Alltoallw
 	}
 	newColl := func() mpiio.Collective {
 		if s.Engine == "twophase" {
-			return twophase.NewJournaled(journal)
+			tw := twophase.NewJournaled(journal)
+			if s.Preagg {
+				tw.WithPreagg()
+			}
+			return tw
 		}
 		return core.New(baseOpts)
 	}
@@ -344,7 +355,11 @@ func (s RankScenario) Run() (*RankOutcome, error) {
 	var resume mpiio.Collective
 	if s.Engine == "twophase" {
 		journal.MarkResume(dead)
-		resume = twophase.NewJournaled(journal)
+		tw := twophase.NewJournaled(journal)
+		if s.Preagg {
+			tw.WithPreagg()
+		}
+		resume = tw
 	} else {
 		resume = core.ResumeCollective(baseOpts, journal, dead)
 	}
@@ -432,6 +447,21 @@ func RankMatrix() []RankScenario {
 	}
 	add("core-nb", RankCrashRead, 1, 0)
 	add("core-a2a", RankCrashRead, 1, 0)
+	// Pre-aggregation failover: nodes span nodeRanks consecutive ranks, so
+	// rank 0 leads node 0 and rank 1 is its member. A leader crash forces
+	// the resume to elect the next live co-resident (PlanNode excludes the
+	// dead set); a member crash aborts through the leader's seeded error.
+	pre := func(engine string, f RankFault, victim int) {
+		i++
+		ms = append(ms, RankScenario{
+			Engine: engine, Fault: f, Victim: victim, Seed: 7000 + i, Preagg: true,
+		})
+	}
+	for _, e := range []string{"core-nb", "core-a2a", "twophase"} {
+		pre(e, RankCrashMid, 0)     // leader dies mid-rounds
+		pre(e, RankCrashShuffle, 1) // member dies before any round data
+	}
+	pre("core-nb", RankCrashRead, 0) // leader dies mid-read: scatter must abort uniformly
 	return ms
 }
 

@@ -84,6 +84,9 @@ func RunWriteSteps(cfg *sim.Config, wl Workload, info mpiio.Info, steps int) (Re
 // reads it back collectively and verifies the data.
 func RunReadBack(cfg *sim.Config, wl Workload, info mpiio.Info) (Result, error) {
 	w := mpi.NewWorld(wl.Ranks, cfg)
+	if wl.NodeRanks > 0 {
+		w.SetNodeMap(mpi.BlockNodeMap(wl.NodeRanks))
+	}
 	fs := pfs.NewFileSystem(cfg)
 
 	// Seed the file via independent list I/O (trusted path).
@@ -157,6 +160,9 @@ func RunReadBack(cfg *sim.Config, wl Workload, info mpiio.Info) (Result, error) 
 
 func run(cfg *sim.Config, wl Workload, info mpiio.Info, write bool, steps int) (Result, error) {
 	w := mpi.NewWorld(wl.Ranks, cfg)
+	if wl.NodeRanks > 0 {
+		w.SetNodeMap(mpi.BlockNodeMap(wl.NodeRanks))
+	}
 	sink := w.EnableTracing(0)
 	met := w.EnableMetrics()
 	comm := w.EnableCommMatrix()

@@ -93,6 +93,15 @@ type Options struct {
 	// failures (never on the hot path) and must be safe for concurrent
 	// use by all ranks.
 	Degrade func() bool
+	// Preagg enables node-local pre-aggregation (two-level exchange):
+	// under the installed node map, each node's leader merges its
+	// co-residents' accesses and payload streams and exchanges with the
+	// aggregators on their behalf, so only one rank per node talks across
+	// the network. Requires a node map with multi-rank nodes to have any
+	// effect; output stays byte-identical to the per-rank exchange.
+	// Overrides TreeRequests (merged accesses have no constructor tree, so
+	// every request travels in flattened form).
+	Preagg bool
 	// Validate checks realm coverage of the aggregate access region
 	// before every call (debugging aid; O(realms) per call).
 	Validate bool
@@ -134,6 +143,11 @@ type rankScratch struct {
 	from         []int
 	heap         realmHeap
 	realmDisps   []int64
+	// Node-local pre-aggregation working set (see preagg.go).
+	pre        preaggState
+	preBufs    [][]byte
+	mergedSegs []datatype.Seg
+	leaders    []bool
 }
 
 // degradeNow reports whether a failed sieve round should fall back to
@@ -350,7 +364,15 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		p.Metrics.SetGauge(metrics.GNAggs, float64(naggs))
 		if p.Rank() == 0 {
 			p.Metrics.SetRealmContext(naggs, stripe, i.o.Align, scr.realmDisps)
+			p.Metrics.SetTopology(p.NodeCount())
 		}
+	}
+
+	// --- Node-local pre-aggregation: leaders absorb their co-residents'
+	// accesses and streams, members fall silent for the rest of the call.
+	var pre *preaggState
+	if i.o.Preagg {
+		stream, myFlat, pre = i.preaggExchange(f, scr, stream, myFlat, dataLen, write)
 	}
 
 	// --- Memoized layout lookup (client side). The key pins everything
@@ -380,6 +402,9 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	}
 	ck := clientKey{rank: p.Rank(), ft: view.Filetype, disp: view.Disp,
 		dataLen: dataLen, cb: cb, naggs: naggs, sig: sig}
+	if pre != nil {
+		ck.pre = pre.pre
+	}
 	ce := i.memo.getClient(ck)
 	clientHit := ce != nil
 	if clientHit {
@@ -393,7 +418,9 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		p.Trace.Instant2(p.Clock(), "isect_cache",
 			trace.S("side", "client"), trace.S("result", "miss"))
 		ce = &clientEntry{}
-		if i.o.TreeRequests {
+		if i.o.TreeRequests && pre == nil {
+			// A merged access has no constructor tree; pre-aggregated
+			// requests always travel in flattened form.
 			ce.enc = encodeTreeRequest(view.Filetype, myFlat.Disp, myFlat.Count, myFlat.Limit)
 		} else {
 			ce.enc = myFlat.Encode()
@@ -406,19 +433,30 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	// keyed by a hash of the bytes actually received. ---
 	t0 = p.Clock()
 	p.Trace.Begin1(t0, stats.PExchange, trace.S("what", "requests"))
-	for a := 0; a < naggs; a++ {
-		p.Stats.Add(stats.CReqBytes, int64(len(ce.enc)))
-		p.Send(a, tagFlat, ce.enc)
+	if pre == nil || pre.plan.Leads(p.Rank()) {
+		for a := 0; a < naggs; a++ {
+			p.Stats.Add(stats.CReqBytes, int64(len(ce.enc)))
+			p.Send(a, tagFlat, ce.enc)
+		}
 	}
 	var ae *aggEntry
 	var ak aggKey
 	aggHit := false
 	var flats []datatype.Flat
 	if amAgg {
+		if pre != nil {
+			// Only node leaders send merged requests; members get the same
+			// empty-access stand-in a dead rank would.
+			scr.leaders = sized(scr.leaders, p.Size())
+			p.NodeLeadersInto(scr.leaders, i.o.Journal.Dead())
+		}
 		scr.msgs = sized(scr.msgs, p.Size())
 		h := uint64(fnvOffset)
 		for c := 0; c < p.Size(); c++ {
-			msg, _ := p.Recv(c, tagFlat)
+			var msg []byte
+			if pre == nil || scr.leaders[c] {
+				msg, _ = p.Recv(c, tagFlat)
+			}
 			scr.msgs[c] = msg
 			h = fnvInt64(h, int64(len(msg)))
 			h = fnvBytes(h, msg)
@@ -451,7 +489,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 				}
 				var fl datatype.Flat
 				var err error
-				if i.o.TreeRequests {
+				if i.o.TreeRequests && pre == nil {
 					var work int64
 					fl, work, err = decodeTreeRequest(msg)
 					expand += work
@@ -583,10 +621,17 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		}
 	}
 
+	var preErr error
+	if pre != nil {
+		preErr = pre.err
+	}
 	if write {
-		err = i.writeRounds(f, scr, stream, realms, myPieces, aggPieces, ntimes, naggs, method)
+		err = i.writeRounds(f, scr, stream, realms, myPieces, aggPieces, ntimes, naggs, method, preErr)
 	} else {
-		err = i.readRounds(f, scr, stream, realms, myPieces, aggPieces, ntimes, naggs, method)
+		err = i.readRounds(f, scr, stream, realms, myPieces, aggPieces, ntimes, naggs, method, preErr)
+		if pre != nil {
+			stream, err = i.preaggScatter(f, scr, stream, pre, dataLen, err)
+		}
 	}
 
 	// Synchronize before reporting: a rank that hit a local I/O error
@@ -632,7 +677,8 @@ func (i *Impl) realms(f *mpiio.File, naggs int, aarSt, aarEn, dataLen int64) ([]
 		}
 	}
 	if i.o.Assigner.NeedsSegs() {
-		ctx.AllSegs = i.gatherAllSegs(f, dataLen)
+		ctx.AllSegs, ctx.RankSegs = i.gatherAllSegs(f, dataLen)
+		ctx.NodeOf = f.Proc().Node
 	}
 	realms, err := i.o.Assigner.Assign(ctx)
 	if err != nil {
@@ -645,17 +691,20 @@ func (i *Impl) realms(f *mpiio.File, naggs int, aarSt, aarEn, dataLen int64) ([]
 }
 
 // gatherAllSegs builds the combined flattened access of every rank — the
-// O(M) exchange some assigners (load balancing) genuinely need.
-func (i *Impl) gatherAllSegs(f *mpiio.File, dataLen int64) []datatype.Seg {
+// O(M) exchange some assigners (load balancing) genuinely need — and the
+// per-rank lists topology-aware assigners attribute to nodes.
+func (i *Impl) gatherAllSegs(f *mpiio.File, dataLen int64) ([]datatype.Seg, [][]datatype.Seg) {
 	p := f.Proc()
 	mine := f.ResolveAccess(dataLen)
 	all := p.Allgather(datatype.EncodeSegs(mine))
+	perRank := make([][]datatype.Seg, p.Size())
 	var merged []datatype.Seg
-	for _, enc := range all {
+	for r, enc := range all {
 		segs, err := datatype.DecodeSegs(enc)
 		if err != nil {
 			continue
 		}
+		perRank[r] = segs
 		merged = append(merged, segs...)
 	}
 	slices.SortFunc(merged, func(a, b datatype.Seg) int {
@@ -678,7 +727,7 @@ func (i *Impl) gatherAllSegs(f *mpiio.File, dataLen int64) []datatype.Seg {
 		out = append(out, s)
 	}
 	f.ChargePairs(int64(len(merged)))
-	return out
+	return out, perRank
 }
 
 // assembleEntries merges per-client round pieces into file-offset order.
@@ -802,7 +851,7 @@ func roundIov(scr *rankScratch, size int) [][][]byte {
 }
 
 func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realms []realm.Realm,
-	myPieces []*roundPieces, aggPieces []*roundPieces, ntimes, naggs int, method mpiio.Method) error {
+	myPieces []*roundPieces, aggPieces []*roundPieces, ntimes, naggs int, method mpiio.Method, preErr error) error {
 
 	p := f.Proc()
 	cfg := p.Config()
@@ -818,7 +867,7 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 	// flush always runs before the next round's merge refills it.
 	var pendSegs []datatype.Seg
 	var pendData []byte
-	var firstErr error
+	firstErr := preErr // a leader's failed pre-aggregation aborts round 0
 	j := i.o.Journal
 
 	flush := func(round int) {
@@ -1030,12 +1079,12 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 }
 
 func (i *Impl) readRounds(f *mpiio.File, scr *rankScratch, stream []byte, realms []realm.Realm,
-	myPieces []*roundPieces, aggPieces []*roundPieces, ntimes, naggs int, method mpiio.Method) error {
+	myPieces []*roundPieces, aggPieces []*roundPieces, ntimes, naggs int, method mpiio.Method, preErr error) error {
 
 	p := f.Proc()
 	cfg := p.Config()
 	amAgg := p.Rank() < naggs && aggPieces != nil
-	var firstErr error
+	firstErr := preErr // a leader's failed pre-aggregation aborts round 0
 
 	for r := 0; r < ntimes; r++ {
 		f.SetRound(r)

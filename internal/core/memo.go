@@ -41,6 +41,13 @@ type clientKey struct {
 	cb      int64
 	naggs   int
 	sig     uint64 // realmSignature of the realm set
+	// pre discriminates node-local pre-aggregation shapes: 0 when the rank
+	// exchanges its own access (pre-aggregation off, or a leader with no
+	// members — identical piece lists either way), 1 for a member whose
+	// effective access is empty, and a hash of the members' request
+	// encodings for a leader, whose merged pieces depend on every
+	// co-resident's access, not just the fields above.
+	pre uint64
 }
 
 type clientEntry struct {

@@ -1,0 +1,100 @@
+package datatype
+
+import "sort"
+
+// Stream merging for node-local pre-aggregation: a leader rank combines the
+// flattened accesses of its co-resident ranks into one offset-sorted,
+// coalesced access whose packed stream it exchanges with the aggregators on
+// everyone's behalf. The plan below is the bidirectional byte map between
+// each participant's own packed stream and the merged stream — the leader
+// gathers member payloads through it on writes and scatters aggregator
+// payloads back through it on reads.
+//
+// The merged access is the deduplicated union of the participants' byte
+// sets: a byte two members both touch appears once in the merged stream.
+// For reads that is a small bonus (shared bytes cross the network once);
+// for writes, overlapping concurrent accesses are undefined behavior under
+// MPI semantics, and the plan resolves them deterministically (the copy
+// order below makes the highest (Part, SrcPos) pair win).
+
+// MergeItem maps one contiguous run of a participant's packed data stream
+// onto the merged stream. Off is the absolute file offset of the run,
+// SrcPos its position in the participant's own stream, and DstPos (filled
+// by BuildMergePlan) its position in the merged stream.
+type MergeItem struct {
+	Off    int64
+	Len    int64
+	Part   int
+	SrcPos int64
+	DstPos int64
+}
+
+// AppendFlatRuns appends one MergeItem per contiguous run of f's access
+// (absolute offsets, limit respected, stream order) tagged with the given
+// participant index, and returns the extended slice.
+func AppendFlatRuns(items []MergeItem, f Flat, part int) []MergeItem {
+	c := f.Cursor()
+	for {
+		seg, sp, ok := c.Next(1 << 62)
+		if !ok {
+			break
+		}
+		items = append(items, MergeItem{Off: seg.Off, Len: seg.Len, Part: part, SrcPos: sp})
+	}
+	return items
+}
+
+// AppendSegRuns appends one MergeItem per segment of an already-flattened
+// absolute access list (stream order = list order), tagged with the given
+// participant index, and returns the extended slice.
+func AppendSegRuns(items []MergeItem, segs []Seg, part int) []MergeItem {
+	var pos int64
+	for _, s := range segs {
+		if s.Len > 0 {
+			items = append(items, MergeItem{Off: s.Off, Len: s.Len, Part: part, SrcPos: pos})
+		}
+		pos += s.Len
+	}
+	return items
+}
+
+// BuildMergePlan sorts the items by file offset (ties by participant, then
+// source position), computes the deduplicated union of their byte ranges as
+// an offset-sorted, coalesced segment list appended to merged[:0], and
+// fills each item's DstPos with the run's position in the merged stream.
+// Every item maps to one contiguous destination run: items are sorted, so
+// a run overlapping existing coverage overlaps only the coverage tail, and
+// any extension appends contiguously right after it. Returns the updated
+// items, the merged segments, and the merged stream's total byte count.
+func BuildMergePlan(items []MergeItem, merged []Seg) ([]MergeItem, []Seg, int64) {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].Off != items[j].Off {
+			return items[i].Off < items[j].Off
+		}
+		if items[i].Part != items[j].Part {
+			return items[i].Part < items[j].Part
+		}
+		return items[i].SrcPos < items[j].SrcPos
+	})
+	merged = merged[:0]
+	var total int64
+	for i := range items {
+		it := &items[i]
+		if n := len(merged); n > 0 && it.Off <= merged[n-1].End() {
+			last := &merged[n-1]
+			it.DstPos = (total - last.Len) + (it.Off - last.Off)
+			if ext := it.End() - last.End(); ext > 0 {
+				last.Len += ext
+				total += ext
+			}
+		} else {
+			it.DstPos = total
+			merged = append(merged, Seg{Off: it.Off, Len: it.Len})
+			total += it.Len
+		}
+	}
+	return items, merged, total
+}
+
+// End returns the first offset past the item's run.
+func (m MergeItem) End() int64 { return m.Off + m.Len }

@@ -1,0 +1,200 @@
+package datatype
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestAppendSegRuns(t *testing.T) {
+	segs := []Seg{{Off: 10, Len: 4}, {Off: 20, Len: 0}, {Off: 30, Len: 6}}
+	items := AppendSegRuns(nil, segs, 2)
+	want := []MergeItem{
+		{Off: 10, Len: 4, Part: 2, SrcPos: 0},
+		{Off: 30, Len: 6, Part: 2, SrcPos: 4},
+	}
+	if !reflect.DeepEqual(items, want) {
+		t.Fatalf("AppendSegRuns = %+v, want %+v", items, want)
+	}
+}
+
+func TestAppendFlatRuns(t *testing.T) {
+	// Two tiles of a 3-byte region strided by 10, displaced by 100.
+	ft := Must(Resized(Bytes(3), 10))
+	fl := FlatOf(ft, 100, 2)
+	items := AppendFlatRuns(nil, fl, 1)
+	want := []MergeItem{
+		{Off: 100, Len: 3, Part: 1, SrcPos: 0},
+		{Off: 110, Len: 3, Part: 1, SrcPos: 3},
+	}
+	if !reflect.DeepEqual(items, want) {
+		t.Fatalf("AppendFlatRuns = %+v, want %+v", items, want)
+	}
+}
+
+// TestBuildMergePlanShapes pins the union geometry: disjoint, adjacent,
+// fully contained, partially overlapping, and duplicated runs.
+func TestBuildMergePlanShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		items []MergeItem
+		segs  []Seg
+		total int64
+	}{
+		{"disjoint",
+			[]MergeItem{{Off: 0, Len: 4, Part: 0}, {Off: 10, Len: 4, Part: 1}},
+			[]Seg{{0, 4}, {10, 4}}, 8},
+		{"adjacent-coalesce",
+			[]MergeItem{{Off: 0, Len: 4, Part: 0}, {Off: 4, Len: 4, Part: 1}},
+			[]Seg{{0, 8}}, 8},
+		{"contained",
+			[]MergeItem{{Off: 0, Len: 10, Part: 0}, {Off: 2, Len: 3, Part: 1}},
+			[]Seg{{0, 10}}, 10},
+		{"partial-overlap",
+			[]MergeItem{{Off: 0, Len: 6, Part: 0}, {Off: 4, Len: 6, Part: 1}},
+			[]Seg{{0, 10}}, 10},
+		{"duplicate",
+			[]MergeItem{{Off: 5, Len: 5, Part: 0}, {Off: 5, Len: 5, Part: 1}},
+			[]Seg{{5, 5}}, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			items, merged, total := BuildMergePlan(tc.items, nil)
+			if !reflect.DeepEqual(merged, tc.segs) || total != tc.total {
+				t.Fatalf("merged = %v (total %d), want %v (total %d)", merged, total, tc.segs, tc.total)
+			}
+			// Every item's destination run must land exactly where its file
+			// range sits inside the merged stream.
+			for _, it := range items {
+				var pos int64
+				for _, s := range merged {
+					if it.Off >= s.Off && it.End() <= s.End() {
+						want := pos + (it.Off - s.Off)
+						if it.DstPos != want {
+							t.Fatalf("item %+v: DstPos %d, want %d", it, it.DstPos, want)
+						}
+						break
+					}
+					pos += s.Len
+				}
+			}
+		})
+	}
+}
+
+// TestBuildMergePlanRandom is the end-to-end property: gathering every
+// participant's bytes through the plan must reproduce exactly the bytes a
+// direct per-byte union would, with later (Part, SrcPos) pairs winning
+// overlaps — and scattering back must return each participant its own
+// window of the merged image.
+func TestBuildMergePlanRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		const fileLen = 256
+		nparts := 1 + rng.Intn(4)
+		var items []MergeItem
+		streams := make([][]byte, nparts)
+		covered := make([]bool, fileLen)
+		for part := 0; part < nparts; part++ {
+			var segs []Seg
+			off := int64(rng.Intn(20))
+			for off < fileLen-20 && rng.Intn(4) > 0 {
+				l := int64(1 + rng.Intn(12))
+				segs = append(segs, Seg{Off: off, Len: l})
+				off += l + int64(rng.Intn(15))
+			}
+			items = AppendSegRuns(items, segs, part)
+			var n int64
+			for _, s := range segs {
+				n += s.Len
+			}
+			streams[part] = make([]byte, n)
+			rng.Read(streams[part])
+			for _, s := range segs {
+				for b := s.Off; b < s.End(); b++ {
+					covered[b] = true
+				}
+			}
+		}
+		items, merged, total := BuildMergePlan(items, nil)
+
+		// Reference image: replay the plan's own copy order byte-by-byte at
+		// file granularity (overlaps resolve to whichever run copies last).
+		type ref struct {
+			part int
+			pos  int64
+		}
+		image := make([]ref, fileLen)
+		for _, it := range items {
+			for b := int64(0); b < it.Len; b++ {
+				image[it.Off+b] = ref{it.Part, it.SrcPos + b}
+			}
+		}
+
+		// Coverage: merged must be exactly the covered byte set, coalesced.
+		var unionLen int64
+		for _, c := range covered {
+			if c {
+				unionLen++
+			}
+		}
+		if total != unionLen {
+			t.Fatalf("trial %d: total %d, union %d", trial, total, unionLen)
+		}
+		for i, s := range merged {
+			if s.Len <= 0 {
+				t.Fatalf("trial %d: empty merged seg %v", trial, s)
+			}
+			if i > 0 && s.Off <= merged[i-1].End() {
+				t.Fatalf("trial %d: merged segs not disjoint-sorted: %v", trial, merged)
+			}
+		}
+
+		// Gather (write direction): items in plan order, like the engines do.
+		out := make([]byte, total)
+		for _, it := range items {
+			copy(out[it.DstPos:it.DstPos+it.Len], streams[it.Part][it.SrcPos:it.SrcPos+it.Len])
+		}
+		want := make([]byte, 0, total)
+		for _, s := range merged {
+			for b := s.Off; b < s.End(); b++ {
+				r := image[b]
+				want = append(want, streams[r.part][r.pos])
+			}
+		}
+		if !bytes.Equal(out, want) {
+			t.Fatalf("trial %d: gathered stream differs from reference union", trial)
+		}
+
+		// Scatter (read direction): each participant must get back its own
+		// bytes of the merged image.
+		for part := 0; part < nparts; part++ {
+			got := make([]byte, len(streams[part]))
+			for _, it := range items {
+				if it.Part == part {
+					copy(got[it.SrcPos:it.SrcPos+it.Len], out[it.DstPos:it.DstPos+it.Len])
+				}
+			}
+			// Reference scatter straight from file positions.
+			wantP := make([]byte, len(streams[part]))
+			for _, it := range items {
+				if it.Part != part {
+					continue
+				}
+				var pos int64
+				for _, s := range merged {
+					if it.Off >= s.Off && it.End() <= s.End() {
+						start := pos + (it.Off - s.Off)
+						copy(wantP[it.SrcPos:it.SrcPos+it.Len], out[start:start+it.Len])
+						break
+					}
+					pos += s.Len
+				}
+			}
+			if !bytes.Equal(got, wantP) {
+				t.Fatalf("trial %d part %d: scattered bytes differ", trial, part)
+			}
+		}
+	}
+}

@@ -28,6 +28,12 @@ var (
 	LastStats     *stats.Recorder
 )
 
+// NodeRanks, when positive, places every NodeRanks consecutive ranks on one
+// simulated node for every harness run (cmd/flexio-bench's -nodes flag).
+// Zero keeps the default one-rank-per-node topology, under which the
+// intra-node fast path and pre-aggregation never engage.
+var NodeRanks int
+
 // Point is one measurement: X is the sweep coordinate label, Value the
 // metric (MB/s unless the table says otherwise).
 type Point struct {
@@ -106,6 +112,9 @@ func RunSteps(cfg *sim.Config, ranks int, info mpiio.Info, steps int,
 	spec func(step, rank int) StepSpec) (RunResult, error) {
 
 	w := mpi.NewWorld(ranks, cfg)
+	if NodeRanks > 0 {
+		w.SetNodeMap(mpi.BlockNodeMap(NodeRanks))
+	}
 	if TraceCapacity > 0 {
 		w.EnableTracing(TraceCapacity)
 	}

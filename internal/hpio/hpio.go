@@ -45,6 +45,10 @@ type Pattern struct {
 	// paper's "vector type enumerating the entire access") instead of
 	// the succinct one-region tiled form (D == 1, the "struct" form).
 	Enumerate bool
+	// NodeRanks, when positive, places every NodeRanks consecutive ranks
+	// on one simulated node (mpi.BlockNodeMap); zero keeps the default of
+	// one rank per node.
+	NodeRanks int
 }
 
 // Validate reports whether the pattern is well formed.

@@ -41,6 +41,7 @@ type Flight struct {
 	mu         sync.Mutex
 	ranks      []FlightRank
 	naggs      int
+	nodes      int
 	stripe     int64
 	align      int64
 	disps      []int64
@@ -190,6 +191,18 @@ func (f *Flight) setContext(naggs int, stripe, align int64, disps []int64) {
 	f.disps = append(f.disps[:0], disps...)
 }
 
+// setTopology records the node count of the world's installed node map, so
+// dumps (and the analyzer) can relate the inter/intra-node shuffle split to
+// ranks-per-node. Compare-and-skip keeps steady-state calls lock-cheap and
+// allocation-free.
+func (f *Flight) setTopology(nodes int) {
+	f.mu.Lock()
+	if f.nodes != nodes {
+		f.nodes = nodes
+	}
+	f.mu.Unlock()
+}
+
 // noteAbort records the first collective abort (later ones keep the first
 // context, which is the round the failure actually surfaced at).
 func (f *Flight) noteAbort(round int, class string) {
@@ -208,7 +221,7 @@ func (f *Flight) reset() {
 		return
 	}
 	f.mu.Lock()
-	f.naggs, f.stripe, f.align = 0, 0, 0
+	f.naggs, f.nodes, f.stripe, f.align = 0, 0, 0, 0
 	f.disps = f.disps[:0]
 	f.abortRound, f.abortClass = -1, ""
 	f.failover = nil
@@ -255,6 +268,7 @@ type Dump struct {
 	Schema     string           `json:"schema"`
 	Ranks      int              `json:"ranks"`
 	NAggs      int              `json:"naggs"`
+	Nodes      int              `json:"nodes,omitempty"`
 	StripeSize int64            `json:"stripe_size"`
 	Align      int64            `json:"align,omitempty"`
 	RealmDisps []int64          `json:"realm_disps,omitempty"`
@@ -283,6 +297,7 @@ func (s *Set) Dump(full bool) *Dump {
 	f.mu.Lock()
 	d.Ranks = len(f.ranks)
 	d.NAggs = f.naggs
+	d.Nodes = f.nodes
 	d.StripeSize = f.stripe
 	d.Align = f.align
 	if len(f.disps) > 0 {

@@ -94,6 +94,7 @@ const (
 	// totals match the stats time buckets exactly: both are fed by the
 	// same mpi.Proc.ChargeTime calls.
 	HPhaseFlatten Hist = iota
+	HPhasePreagg
 	HPhaseExchange
 	HPhaseComm
 	HPhaseIO
@@ -163,6 +164,7 @@ var histMeta = [numHists]struct {
 	labelVal string
 }{
 	HPhaseFlatten:   {"phase_seconds", "virtual seconds per phase charge", "phase", stats.PFlatten},
+	HPhasePreagg:    {"phase_seconds", "virtual seconds per phase charge", "phase", stats.PPreagg},
 	HPhaseExchange:  {"phase_seconds", "virtual seconds per phase charge", "phase", stats.PExchange},
 	HPhaseComm:      {"phase_seconds", "virtual seconds per phase charge", "phase", stats.PComm},
 	HPhaseIO:        {"phase_seconds", "virtual seconds per phase charge", "phase", stats.PIO},
@@ -190,6 +192,8 @@ func phaseHist(phase string) (Hist, bool) {
 	switch phase {
 	case stats.PFlatten:
 		return HPhaseFlatten, true
+	case stats.PPreagg:
+		return HPhasePreagg, true
 	case stats.PExchange:
 		return HPhaseExchange, true
 	case stats.PComm:
@@ -211,6 +215,7 @@ func phaseHist(phase string) (Hist, bool) {
 func PhaseHists() map[string]Hist {
 	return map[string]Hist{
 		stats.PFlatten:  HPhaseFlatten,
+		stats.PPreagg:   HPhasePreagg,
 		stats.PExchange: HPhaseExchange,
 		stats.PComm:     HPhaseComm,
 		stats.PIO:       HPhaseIO,
@@ -321,6 +326,15 @@ func (r *Registry) SetRealmContext(naggs int, stripe, align int64, disps []int64
 		return
 	}
 	r.fr.f.setContext(naggs, stripe, align, disps)
+}
+
+// SetTopology records how many distinct nodes the world's node map spreads
+// the ranks across, for the flight recorder's dump context.
+func (r *Registry) SetTopology(nodes int) {
+	if r == nil || r.fr == nil {
+		return
+	}
+	r.fr.f.setTopology(nodes)
 }
 
 // NoteAbort marks a collective abort (ErrCollectiveAbort) at the given

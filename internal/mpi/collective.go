@@ -504,12 +504,10 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 	enter := p.clock
 	vals, m, ver, seq, by := p.w.coll.exchange(p.rank, p.clock, send)
 	out := make([][]byte, p.w.size)
-	var sent, recvd int64
+	var vol vectorVolume
 	for d, b := range send {
 		p.recordVectorRow(d, int64(len(b)))
-		if d != p.rank {
-			sent += int64(len(b))
-		}
+		vol.addSend(p, d, int64(len(b)))
 	}
 	for s, v := range vals {
 		row, ok := v.([][]byte)
@@ -517,20 +515,61 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 			continue // crashed rank: leave out[s] nil
 		}
 		out[s] = row[p.rank]
-		if s != p.rank {
-			recvd += int64(len(out[s]))
-		}
+		vol.addRecv(p, s, int64(len(out[s])))
 	}
-	vol := sent
-	if recvd > vol {
-		vol = recvd
-	}
-	p.clock = sim.Max(p.clock, m) + p.treeLatency() + p.w.cfg.TransferTime(vol)
-	p.Stats.Add(stats.CBytesComm, sent)
-	p.Metrics.Add(metrics.CCommBytes, sent)
+	p.clock = sim.Max(p.clock, m) + p.treeLatency() + vol.transferTime(p)
+	p.Stats.Add(stats.CBytesComm, vol.sent())
+	p.Metrics.Add(metrics.CCommBytes, vol.sent())
 	p.traceColl(enter, seq, by)
 	p.noteVer(ver)
 	return out
+}
+
+// vectorVolume accumulates a vector collective's per-destination byte
+// counts split by the node map, so inter-node traffic pays the network
+// price while same-node rows move at the intra-node bandwidth.
+type vectorVolume struct {
+	sentInter, sentIntra   int64
+	recvdInter, recvdIntra int64
+}
+
+func (v *vectorVolume) addSend(p *Proc, dst int, n int64) {
+	if dst == p.rank {
+		return
+	}
+	if p.w.node(p.rank) == p.w.node(dst) {
+		v.sentIntra += n
+	} else {
+		v.sentInter += n
+	}
+}
+
+func (v *vectorVolume) addRecv(p *Proc, src int, n int64) {
+	if src == p.rank {
+		return
+	}
+	if p.w.node(p.rank) == p.w.node(src) {
+		v.recvdIntra += n
+	} else {
+		v.recvdInter += n
+	}
+}
+
+func (v *vectorVolume) sent() int64 { return v.sentInter + v.sentIntra }
+
+// transferTime prices the exchange as the sum of the two links' bottleneck
+// volumes: the NIC carries max(sent, received) inter-node bytes while the
+// shared-memory path carries max(sent, received) same-node bytes.
+func (v *vectorVolume) transferTime(p *Proc) sim.Time {
+	inter := v.sentInter
+	if v.recvdInter > inter {
+		inter = v.recvdInter
+	}
+	intra := v.sentIntra
+	if v.recvdIntra > intra {
+		intra = v.recvdIntra
+	}
+	return p.w.cfg.TransferTime(inter) + p.w.cfg.IntraNodeTransferTime(intra)
 }
 
 // AlltoallvIov is Alltoallv with iovec-style payloads: send[d] is a list
@@ -549,16 +588,14 @@ func (p *Proc) AlltoallvIov(send [][][]byte) [][][]byte {
 	enter := p.clock
 	vals, m, ver, seq, by := p.w.coll.exchange(p.rank, p.clock, send)
 	out := make([][][]byte, p.w.size)
-	var sent, recvd int64
+	var vol vectorVolume
 	for d, iov := range send {
 		var row int64
 		for _, b := range iov {
 			row += int64(len(b))
 		}
 		p.recordVectorRow(d, row)
-		if d != p.rank {
-			sent += row
-		}
+		vol.addSend(p, d, row)
 	}
 	for s, v := range vals {
 		row, ok := v.([][][]byte)
@@ -566,20 +603,15 @@ func (p *Proc) AlltoallvIov(send [][][]byte) [][][]byte {
 			continue // crashed rank: leave out[s] nil
 		}
 		out[s] = row[p.rank]
-		if s == p.rank {
-			continue
-		}
+		var got int64
 		for _, b := range out[s] {
-			recvd += int64(len(b))
+			got += int64(len(b))
 		}
+		vol.addRecv(p, s, got)
 	}
-	vol := sent
-	if recvd > vol {
-		vol = recvd
-	}
-	p.clock = sim.Max(p.clock, m) + p.treeLatency() + p.w.cfg.TransferTime(vol)
-	p.Stats.Add(stats.CBytesComm, sent)
-	p.Metrics.Add(metrics.CCommBytes, sent)
+	p.clock = sim.Max(p.clock, m) + p.treeLatency() + vol.transferTime(p)
+	p.Stats.Add(stats.CBytesComm, vol.sent())
+	p.Metrics.Add(metrics.CCommBytes, vol.sent())
 	p.traceColl(enter, seq, by)
 	p.noteVer(ver)
 	return out

@@ -222,11 +222,19 @@ func (p *Proc) completeRecv(post sim.Time, e *envelope) bool {
 
 // arrivalTime computes when a message posted for receive at `post` is fully
 // delivered. Remote transfers occupy the receiver's link back to back, so
-// concurrent senders to one rank serialize on its NIC.
+// concurrent senders to one rank serialize on its NIC. Messages between two
+// ranks the node map places on the same node never touch the NIC: they move
+// at the intra-node (shared-memory) bandwidth and latency instead of the
+// network's, which is what makes node-local pre-aggregation near-free under
+// the topology-aware cost model.
 func (p *Proc) arrivalTime(post sim.Time, e *envelope) sim.Time {
 	start := sim.Max(post, e.stamp)
 	if e.src == p.rank {
 		return start + p.w.cfg.MemcpyTime(int64(len(e.data)))
+	}
+	if p.w.node(e.src) == p.w.node(p.rank) {
+		return start + p.w.cfg.IntraNodeTransferTime(int64(len(e.data))) +
+			p.w.cfg.IntraNodeHopLatency()
 	}
 	start = sim.Max(start, p.nicBusy)
 	p.nicBusy = start + p.w.cfg.TransferTime(int64(len(e.data)))

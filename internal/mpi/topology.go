@@ -1,0 +1,130 @@
+package mpi
+
+// Topology helpers for node-local pre-aggregation. The installed node map
+// (SetNodeMap) is the single source of truth for rank placement; everything
+// here is a pure, deterministic function of it, so every rank computes the
+// same election without communicating.
+
+// Node returns the simulated node hosting rank r under the installed node
+// map (identity when no map is installed).
+func (p *Proc) Node(r int) int { return p.w.node(r) }
+
+// NodeCount returns the number of distinct nodes the installed node map
+// spreads the world across.
+func (p *Proc) NodeCount() int { return p.w.NodeCount() }
+
+// NodeCount returns the number of distinct nodes under the installed node
+// map (= world size when no map is installed). The count is cached at
+// SetNodeMap time so per-operation callers stay allocation-free.
+func (w *World) NodeCount() int { return w.nodes }
+
+// countNodes recomputes the distinct-node count under the current map.
+func (w *World) countNodes() int {
+	seen := make(map[int]bool, w.size)
+	for r := 0; r < w.size; r++ {
+		seen[w.node(r)] = true
+	}
+	return len(seen)
+}
+
+// NodeLeadersInto fills leaders[r] = true for every rank that leads its
+// node under the current map and the given dead set (see PlanNode).
+// leaders must have world-size length. Aggregators use it to know which
+// ranks will send merged requests when pre-aggregation is on. The fill is
+// allocation-free so the steady state stays within the benchmark gates.
+func (p *Proc) NodeLeadersInto(leaders []bool, dead []int) {
+	w := p.w
+	isDead := func(r int) bool {
+		for _, d := range dead {
+			if d == r {
+				return true
+			}
+		}
+		return false
+	}
+	for r := 0; r < w.size; r++ {
+		node := w.node(r)
+		leader, lowest := -1, -1
+		for c := 0; c < w.size; c++ {
+			if w.node(c) != node {
+				continue
+			}
+			if lowest < 0 {
+				lowest = c
+			}
+			if !isDead(c) {
+				leader = c
+				break
+			}
+		}
+		if leader < 0 {
+			leader = lowest
+		}
+		leaders[r] = leader == r
+	}
+}
+
+// NodePlan is one rank's view of the node-local pre-aggregation roster:
+// which rank leads its node and, when this rank is the leader, which
+// co-resident ranks forward through it. Every rank derives the identical
+// plan from the node map and the (journal-supplied) dead set, so leaders
+// and members agree without a rendezvous.
+type NodePlan struct {
+	// Leader is the rank elected to front this rank's node: the lowest
+	// rank on the node not listed dead (falling back to the lowest rank
+	// outright when the whole node is listed). Leader == the planning
+	// rank means it leads.
+	Leader int
+	// Members lists the node's other ranks, ascending — the ranks whose
+	// requests and payloads the leader merges. Only meaningful on the
+	// leader; empty elsewhere and when the node holds a single rank.
+	Members []int
+}
+
+// Leads reports whether the planning rank is its node's leader.
+func (n NodePlan) Leads(rank int) bool { return n.Leader == rank }
+
+// PlanNode computes rank's pre-aggregation roster. dead lists ranks a
+// resume knows to have failed: they are never elected leader (mirroring
+// realm.Failover demoting dead aggregators) but still appear as members,
+// since a resumed world revives them as ordinary participants.
+func (p *Proc) PlanNode(dead []int) NodePlan {
+	return planNode(p.w.size, p.w.node, p.rank, dead)
+}
+
+func planNode(size int, nodeOf func(int) int, rank int, dead []int) NodePlan {
+	isDead := func(r int) bool {
+		for _, d := range dead {
+			if d == r {
+				return true
+			}
+		}
+		return false
+	}
+	myNode := nodeOf(rank)
+	plan := NodePlan{Leader: -1}
+	lowest := -1
+	for r := 0; r < size; r++ {
+		if nodeOf(r) != myNode {
+			continue
+		}
+		if lowest < 0 {
+			lowest = r
+		}
+		if plan.Leader < 0 && !isDead(r) {
+			plan.Leader = r
+		}
+	}
+	if plan.Leader < 0 {
+		plan.Leader = lowest // whole node listed dead: lowest rank fronts it anyway
+	}
+	if plan.Leader != rank {
+		return plan
+	}
+	for r := 0; r < size; r++ {
+		if r != rank && nodeOf(r) == myNode {
+			plan.Members = append(plan.Members, r)
+		}
+	}
+	return plan
+}

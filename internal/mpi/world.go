@@ -53,6 +53,9 @@ type World struct {
 	// nodeOf maps ranks to simulated nodes for the inter/intra-node
 	// shuffle-byte split (nil = one rank per node).
 	nodeOf func(rank int) int
+	// nodes caches the distinct-node count under nodeOf, recomputed by
+	// SetNodeMap so per-op NodeCount calls stay allocation-free.
+	nodes int
 }
 
 // NewWorld creates a communicator with size ranks using the given cost
@@ -71,6 +74,7 @@ func NewWorld(size int, cfg *sim.Config) *World {
 		boxes: make([]*mailbox, size),
 		coll:  newCollSync(size),
 		procs: make([]*Proc, size),
+		nodes: size,
 	}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
@@ -179,7 +183,10 @@ func (w *World) CommMatrix() *CommMatrix { return w.comm }
 // into inter-node vs. intra-node (the ROADMAP's shuffle_internode_bytes).
 // nil restores the default of one rank per node (all traffic inter-node).
 // Call it before Run.
-func (w *World) SetNodeMap(nodeOf func(rank int) int) { w.nodeOf = nodeOf }
+func (w *World) SetNodeMap(nodeOf func(rank int) int) {
+	w.nodeOf = nodeOf
+	w.nodes = w.countNodes()
+}
 
 // NodeMap returns the installed rank→node placement (nil = one rank per
 // node).

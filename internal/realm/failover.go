@@ -89,6 +89,12 @@ func (f Failover) Assign(ctx Context) ([]Realm, error) {
 	}
 	sub := ctx
 	sub.NAggs = len(live)
+	// Preserve true rank placements for topology-aware base policies: slot
+	// i of the sub-assignment is survivor live[i].
+	sub.AggRanks = make([]int, len(live))
+	for i, a := range live {
+		sub.AggRanks[i] = ctx.AggRank(a)
+	}
 	realms, err := f.Base.Assign(sub)
 	if err != nil {
 		return nil, err

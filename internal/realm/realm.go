@@ -76,6 +76,27 @@ type Context struct {
 	// and coalesced. It is populated only for assigners whose NeedsSegs
 	// returns true (gathering it costs O(M) communication).
 	AllSegs []datatype.Seg
+	// RankSegs is the per-rank flattened access (RankSegs[r] for rank r,
+	// sorted, coalesced, absolute offsets; nil for ranks with no data).
+	// Populated alongside AllSegs for NeedsSegs assigners; topology-aware
+	// policies use it to attribute bytes to nodes.
+	RankSegs [][]datatype.Seg
+	// NodeOf is the world's rank→node placement (nil = one rank per
+	// node), for topology-aware policies.
+	NodeOf func(rank int) int
+	// AggRanks lists the actual rank of each aggregator slot: the realm
+	// at index i belongs to rank AggRanks[i]. Empty means aggregator i is
+	// rank i (the default layout); realm.Failover fills it with the
+	// surviving ranks so topology-aware policies see true placements.
+	AggRanks []int
+}
+
+// AggRank returns the actual rank of aggregator slot i.
+func (c Context) AggRank(i int) int {
+	if i < len(c.AggRanks) {
+		return c.AggRanks[i]
+	}
+	return i
 }
 
 // Assigner decides the realm of every aggregator. Assignments must be

@@ -42,6 +42,15 @@ type Config struct {
 	NetBandwidth float64
 	// SendOverhead is the CPU cost of posting a send.
 	SendOverhead Time
+	// IntraNodeLatency is the one-way latency for messages between ranks
+	// that the installed node map places on the same node (shared-memory
+	// transport). Zero falls back to NetLatency, so hand-built configs
+	// and worlds without a node map keep the flat topology.
+	IntraNodeLatency Time
+	// IntraNodeBandwidth is the same-node point-to-point bandwidth in
+	// bytes/second (shared-memory copy through the kernel or CMA). Zero
+	// falls back to NetBandwidth.
+	IntraNodeBandwidth float64
 	// CollLatencyFactor scales the log2(P)*NetLatency term charged for
 	// collective synchronization (barriers and the setup portion of data
 	// collectives).
@@ -103,10 +112,12 @@ type Config struct {
 // and single-digit MB/s for the sparse Figure 7 workload.
 func DefaultConfig() *Config {
 	return &Config{
-		NetLatency:        60e-6,
-		NetBandwidth:      110e6,
-		SendOverhead:      4e-6,
-		CollLatencyFactor: 1.0,
+		NetLatency:         60e-6,
+		NetBandwidth:       110e6,
+		SendOverhead:       4e-6,
+		IntraNodeLatency:   1.5e-6,
+		IntraNodeBandwidth: 6e9,
+		CollLatencyFactor:  1.0,
 
 		PairProcessCost: 0.45e-6,
 		MemcpyBandwidth: 1.2e9,
@@ -142,6 +153,10 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: StripeCount must be positive, got %d", c.StripeCount)
 	case c.PageSize <= 0:
 		return fmt.Errorf("sim: PageSize must be positive, got %d", c.PageSize)
+	case c.IntraNodeBandwidth < 0:
+		return fmt.Errorf("sim: IntraNodeBandwidth must be non-negative, got %v", c.IntraNodeBandwidth)
+	case c.IntraNodeLatency < 0:
+		return fmt.Errorf("sim: IntraNodeLatency must be non-negative, got %v", c.IntraNodeLatency)
 	case c.NetLatency < 0 || c.SendOverhead < 0 || c.PairProcessCost < 0 ||
 		c.IOCallOverhead < 0 || c.SeekCost < 0 || c.LockGrantCost < 0 ||
 		c.LockRevokeCost < 0 || c.StripeLockCost < 0:
@@ -164,6 +179,29 @@ func (c *Config) TransferTime(n int64) Time {
 		return 0
 	}
 	return Time(float64(n) / c.NetBandwidth)
+}
+
+// IntraNodeTransferTime is the virtual time to move n bytes between two
+// ranks on the same node, excluding latency. Falls back to the network
+// bandwidth when no intra-node bandwidth is configured.
+func (c *Config) IntraNodeTransferTime(n int64) Time {
+	if n <= 0 {
+		return 0
+	}
+	bw := c.IntraNodeBandwidth
+	if bw <= 0 {
+		bw = c.NetBandwidth
+	}
+	return Time(float64(n) / bw)
+}
+
+// IntraNodeHopLatency is the one-way latency for a same-node message,
+// falling back to NetLatency when unset.
+func (c *Config) IntraNodeHopLatency() Time {
+	if c.IntraNodeLatency > 0 {
+		return c.IntraNodeLatency
+	}
+	return c.NetLatency
 }
 
 // MemcpyTime is the virtual time to copy n bytes in memory.

@@ -353,6 +353,7 @@ const (
 
 	// Phases.
 	PFlatten  = "flatten"     // datatype flattening / request generation
+	PPreagg   = "preagg"      // node-local request/payload pre-aggregation
 	PExchange = "exchange"    // access-description exchange
 	PComm     = "comm"        // data shuffle between clients and aggregators
 	PIO       = "io"          // file system access (client-observed, incl. queueing)

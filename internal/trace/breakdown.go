@@ -187,7 +187,7 @@ func (b *Breakdown) PhaseTotal(name string) sim.Time {
 
 // preferredPhases orders the classic two-phase columns first in the
 // per-round table; anything else follows alphabetically.
-var preferredPhases = []string{stats.PFlatten, stats.PExchange, stats.PComm, stats.PIO, stats.PCopy}
+var preferredPhases = []string{stats.PFlatten, stats.PPreagg, stats.PExchange, stats.PComm, stats.PIO, stats.PCopy}
 
 // Format renders the breakdown as deterministic text. When flat is the
 // merged stats.Recorder of the same run, each span-backed phase row also

@@ -49,6 +49,10 @@ type Impl struct {
 	// useful bytes with naive per-segment I/O before reporting an error.
 	// Called only on round failures; must be safe for concurrent use.
 	degrade func() bool
+	// preagg enables the node-local pre-aggregation stage (see preagg.go):
+	// node leaders merge their co-residents' accesses and carry the round
+	// data, cutting inter-node volume while the output stays byte-identical.
+	preagg bool
 }
 
 // New returns the baseline implementation.
@@ -64,6 +68,15 @@ func NewJournaled(j *mpiio.WriteJournal) *Impl { return &Impl{journal: j} }
 // the hook reports true, failed sieve rounds fall back to naive I/O
 // (touching only useful bytes) instead of aborting the collective.
 func NewDegradable(degrade func() bool) *Impl { return &Impl{degrade: degrade} }
+
+// WithPreagg enables node-local pre-aggregation (the two-level exchange)
+// and returns the receiver for chaining with any constructor. It requires
+// a node map on the world to have any effect; with the default identity
+// map every rank is its own leader and the stage is a no-op.
+func (i *Impl) WithPreagg() *Impl {
+	i.preagg = true
+	return i
+}
 
 // Name implements mpiio.Collective.
 func (*Impl) Name() string { return "romio-twophase" }
@@ -152,7 +165,10 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	} else {
 		stream = bufpool.GetZero(dataLen)
 	}
-	defer bufpool.Put(stream)
+	// The deferred release reads the variable, not the value at defer time:
+	// pre-aggregation legitimately swaps the stream (a member hands its own
+	// to the leader; a leader continues with the merged one).
+	defer func() { bufpool.Put(stream) }()
 	mySegs := f.ResolveAccess(dataLen)
 
 	// Aggregate access region.
@@ -178,6 +194,19 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	p.Trace.End(p.Clock())
 	if aarEn <= aarSt {
 		return nil // no process accesses any data
+	}
+
+	// Node-local pre-aggregation: after the bounds exchange (so the
+	// aggregate region reflects every rank's true access) the node leaders
+	// absorb their members' segments and payloads; members continue with an
+	// empty access. The merged lists are deduplicated unions, so the even
+	// domains and round windows carve out exactly the byte sets the members
+	// would have shipped individually — output stays byte-identical.
+	var pre *preaggState
+	var preErr error
+	if i.preagg {
+		mySegs, stream, pre = i.preaggExchange(f, mySegs, stream, dataLen, write)
+		preErr = pre.err
 	}
 
 	// Even file domains over the aggregate access region.
@@ -216,6 +245,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		p.Metrics.SetGauge(metrics.GNAggs, float64(naggs))
 		if p.Rank() == 0 {
 			p.Metrics.SetRealmContext(naggs, stripe, 0, fdStart)
+			p.Metrics.SetTopology(p.NodeCount())
 		}
 	}
 
@@ -346,8 +376,10 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	// On an I/O error the rank keeps participating in the round's
 	// exchange (deserting a collective deadlocks the communicator); at
 	// each round boundary all ranks agree on the worst error class and
-	// either all continue or all abort with the same error.
-	var firstErr error
+	// either all continue or all abort with the same error. A leader whose
+	// pre-aggregation lost a member seeds the same machinery, so the first
+	// boundary aborts every rank before a partial merge becomes durable.
+	firstErr := preErr
 
 	for r := 0; r < ntimes; r++ {
 		f.SetRound(r)
@@ -652,6 +684,16 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 		}
 	}
 	f.SetRound(-1)
+
+	// Reads under pre-aggregation: the leader scatters each member its
+	// bytes and takes back its own; an abort above skipped this uniformly.
+	if !write && pre != nil {
+		var err error
+		stream, err = i.preaggScatter(f, stream, pre, dataLen)
+		if err != nil {
+			return err
+		}
+	}
 
 	// Collective calls leave all ranks synchronized.
 	p.Barrier()
