@@ -3,7 +3,9 @@ package main
 import (
 	"fmt"
 
+	"flexio/internal/analyze"
 	"flexio/internal/benchsuite"
+	"flexio/internal/report"
 )
 
 // runBenchSuite measures the tracked benchmark matrix and either records
@@ -105,6 +107,76 @@ func runBenchSuite(jsonPath, label, checkPath string) error {
 			return fmt.Errorf("benchcheck: %d regression(s) against %s", len(problems), checkPath)
 		}
 		fmt.Printf("benchcheck: all %d configurations within 20%% of the committed baseline\n", len(results))
+	}
+	return nil
+}
+
+// runTelemetrySuite handles the scale-ready-telemetry trajectory
+// (BENCH_PR9.json). With jsonPath set it measures the telemetry matrix
+// (sampled tracing + per-node rollups) and saves it under "after". With
+// checkPath set it measures the matrix and fails if any row's sampled-rank
+// count drifted or its rollup exposition grew more than 10% against the
+// committed "after" entries.
+func runTelemetrySuite(jsonPath, checkPath string) error {
+	logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	if jsonPath != "" {
+		results, err := benchsuite.MeasureAllTelemetry(logf)
+		if err != nil {
+			return err
+		}
+		f, err := benchsuite.Load(jsonPath)
+		if err != nil {
+			return err
+		}
+		f.Set("after", results)
+		if err := f.Save(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d telemetry rows in %s\n", len(results), jsonPath)
+	}
+	if checkPath != "" {
+		fresh, err := benchsuite.MeasureAllTelemetry(logf)
+		if err != nil {
+			return err
+		}
+		f, err := benchsuite.Load(checkPath)
+		if err != nil {
+			return err
+		}
+		baseline := f.Results["after"]
+		if len(baseline) == 0 {
+			return fmt.Errorf("telemetrycheck: %s has no 'after' entries to regress against", checkPath)
+		}
+		problems := benchsuite.CompareTelemetry(baseline, fresh, 0.10, 256)
+		for _, p := range problems {
+			fmt.Printf("telemetrycheck: %s\n", p)
+		}
+		if len(problems) > 0 {
+			return fmt.Errorf("telemetrycheck: %d regression(s) against %s", len(problems), checkPath)
+		}
+		fmt.Printf("telemetrycheck: all %d rows hold their sampling and rollup budgets\n", len(fresh))
+	}
+	return nil
+}
+
+// runReport diffs two run artifacts (benchsuite trajectories with an
+// optional #label suffix, flight-recorder dumps, or Prometheus
+// expositions) and prints the ranked differential report plus the
+// analyzer's findings over it.
+func runReport(oldSpec, newSpec string) error {
+	old, err := report.LoadFile(oldSpec)
+	if err != nil {
+		return err
+	}
+	fresh, err := report.LoadFile(newSpec)
+	if err != nil {
+		return err
+	}
+	rep := report.Diff(old, fresh)
+	fmt.Println(rep.Format())
+	if fs := analyze.ReportFindings(rep); len(fs) > 0 {
+		fmt.Println()
+		fmt.Print(analyze.FormatReport(fs))
 	}
 	return nil
 }

@@ -43,6 +43,9 @@ func main() {
 	benchCheck := flag.String("benchcheck", "", "run the tracked benchmark matrix and fail if allocs/op regress >20% against the 'after' entries of this JSON file")
 	preaggJSON := flag.String("preaggjson", "", "run the two-level-exchange matrix with pre-aggregation off and on and record the 'before'/'after' labels in this JSON trajectory file")
 	preaggCheck := flag.String("preaggcheck", "", "run the pre-aggregated two-level-exchange matrix and fail if internode bytes/op regress >10% against the 'after' entries of this JSON file")
+	telemetryJSON := flag.String("telemetryjson", "", "run the scale-ready-telemetry matrix (sampled tracing + per-node rollups) and record the 'after' label in this JSON trajectory file")
+	telemetryCheck := flag.String("telemetrycheck", "", "run the scale-ready-telemetry matrix and fail if sampled-rank counts drift or rollup exposition bytes regress >10% against the 'after' entries of this JSON file")
+	reportRun := flag.Bool("report", false, "diff two run artifacts (positional args: old new; trajectories take a #label suffix, flight dumps and Prometheus expositions are sniffed) and print the ranked differential report")
 	nodes := flag.Int("nodes", 0, "ranks per simulated node for the figure harness runs (0 = one rank per node)")
 	analyzeRun := flag.Bool("analyze", false, "run the diagnostic demo workload and print the collective-I/O health analyzer report")
 	metricsOut := flag.String("metrics-out", "", "run the diagnostic demo workload and write its Prometheus text exposition to this file")
@@ -69,6 +72,26 @@ func main() {
 
 	if *preaggJSON != "" || *preaggCheck != "" {
 		if err := runPreaggSuite(*preaggJSON, *preaggCheck); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *telemetryJSON != "" || *telemetryCheck != "" {
+		if err := runTelemetrySuite(*telemetryJSON, *telemetryCheck); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *reportRun {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "report: need exactly two artifacts: flexio-bench -report old.json new.json")
+			os.Exit(2)
+		}
+		if err := runReport(flag.Arg(0), flag.Arg(1)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

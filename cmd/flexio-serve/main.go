@@ -18,7 +18,10 @@
 //	          tenants' folded engine counters.
 //	/healthz  JSON health verdict from the tenant analyzer (noisy-neighbor,
 //	          admission-pressure, breaker-churn); 503 on critical findings.
-//	/tenants  JSON per-tenant stats snapshot.
+//	/tenants  JSON per-tenant stats snapshot, including each tenant's last
+//	          critical-path window and a one-line round-over-round report.
+//	/report   Ranked differential run report for one tenant's last two
+//	          traffic rounds (?tenant=batch), with analyzer findings.
 package main
 
 import (
@@ -37,6 +40,7 @@ import (
 	"flexio/internal/analyze"
 	"flexio/internal/hpio"
 	"flexio/internal/pfs"
+	"flexio/internal/report"
 	"flexio/internal/sim"
 	"flexio/internal/tenant"
 )
@@ -88,9 +92,13 @@ func run(addr string, chaosMode bool, period time.Duration, once bool, rounds in
 		return err
 	}
 
+	tenantNames := []string{"batch", "interactive", "best-effort"}
+	rp := newReporter(tenantNames)
+
 	// trafficRound submits one job per tenant and advances logical time.
 	// Admission rejections and collective aborts are expected service
 	// behavior here, not process errors: they show up in the exposition.
+	round := 0
 	trafficRound := func(engine string) {
 		svc.Submit("batch", tenant.Job{
 			File: "batch.dat", Engine: engine, Write: true,
@@ -105,6 +113,8 @@ func run(addr string, chaosMode bool, period time.Duration, once bool, rounds in
 			Pattern: smallTile, CollBuf: 1024, Verify: true, Trace: true,
 		})
 		svc.Tick()
+		round++
+		rp.capture(svc, round)
 	}
 
 	engines := []string{"core-nb", "core-a2a", "twophase"}
@@ -126,15 +136,34 @@ func run(addr string, chaosMode bool, period time.Duration, once bool, rounds in
 	mux.HandleFunc("/tenants", func(w http.ResponseWriter, _ *http.Request) {
 		type stats struct {
 			tenant.Stats
-			Shed int64 `json:"shed"`
+			Shed        int64   `json:"shed"`
+			CritPathSec float64 `json:"critpath_seconds"`
+			LastReport  string  `json:"last_report,omitempty"`
 		}
 		sts := svc.TenantStats()
 		out := make([]stats, len(sts))
 		for i, st := range sts {
-			out[i] = stats{st, st.Shed()}
+			out[i] = stats{st, st.Shed(), st.CritPathSec, rp.top(st.Name)}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/report", func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("tenant")
+		if name == "" {
+			name = tenantNames[0]
+		}
+		rep := rp.diff(name)
+		if rep == nil {
+			http.Error(w, fmt.Sprintf("report: tenant %q has fewer than two completed rounds (tenants: %v)",
+				name, tenantNames), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, rep.Format())
+		if fs := analyze.ReportFindings(rep); len(fs) > 0 {
+			fmt.Fprint(w, analyze.FormatReport(fs))
+		}
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		findings := analyze.TenantFindings(usage(svc))
@@ -204,6 +233,65 @@ func run(addr string, chaosMode bool, period time.Duration, once bool, rounds in
 		return err
 	}
 	return nil
+}
+
+// reporter keeps each tenant's two most recent post-round metric snapshots
+// so the /report endpoint can diff "this round vs the previous one" at any
+// moment without holding the service lock during HTTP handling.
+type reporter struct {
+	mu    sync.Mutex
+	names []string
+	prev  map[string]*report.Source
+	cur   map[string]*report.Source
+}
+
+func newReporter(names []string) *reporter {
+	return &reporter{
+		names: names,
+		prev:  make(map[string]*report.Source),
+		cur:   make(map[string]*report.Source),
+	}
+}
+
+// capture snapshots every tenant's last-job metrics after a traffic round.
+// Tenants whose job was shed this round keep their previous snapshot.
+func (rp *reporter) capture(svc *tenant.Service, round int) {
+	for _, name := range rp.names {
+		met, _ := svc.LastArtifacts(name)
+		if met == nil {
+			continue
+		}
+		src, err := report.FromSet(fmt.Sprintf("%s@round%d", name, round), met)
+		if err != nil {
+			continue
+		}
+		rp.mu.Lock()
+		if old := rp.cur[name]; old != nil {
+			rp.prev[name] = old
+		}
+		rp.cur[name] = src
+		rp.mu.Unlock()
+	}
+}
+
+// diff returns the tenant's round-over-round report, or nil before two
+// rounds have completed.
+func (rp *reporter) diff(name string) *report.Report {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	old, cur := rp.prev[name], rp.cur[name]
+	if old == nil || cur == nil {
+		return nil
+	}
+	return report.Diff(old, cur)
+}
+
+// top returns the report's one-line headline for the /tenants snapshot.
+func (rp *reporter) top(name string) string {
+	if rep := rp.diff(name); rep != nil {
+		return rep.Top()
+	}
+	return ""
 }
 
 // usage converts the service's stats and breaker trips into the analyzer's

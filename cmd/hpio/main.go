@@ -46,6 +46,7 @@ func main() {
 	steps := flag.Int("steps", 1, "number of repeated collective writes")
 	verify := flag.Bool("verify", true, "verify the file image")
 	tracePath := flag.String("trace", "", "write the run's Chrome trace JSON (Perfetto-loadable) to this file")
+	sampleK := flag.Int("sample", 0, "trace only the aggregators, node leaders, and this many reservoir-sampled member ranks (0 = trace every rank)")
 	breakdown := flag.Bool("breakdown", false, "print the per-phase/per-round trace breakdown")
 	critRun := flag.Bool("critpath", false, "print the run's critical-path profile (virtual-time causal DAG)")
 	metricsOut := flag.String("metrics-out", "", "write the run's Prometheus text exposition to this file")
@@ -53,6 +54,8 @@ func main() {
 	rankSpec := flag.String("rankchaos", "", "run a rank-failure scenario \"fault:victim[:cbnodes]\" (e.g. crash-mid-rounds:1) through the chosen impl/comm instead of the benchmark")
 	rankSeed := flag.Int64("rankseed", 1, "rank-fault schedule seed for -rankchaos")
 	flag.Parse()
+
+	colltest.SampleK = *sampleK
 
 	if *rankSpec != "" {
 		engine := "twophase"

@@ -33,6 +33,7 @@ func main() {
 	nodes := flag.Int("nodes", 0, "ranks per simulated node (0 = one rank per node)")
 	verify := flag.Bool("verify", false, "verify the final file image")
 	tracePath := flag.String("trace", "", "write the run's Chrome trace JSON (Perfetto-loadable) to this file")
+	sampleK := flag.Int("sample", 0, "trace only the aggregators, node leaders, and this many reservoir-sampled member ranks (0 = trace every rank)")
 	breakdown := flag.Bool("breakdown", false, "print the per-phase/per-round trace breakdown")
 	critRun := flag.Bool("critpath", false, "print the run's critical-path profile (virtual-time causal DAG)")
 	metricsOut := flag.String("metrics-out", "", "write the run's Prometheus text exposition to this file")
@@ -41,6 +42,7 @@ func main() {
 	flag.Parse()
 
 	experiments.NodeRanks = *nodes
+	experiments.SampleK = *sampleK
 
 	if *rankSpec != "" {
 		s, err := chaos.ParseRankSpec("core-nb", *rankSpec, *rankSeed)

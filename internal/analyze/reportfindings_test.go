@@ -1,0 +1,94 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"flexio/internal/critpath"
+	"flexio/internal/report"
+	"flexio/internal/trace"
+)
+
+func TestReportFindings(t *testing.T) {
+	rep := report.Diff(
+		&report.Source{Label: "before", Prom: map[string]float64{
+			`flexio_phase_seconds_sum{phase="io"}`:           1.0,
+			`flexio_phase_seconds_sum{phase="comm"}`:         0.5,
+			`flexio_shuffle_internode_bytes_total{rank="0"}`: 1000,
+		}},
+		&report.Source{Label: "after", Prom: map[string]float64{
+			`flexio_phase_seconds_sum{phase="io"}`:           1.6,
+			`flexio_phase_seconds_sum{phase="comm"}`:         0.5,
+			`flexio_shuffle_internode_bytes_total{rank="0"}`: 1500,
+		}},
+	)
+	fs := ReportFindings(rep)
+	var codes []string
+	for _, f := range fs {
+		codes = append(codes, f.Code)
+	}
+	joined := strings.Join(codes, ",")
+	if !strings.Contains(joined, "phase-regression") {
+		t.Fatalf("missing phase-regression in %v", codes)
+	}
+	if !strings.Contains(joined, "internode-regression") {
+		t.Fatalf("missing internode-regression in %v", codes)
+	}
+	for _, f := range fs {
+		if f.Code == "phase-regression" && !strings.Contains(f.Summary, "phase io") {
+			t.Fatalf("regression blamed the wrong phase: %s", f.Summary)
+		}
+		if f.Code == "phase-regression" && strings.Contains(f.Summary, "comm") {
+			t.Fatalf("flat phase flagged: %s", f.Summary)
+		}
+	}
+	// A self-diff is clean.
+	if got := ReportFindings(report.Diff(
+		&report.Source{Label: "x", Prom: map[string]float64{`flexio_phase_seconds_sum{phase="io"}`: 1}},
+		&report.Source{Label: "x", Prom: map[string]float64{`flexio_phase_seconds_sum{phase="io"}`: 1}},
+	)); len(got) != 0 {
+		t.Fatalf("self-diff produced findings: %+v", got)
+	}
+	if ReportFindings(nil) != nil {
+		t.Fatal("nil report must produce no findings")
+	}
+}
+
+func TestSamplingBlindSpotFinding(t *testing.T) {
+	// One sampled rank whose receive references an unsampled sender: the
+	// walk hits a policy blind spot on its only step.
+	s := trace.NewSampledSink(2, 0, []bool{true, false})
+	r0 := s.Tracer(0)
+	r0.Begin(0, "wait")
+	r0.Instant2(3, trace.MsgRecvName, trace.I(trace.EdgeTag, 2), trace.I(trace.BlockedTag, 1))
+	r0.End(4)
+
+	rep := critpath.Analyze(s)
+	fs := TraceFindings(s, rep)
+	found := false
+	for _, f := range fs {
+		if f.Code == "sampling-blind-spot" {
+			found = true
+			if f.Severity != SevWarning {
+				t.Fatalf("100%% blind spots should warn, got %s", f.Severity)
+			}
+			if !strings.Contains(f.Summary, "1 of 2 rank(s)") {
+				t.Fatalf("summary missing coverage: %s", f.Summary)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no sampling-blind-spot finding in %+v", fs)
+	}
+
+	// A fully traced sink never reports blind spots.
+	full := trace.NewSink(1, 0)
+	tr := full.Tracer(0)
+	tr.Begin(0, "work")
+	tr.End(1)
+	for _, f := range TraceFindings(full, nil) {
+		if f.Code == "sampling-blind-spot" {
+			t.Fatal("fully traced sink produced a sampling finding")
+		}
+	}
+}

@@ -34,6 +34,23 @@ func TraceFindings(sink *trace.Sink, rep *critpath.Report) []Finding {
 			float64(dropped)/1024))
 	}
 
+	// Sampling blind spots: under a sampling policy, causal jumps whose
+	// counterpart lived on an unsampled rank cannot be followed. A small
+	// fraction is the price of bounded tracing; a large one means the
+	// attribution below is guesswork and the policy needs more coverage.
+	if rep.SampledRanks > 0 && rep.SampledRanks < rep.Ranks && rep.BlindSteps > 0 {
+		frac := rep.BlindSpotFrac()
+		sev := SevInfo
+		if frac >= 0.10 {
+			sev = SevWarning
+		}
+		fs = append(fs, finding(sev, "sampling-blind-spot",
+			fmt.Sprintf("trace sampling covers %d of %d rank(s); %d of %d causal step(s) (%.1f%%) hit unsampled ranks and stayed local",
+				rep.SampledRanks, rep.Ranks, rep.BlindSteps, rep.Steps, frac*100),
+			"raise the sampling policy's reservoir K or add the hot ranks to its always-sample list; the critical path through unsampled ranks is being attributed to their waiting peers",
+			frac*40))
+	}
+
 	if rep.WindowSec <= 0 {
 		return fs
 	}

@@ -64,6 +64,16 @@ type Config struct {
 	// committed history; the edge-recording overhead guard compares the
 	// two settings.
 	Trace bool
+	// SampleK switches tracing (Trace must be set) to the adaptive
+	// sampling policy: node leaders and aggregator ranks always trace,
+	// and K member ranks are reservoir-sampled on top. Zero keeps the
+	// every-rank sink.
+	SampleK int
+	// Rollup replaces the per-rank flight recorder with the per-node
+	// rollup tree: only node leaders and sampled ranks keep flight rings,
+	// and the session exposes a metrics.Rollup whose exposition is
+	// O(nodes).
+	Rollup bool
 	// NodeRanks overrides the suite's block node-mapping width for this
 	// config (0 = the package default NodeRanks).
 	NodeRanks int
@@ -206,6 +216,52 @@ func PreaggConfigs(on bool) []Config {
 	return out
 }
 
+// telemetryPattern is the scale-ready-telemetry workload: wide enough (32
+// ranks, 8 per node) that sampling and per-node rollups have something to
+// cut, small enough to measure under testing.Benchmark.
+var telemetryPattern = hpio.Pattern{
+	Ranks:        32,
+	RegionSize:   256,
+	RegionCount:  64,
+	Spacing:      128,
+	MemNoncontig: true,
+	MemGap:       64,
+}
+
+// TelemetryConfigs returns the scale-ready-telemetry rows committed to
+// BENCH_PR9.json: both engines, read and write, at 32 ranks across 4
+// simulated nodes with sampled tracing (aggregators + node leaders always,
+// 4 reservoir members) and the per-node metrics rollup on. The gate
+// regresses the sampled-rank count (exact) and the rollup exposition size,
+// which is what a scraper pays per scrape. Like PreaggConfigs, these rows
+// are not part of Default() — the BENCH_PR3 allocation gate compares that
+// matrix by name.
+func TelemetryConfigs() []Config {
+	var out []Config
+	for _, engine := range []string{"core", "twophase"} {
+		for _, write := range []bool{true, false} {
+			cfg := Config{
+				Name:      fmt.Sprintf("telemetry/%s/%s", engine, dir(write)),
+				Engine:    engine,
+				Write:     write,
+				Pattern:   telemetryPattern,
+				Naggs:     4,
+				CollBuf:   64 << 10,
+				NodeRanks: 8,
+				Trace:     true,
+				SampleK:   4,
+				Rollup:    true,
+			}
+			if engine == "core" {
+				cfg.Comm = core.Nonblocking
+				cfg.PFR = true
+			}
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
 func dir(write bool) string {
 	if write {
 		return "write"
@@ -244,15 +300,16 @@ func (c Config) info() mpiio.Info {
 // the performance docs: everything per-open is paid, per-call costs are
 // what the benchmark observes.
 type Session struct {
-	cfg   Config
-	world *mpi.World
-	fs    *pfs.FileSystem
-	files []*mpiio.File
-	bufs  [][]byte
-	mt    datatype.Type
-	met   *metrics.Set
-	comm  *mpi.CommMatrix
-	sink  *trace.Sink
+	cfg    Config
+	world  *mpi.World
+	fs     *pfs.FileSystem
+	files  []*mpiio.File
+	bufs   [][]byte
+	mt     datatype.Type
+	met    *metrics.Set
+	rollup *metrics.Rollup
+	comm   *mpi.CommMatrix
+	sink   *trace.Sink
 }
 
 // NewSession builds the world, opens the file collectively, installs the
@@ -271,14 +328,35 @@ func NewSession(cfg Config) (*Session, error) {
 		files: make([]*mpiio.File, wl.Ranks),
 		bufs:  make([][]byte, wl.Ranks),
 	}
-	if !cfg.NoMetrics {
-		s.met = s.world.EnableMetrics()
-	}
-	s.comm = s.world.EnableCommMatrix()
+	// The node map comes first: sampled tracing needs it to pick node
+	// leaders, and the metrics rollup folds member registries by node.
 	s.world.SetNodeMap(mpi.BlockNodeMap(cfg.nodeRanks()))
 	if cfg.Trace {
-		s.sink = s.world.EnableTracing(0)
+		if cfg.SampleK > 0 {
+			// Aggregator ranks (the cb_nodes lowest, matching the
+			// engines' default placement) always trace — their spans
+			// carry the I/O phases the critical path runs through.
+			always := make([]int, 0, cfg.Naggs)
+			for a := 0; a < cfg.Naggs && a < wl.Ranks; a++ {
+				always = append(always, a)
+			}
+			s.sink = s.world.EnableSampledTracing(0, trace.SamplePolicy{
+				Always: always,
+				K:      cfg.SampleK,
+				Seed:   1,
+			})
+		} else {
+			s.sink = s.world.EnableTracing(0)
+		}
 	}
+	if !cfg.NoMetrics {
+		if cfg.Rollup {
+			s.met, s.rollup = s.world.EnableMetricsRollup(0)
+		} else {
+			s.met = s.world.EnableMetrics()
+		}
+	}
+	s.comm = s.world.EnableCommMatrix()
 	if cfg.Deadline > 0 {
 		s.world.SetCollDeadline(cfg.Deadline)
 	}
@@ -359,6 +437,20 @@ func (s *Session) Comm() *mpi.CommMatrix { return s.comm }
 
 // Trace exposes the session's event sink (nil unless the config traces).
 func (s *Session) Trace() *trace.Sink { return s.sink }
+
+// Rollup exposes the per-node rollup view (nil unless the config enables
+// it).
+func (s *Session) Rollup() *metrics.Rollup { return s.rollup }
+
+// ResetTelemetry rewinds virtual time and clears the trace sink, metrics
+// registries, and comm matrix while keeping the warm file, lock, and cache
+// state. After the call, recorded telemetry covers only subsequent steps —
+// for read configs those are bit-deterministic in virtual time, which is
+// what the differential-report determinism property measures against.
+func (s *Session) ResetTelemetry() {
+	s.world.ResetClocks()
+	s.fs.ResetTimingKeepLocks()
+}
 
 // InterNodeFrac is the fraction of shuffle bytes that crossed node
 // boundaries under the suite's block node map (0 when nothing shuffled).
@@ -463,5 +555,18 @@ func Run(b *testing.B, cfg Config) {
 	if rep := s.CritPath(); rep != nil {
 		b.ReportMetric(rep.Coverage(), "critpath-cover")
 		rep.Note(s.met)
+		if cfg.SampleK > 0 {
+			b.ReportMetric(rep.BlindSpotFrac(), "blind-spot")
+		}
+	}
+	if cfg.SampleK > 0 {
+		b.ReportMetric(float64(s.sink.SampledCount()), "sampled-ranks")
+	}
+	if s.rollup != nil {
+		n, err := s.rollup.ExpositionBytes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "rollup-B")
 	}
 }

@@ -30,6 +30,13 @@ type Result struct {
 	// crossed node boundaries — the column the two-level-exchange gate
 	// (BENCH_PR8.json) regresses against.
 	InterNodeBytesPerOp float64 `json:"internode_bytes_per_op,omitempty"`
+	// Scale-ready telemetry columns (BENCH_PR9.json): how many ranks the
+	// sampling policy traced, the per-node rollup exposition size in
+	// bytes, and the fraction of critical-path steps that fell into a
+	// sampling blind spot.
+	SampledRanks  float64 `json:"sampled_ranks,omitempty"`
+	RollupBytes   float64 `json:"rollup_bytes,omitempty"`
+	BlindSpotFrac float64 `json:"blind_spot_frac,omitempty"`
 }
 
 // File is the on-disk trajectory: label ("before", "after", ...) to the
@@ -68,6 +75,9 @@ func Measure(cfg Config) (Result, error) {
 		InterNodeFrac:       r.Extra["internode-frac"],
 		CritPathCoverage:    r.Extra["critpath-cover"],
 		InterNodeBytesPerOp: r.Extra["internode-B/op"],
+		SampledRanks:        r.Extra["sampled-ranks"],
+		RollupBytes:         r.Extra["rollup-B"],
+		BlindSpotFrac:       r.Extra["blind-spot"],
 	}, nil
 }
 
@@ -104,6 +114,72 @@ func MeasureAllPreagg(on bool, logf func(format string, args ...any)) ([]Result,
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// MeasureAllTelemetry measures the scale-ready-telemetry matrix
+// (TelemetryConfigs): sampled tracing plus per-node rollups on every row.
+func MeasureAllTelemetry(logf func(format string, args ...any)) ([]Result, error) {
+	var out []Result
+	for _, cfg := range TelemetryConfigs() {
+		res, err := Measure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if logf != nil {
+			logf("%-28s %.6f virt-s/op %4.0f sampled-ranks %8.0f rollup-B %7.4f blind-spot %6.3f critpath-cover",
+				res.Name, res.VirtSecPerOp, res.SampledRanks, res.RollupBytes, res.BlindSpotFrac, res.CritPathCoverage)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// CompareTelemetry checks fresh telemetry results against the committed
+// baseline label: the sampled-rank count must match exactly (the policy is
+// deterministic — any drift means the sampling changed), and the rollup
+// exposition may grow at most tolFrac (with an absolute grace of
+// graceBytes). Names present only on one side are reported so the gate
+// notices a silently dropped row.
+func CompareTelemetry(baseline []Result, fresh []Result, tolFrac float64, graceBytes float64) []string {
+	base := map[string]Result{}
+	for _, r := range baseline {
+		base[r.Name] = r
+	}
+	var problems []string
+	seen := map[string]bool{}
+	for _, r := range fresh {
+		seen[r.Name] = true
+		b, ok := base[r.Name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: no committed baseline entry", r.Name))
+			continue
+		}
+		if r.SampledRanks != b.SampledRanks {
+			problems = append(problems, fmt.Sprintf(
+				"%s: sampled rank count drifted: %.0f != baseline %.0f",
+				r.Name, r.SampledRanks, b.SampledRanks))
+		}
+		limit := b.RollupBytes * (1 + tolFrac)
+		if limit < b.RollupBytes+graceBytes {
+			limit = b.RollupBytes + graceBytes
+		}
+		if r.RollupBytes > limit {
+			problems = append(problems, fmt.Sprintf(
+				"%s: rollup exposition regressed: %.0f B > limit %.0f (baseline %.0f, tolerance %.0f%%)",
+				r.Name, r.RollupBytes, limit, b.RollupBytes, tolFrac*100))
+		}
+	}
+	var missing []string
+	for name := range base {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		problems = append(problems, fmt.Sprintf("%s: committed baseline entry was not measured", name))
+	}
+	return problems
 }
 
 // ComparePreagg checks fresh two-level-exchange results against the

@@ -1,0 +1,162 @@
+package benchsuite
+
+import (
+	"bytes"
+	"testing"
+
+	"flexio/internal/critpath"
+	"flexio/internal/mpi"
+	"flexio/internal/sim"
+	"flexio/internal/trace"
+)
+
+// TestScaleTelemetrySmoke is the P=4096 acceptance check: with sampled
+// tracing and per-node rollups on, telemetry memory is bounded by
+// O(nodes + sampled ranks) rather than O(ranks), the comm matrix switches
+// to its sparse representation, and the critical-path profile on the
+// sampled ranks keeps near-full coverage while reporting — not hiding —
+// its sampling blind spots.
+//
+// A full collective at this scale would dominate the test suite (Allgather
+// alone materializes O(P^2) offset lists), so the smoke drives the real
+// mpi/trace/metrics layers with a leader/member fan-in instead: every
+// member sends one message to its node leader inside a traced span.
+func TestScaleTelemetrySmoke(t *testing.T) {
+	const (
+		p       = 4096
+		perNode = 64
+		sampleK = 16
+	)
+	w := mpi.NewWorld(p, sim.DefaultConfig())
+	w.SetNodeMap(mpi.BlockNodeMap(perNode))
+	sink := w.EnableSampledTracing(0, trace.SamplePolicy{K: sampleK, Seed: 1})
+	met, rollup := w.EnableMetricsRollup(8)
+	comm := w.EnableCommMatrix()
+
+	leaders := p / perNode
+	if got := sink.SampledCount(); got < leaders || got > leaders+sampleK {
+		t.Fatalf("SampledCount = %d, want within [%d, %d]", got, leaders, leaders+sampleK)
+	}
+	// Trace memory: tracers exist only on sampled ranks.
+	tracers := 0
+	for r := 0; r < p; r++ {
+		if sink.Tracer(r) != nil {
+			tracers++
+		}
+	}
+	if tracers != sink.SampledCount() {
+		t.Fatalf("tracers = %d, SampledCount = %d", tracers, sink.SampledCount())
+	}
+	// Flight memory: rings only on node leaders and sampled ranks (the
+	// leaders are always sampled, so the bound collapses to the sampled
+	// set).
+	if got := met.FlightRingRanks(); got != sink.SampledCount() {
+		t.Fatalf("flight rings on %d rank(s), want %d (leaders+sampled)", got, sink.SampledCount())
+	}
+	if !comm.Sparse() {
+		t.Fatalf("comm matrix dense at %d ranks (CommDenseLimit %d)", p, mpi.CommDenseLimit)
+	}
+	if rollup.Nodes() != leaders {
+		t.Fatalf("rollup nodes = %d, want %d", rollup.Nodes(), leaders)
+	}
+
+	buf := make([]byte, 64)
+	w.Run(func(pr *mpi.Proc) {
+		lead := pr.Rank() - pr.Rank()%perNode
+		pr.Trace.Begin(pr.Clock(), "work")
+		if pr.Rank() == lead {
+			for i := 0; i < perNode-1; i++ {
+				pr.Recv(mpi.Any, 0)
+			}
+		} else {
+			pr.Send(lead, 0, buf)
+		}
+		pr.Trace.End(pr.Clock())
+	})
+
+	// The fan-in is all intra-node, so the sparse matrix holds one row per
+	// node's members — far below P^2 cells.
+	if nz := comm.NonzeroCells(); nz != p-leaders {
+		t.Fatalf("nonzero cells = %d, want %d member->leader edges", nz, p-leaders)
+	}
+	if got := comm.TotalBytes(); got != int64(64*(p-leaders)) {
+		t.Fatalf("TotalBytes = %d, want %d", got, 64*(p-leaders))
+	}
+
+	// Rollup exposition is O(nodes): far smaller than the per-rank
+	// exposition of the same registries.
+	rollupBytes, err := rollup.ExpositionBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cw countWriter
+	if err := met.WriteProm(&cw); err != nil {
+		t.Fatal(err)
+	}
+	if rollupBytes == 0 || rollupBytes*4 > cw.n {
+		t.Fatalf("rollup exposition %d B not O(nodes) vs per-rank %d B", rollupBytes, cw.n)
+	}
+
+	// Critical path on the sampled ranks: near-full coverage, honest
+	// blind-spot accounting for the unsampled senders.
+	rep := critpath.Analyze(sink)
+	if rep.SampledRanks != sink.SampledCount() {
+		t.Fatalf("report SampledRanks = %d, want %d", rep.SampledRanks, sink.SampledCount())
+	}
+	if cov := rep.Coverage(); cov < 0.99 {
+		t.Fatalf("critpath coverage on sampled ranks = %v, want >= 0.99", cov)
+	}
+	if rep.BlindSteps == 0 {
+		t.Fatal("leader receives from unsampled members must register blind steps")
+	}
+	if frac := rep.BlindSpotFrac(); frac <= 0 || frac > 1 {
+		t.Fatalf("BlindSpotFrac = %v, want in (0, 1]", frac)
+	}
+}
+
+// countWriter mirrors the metrics-internal byte counter for sizing the
+// per-rank exposition without holding it in memory.
+type countWriter struct{ n int }
+
+func (c *countWriter) Write(b []byte) (int, error) {
+	c.n += len(b)
+	return len(b), nil
+}
+
+// TestTelemetryColumnsDeterministic pins the policy side of the BENCH_PR9
+// gate: identical telemetry configs sample identical rank sets (the
+// manifest is byte-identical) and fold identical node counts, across
+// independent sessions.
+func TestTelemetryColumnsDeterministic(t *testing.T) {
+	cfg := TelemetryConfigs()[0]
+	run := func() (int, []byte, int) {
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.Trace().WriteManifest(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return s.Trace().SampledCount(), buf.Bytes(), s.Rollup().Nodes()
+	}
+	n1, m1, nodes1 := run()
+	n2, m2, nodes2 := run()
+	if n1 != n2 {
+		t.Errorf("sampled-rank count differs: %d vs %d", n1, n2)
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Errorf("sampled-rank manifest differs:\n%s\nvs\n%s", m1, m2)
+	}
+	if nodes1 != nodes2 || nodes1 != 4 {
+		t.Errorf("rollup nodes = %d/%d, want 4", nodes1, nodes2)
+	}
+	if n1 <= 4 || n1 > 4+4+4 {
+		// 4 aggregators + 4 node leaders (overlapping on rank 0 only when
+		// a leader aggregates) + up to K=4 reservoir members.
+		t.Errorf("sampled-rank count %d outside the policy envelope", n1)
+	}
+}

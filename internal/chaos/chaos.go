@@ -60,6 +60,12 @@ const (
 	// Degraded set the engine falls back to naive I/O and completes,
 	// otherwise it aborts with the io class.
 	FaultSieveHard Fault = "sieve-hard"
+
+	// FaultNone runs the workload with an empty fault schedule. It is not
+	// part of the soak matrices; the soaks run it once per engine
+	// configuration to obtain the fault-free baseline their .report.txt
+	// differential artifacts diff against.
+	FaultNone Fault = "none"
 )
 
 // Scenario is one deterministic chaos experiment.
@@ -119,9 +125,12 @@ func (s Scenario) wantClass() int64 {
 }
 
 // wantCounter names a stat that must be nonzero after the run, proving the
-// injection actually exercised the path under test.
+// injection actually exercised the path under test (empty = nothing to
+// prove; FaultNone injects nothing).
 func (s Scenario) wantCounter() string {
 	switch s.Fault {
+	case FaultNone:
+		return ""
 	case FaultTransient:
 		return stats.CRetries
 	case FaultPartial:
@@ -355,10 +364,10 @@ func (s Scenario) Run() (*Outcome, error) {
 	}
 
 	// Invariant 3: the injection actually exercised the intended path.
-	if s.Fault != FaultBrownout && s.Fault != FaultStorm && out.Injected == 0 {
+	if s.Fault != FaultNone && s.Fault != FaultBrownout && s.Fault != FaultStorm && out.Injected == 0 {
 		return out, fmt.Errorf("fault schedule never fired")
 	}
-	if c := s.wantCounter(); out.Stats.Counter(c) == 0 {
+	if c := s.wantCounter(); c != "" && out.Stats.Counter(c) == 0 {
 		return out, fmt.Errorf("counter %q stayed zero", c)
 	}
 
@@ -449,9 +458,12 @@ func Quick() []Scenario {
 // <name>.trace.json; scenarios that aborted or violated an invariant
 // additionally dump their flight recorder as <name>.flight.json (the
 // canonical, byte-deterministic form — see TestFlightDumpDeterministic).
-// It returns the number of invariant violations.
+// Every scenario writes <name>.report.txt, the ranked differential report
+// of the faulted run against a fault-free baseline of the same engine
+// configuration. It returns the number of invariant violations.
 func Soak(scenarios []Scenario, traceDir string, logf func(format string, args ...any)) int {
 	failures := 0
+	bl := baselines{}
 	for _, s := range scenarios {
 		out, err := s.Run()
 		status := "ok"
@@ -494,6 +506,12 @@ func Soak(scenarios []Scenario, traceDir string, logf func(format string, args .
 				if werr := writeCommFile(out.Comm, path); werr == nil {
 					logf("  comm matrix written to %s", path)
 				}
+			}
+		}
+		if out.Metrics != nil {
+			path := traceDir + "/" + s.Name() + ".report.txt"
+			if werr := writeReportFile(bl.source(s), out.Metrics, s.Name(), path); werr == nil {
+				logf("  differential report written to %s", path)
 			}
 		}
 	}

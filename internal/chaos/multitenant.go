@@ -10,6 +10,7 @@ import (
 	"flexio/internal/metrics"
 	"flexio/internal/mpiio"
 	"flexio/internal/pfs"
+	"flexio/internal/report"
 	"flexio/internal/sim"
 	"flexio/internal/tenant"
 )
@@ -716,9 +717,11 @@ func TenantQuick() []TenantScenario {
 
 // TenantSoak runs the scenarios, logging one line each. Every scenario
 // exports per-tenant artifacts into traceDir (when non-empty): the last
-// job's flight recorder as <scenario>.<tenant>.flight.json and its
-// critical path as <scenario>.<tenant>.critpath.txt. It returns the number
-// of invariant violations.
+// job's flight recorder as <scenario>.<tenant>.flight.json, its critical
+// path as <scenario>.<tenant>.critpath.txt, and a cross-tenant
+// differential report <scenario>.report.txt diffing the first two tenants'
+// last jobs (under interference scenarios, how the victim's run differs
+// from its neighbor's). It returns the number of invariant violations.
 func TenantSoak(scenarios []TenantScenario, traceDir string, logf func(format string, args ...any)) int {
 	failures := 0
 	for _, s := range scenarios {
@@ -760,6 +763,23 @@ func TenantSoak(scenarios []TenantScenario, traceDir string, logf func(format st
 				if werr := writeCritPathFile(sink, path); werr == nil {
 					logf("  critical path written to %s", path)
 				}
+			}
+		}
+		var pair []*report.Source
+		for _, st := range out.Stats {
+			if len(pair) == 2 {
+				break
+			}
+			if met, _ := out.Service.LastArtifacts(st.Name); met != nil {
+				if src, serr := report.FromSet(st.Name, met); serr == nil {
+					pair = append(pair, src)
+				}
+			}
+		}
+		if len(pair) == 2 {
+			path := traceDir + "/" + s.Name() + ".report.txt"
+			if werr := writeDiffFile(pair[0], pair[1], path); werr == nil {
+				logf("  cross-tenant report written to %s", path)
 			}
 		}
 	}

@@ -513,9 +513,13 @@ func ParseRankSpec(engine, spec string, seed int64) (RankScenario, error) {
 // logf. Every scenario exports its Chrome trace and canonical flight dump
 // into traceDir (when non-empty) as <name>.trace.json / <name>.flight.json
 // — rank chaos always leaves artifacts, because the interesting runs are
-// the ones that recovered. It returns the number of invariant violations.
+// the ones that recovered. Each also writes <name>.report.txt, the run's
+// differential report (faulted attempt plus recovery) against a fault-free
+// single-attempt baseline of the same engine and direction. It returns the
+// number of invariant violations.
 func RankSoak(scenarios []RankScenario, traceDir string, logf func(format string, args ...any)) int {
 	failures := 0
+	bl := baselines{}
 	for _, s := range scenarios {
 		out, err := s.Run()
 		status := "ok"
@@ -553,6 +557,15 @@ func RankSoak(scenarios []RankScenario, traceDir string, logf func(format string
 			path := traceDir + "/" + s.Name() + ".comm.json"
 			if werr := writeCommFile(out.Comm, path); werr != nil {
 				logf("  comm export failed: %v", werr)
+			}
+		}
+		if out.Metrics != nil {
+			// The baseline shares the engine, direction, and 4-rank chaos
+			// tile; rank scenarios run the core methods' default sieve.
+			base := Scenario{Engine: s.Engine, Write: !s.read(), Method: mpiio.DataSieve, Seed: 1}
+			path := traceDir + "/" + s.Name() + ".report.txt"
+			if werr := writeReportFile(bl.source(base), out.Metrics, s.Name(), path); werr != nil {
+				logf("  report export failed: %v", werr)
 			}
 		}
 	}

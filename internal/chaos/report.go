@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+
+	"flexio/internal/analyze"
+	"flexio/internal/metrics"
+	"flexio/internal/report"
+)
+
+// baselines caches fault-free report Sources per engine configuration, so a
+// soak pass over a full matrix runs each clean configuration once and diffs
+// every faulted scenario of that configuration against it.
+type baselines map[string]*report.Source
+
+// source returns the fault-free Source for the scenario's engine
+// configuration, running it on first use. A failed baseline run caches nil
+// so it is not retried for every scenario that shares the configuration.
+func (b baselines) source(s Scenario) *report.Source {
+	clean := s
+	clean.Fault = FaultNone
+	key := clean.Name()
+	if src, ok := b[key]; ok {
+		return src
+	}
+	var src *report.Source
+	if out, err := clean.Run(); err == nil && out != nil && out.Metrics != nil {
+		if fromSet, ferr := report.FromSet(key, out.Metrics); ferr == nil {
+			src = fromSet
+		}
+	}
+	b[key] = src
+	return src
+}
+
+// writeReportFile diffs a faulted run's metrics against the fault-free
+// baseline and writes the ranked differential report — followed by the
+// analyzer's findings on it — to path.
+func writeReportFile(baseline *report.Source, met *metrics.Set, label, path string) error {
+	if baseline == nil {
+		return fmt.Errorf("no fault-free baseline")
+	}
+	cur, err := report.FromSet(label, met)
+	if err != nil {
+		return err
+	}
+	return writeDiffFile(baseline, cur, path)
+}
+
+// writeDiffFile writes the differential report between two prepared Sources
+// to path.
+func writeDiffFile(old, cur *report.Source, path string) error {
+	rep := report.Diff(old, cur)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(f, rep.Format()); err != nil {
+		f.Close()
+		return err
+	}
+	if fs := analyze.ReportFindings(rep); len(fs) > 0 {
+		if _, err := f.WriteString(analyze.FormatReport(fs)); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}

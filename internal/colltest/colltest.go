@@ -22,6 +22,25 @@ import (
 // flexio/internal/hpio for the layout rules.
 type Workload = hpio.Pattern
 
+// SampleK, when positive, switches the harness to sampled tracing: the
+// aggregators and node leaders are always traced, K member ranks are
+// reservoir-sampled, and every other rank gets a nil tracer (cmd/hpio's
+// -sample flag). Zero traces every rank.
+var SampleK int
+
+// enableTracing attaches the harness trace sink — full by default, sampled
+// when SampleK is set — after the node map is installed.
+func enableTracing(w *mpi.World, info mpiio.Info, ranks int) *trace.Sink {
+	if SampleK <= 0 {
+		return w.EnableTracing(0)
+	}
+	always := make([]int, 0, info.CbNodes)
+	for a := 0; a < info.CbNodes && a < ranks; a++ {
+		always = append(always, a)
+	}
+	return w.EnableSampledTracing(0, trace.SamplePolicy{Always: always, K: SampleK, Seed: 1})
+}
+
 // Byte is the deterministic payload byte for a rank's k-th data byte.
 func Byte(rank int, k int64) byte { return hpio.FillByte(rank, k) }
 
@@ -117,7 +136,7 @@ func RunReadBack(cfg *sim.Config, wl Workload, info mpiio.Info) (Result, error) 
 
 	// Trace only the measured phase: timestamps restart at zero with the
 	// clocks.
-	sink := w.EnableTracing(0)
+	sink := enableTracing(w, info, wl.Ranks)
 	met := w.EnableMetrics()
 	comm := w.EnableCommMatrix()
 	w.ResetClocks()
@@ -163,7 +182,7 @@ func run(cfg *sim.Config, wl Workload, info mpiio.Info, write bool, steps int) (
 	if wl.NodeRanks > 0 {
 		w.SetNodeMap(mpi.BlockNodeMap(wl.NodeRanks))
 	}
-	sink := w.EnableTracing(0)
+	sink := enableTracing(w, info, wl.Ranks)
 	met := w.EnableMetrics()
 	comm := w.EnableCommMatrix()
 	fs := pfs.NewFileSystem(cfg)

@@ -71,6 +71,10 @@ type RankShare struct {
 	Rank      int
 	OnPathSec float64
 	SlackSec  float64
+	// Traced reports whether the rank carried a tracer (always true on a
+	// fully traced sink); untraced ranks' shares are vacuous — their slack
+	// spans the whole window because they recorded nothing.
+	Traced bool
 }
 
 // Report is the extracted critical path.
@@ -91,8 +95,18 @@ type Report struct {
 	Steps         int  // causal jumps the walk took
 	Truncated     bool // ring overflow dropped events; attribution unreliable
 	DroppedEvents int64
-	ByRank        []RankShare // indexed by rank
-	Entries       []Entry     // sorted by Sec descending (ties: rank, phase, round)
+	// SampledRanks is how many ranks carried tracers (== Ranks for a fully
+	// traced sink); under an adaptive sampling policy the window, coverage,
+	// and per-rank shares describe the sampled ranks only.
+	SampledRanks int
+	// BlindSteps counts causal jumps whose counterpart event lives on an
+	// unsampled rank: the walk had to stay local, so the time it attributed
+	// there may really belong to an invisible sender or releaser. This is
+	// the honesty knob of sampled profiling — the fraction is reported, not
+	// hidden (see BlindSpotFrac and the sampling-blind-spot finding).
+	BlindSteps int
+	ByRank     []RankShare // indexed by rank
+	Entries    []Entry     // sorted by Sec descending (ties: rank, phase, round)
 }
 
 type jumpKind uint8
@@ -147,11 +161,13 @@ func Analyze(s *trace.Sink) *Report {
 		return rep
 	}
 	rep.Ranks = s.Ranks()
+	rep.SampledRanks = s.SampledCount()
 	rep.DroppedEvents = s.Dropped()
 	rep.Truncated = rep.DroppedEvents > 0
 	rep.ByRank = make([]RankShare, rep.Ranks)
 	for r := range rep.ByRank {
 		rep.ByRank[r].Rank = r
+		rep.ByRank[r].Traced = s.Sampled(r)
 	}
 
 	ranks := make([]rankData, rep.Ranks)
@@ -237,7 +253,14 @@ func Analyze(s *trace.Sink) *Report {
 		case jMsg:
 			src, ok := sends[j.edge]
 			if !ok {
-				continue // send lost to ring overflow: stay local
+				// The edge id encodes its endpoints, so a missing send
+				// splits into two causes: the sender was never sampled (a
+				// policy blind spot, counted) or its ring overflowed
+				// (covered by Truncated). Either way the walk stays local.
+				if sender := int(j.edge/int64(rep.Ranks)) % rep.Ranks; !s.Sampled(sender) {
+					rep.BlindSteps++
+				}
+				continue
 			}
 			add(src.rank, PhaseTransfer, -1, j.ts-src.ts)
 			cur = src.rank
@@ -250,7 +273,10 @@ func Analyze(s *trace.Sink) *Report {
 			}
 			enter, ok := enters[collKey{j.seq, j.by}]
 			if !ok {
-				continue // entry lost to ring overflow: stay local
+				if !s.Sampled(j.by) {
+					rep.BlindSteps++ // releasing rank unsampled: policy blind spot
+				}
+				continue // otherwise: entry lost to ring overflow, stay local
 			}
 			add(j.by, PhaseRendezvous, -1, j.ts-enter)
 			cur = j.by
@@ -442,6 +468,16 @@ func (r *Report) Coverage() float64 {
 // rendezvous time).
 func (r *Report) BlockedSec() float64 { return r.TransferSec + r.RendezvousSec }
 
+// BlindSpotFrac is the fraction of causal steps that hit a sampling blind
+// spot (0 with no steps, and always 0 on a fully traced sink). A ratio of
+// two event counts, so it is deterministic wherever the trace is.
+func (r *Report) BlindSpotFrac() float64 {
+	if r.Steps == 0 {
+		return 0
+	}
+	return float64(r.BlindSteps) / float64(r.Steps)
+}
+
 // Top returns the largest attribution bucket (zero Entry when empty).
 func (r *Report) Top() Entry {
 	if len(r.Entries) == 0 {
@@ -484,8 +520,18 @@ func (r *Report) Format() string {
 	}
 	fmt.Fprintf(&sb, "path: %d causal step(s); blocked %.6fs (transfer %.6fs, rendezvous %.6fs), idle %.6fs\n",
 		r.Steps, r.BlockedSec(), r.TransferSec, r.RendezvousSec, r.IdleSec)
+	sampledOnly := r.SampledRanks > 0 && r.SampledRanks < r.Ranks
+	if sampledOnly {
+		fmt.Fprintf(&sb, "sampling: %d of %d rank(s) traced; blind spots: %d of %d step(s) (%.2f%%)\n",
+			r.SampledRanks, r.Ranks, r.BlindSteps, r.Steps, 100*r.BlindSpotFrac())
+	}
 	sb.WriteString("per-rank on-path time and finish slack (virtual seconds):\n")
 	for _, rs := range r.ByRank {
+		// Under partial sampling only traced ranks print, so the table
+		// stays O(sampled), not O(ranks).
+		if sampledOnly && !rs.Traced {
+			continue
+		}
 		fmt.Fprintf(&sb, "  r%-4d %12.6f %12.6f\n", rs.Rank, rs.OnPathSec, rs.SlackSec)
 	}
 	if len(r.Entries) > 0 {

@@ -2,6 +2,7 @@ package critpath
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"flexio/internal/metrics"
@@ -154,5 +155,61 @@ func TestNotePublishesToMetrics(t *testing.T) {
 	}
 	if g := set.Registry(1).Gauge(metrics.GCritPathSec); !approx(g, 3) {
 		t.Fatalf("rank 1 critpath_seconds gauge = %v, want 3", g)
+	}
+}
+
+// TestSampledBlindSpots drives the chain workload through a sampled sink
+// where the sender rank is unsampled: the receive's causal jump cannot be
+// followed, and the report must say so instead of silently claiming full
+// coverage.
+func TestSampledBlindSpots(t *testing.T) {
+	s := trace.NewSampledSink(2, 0, []bool{true, false})
+	r0, r1 := s.Tracer(0), s.Tracer(1)
+	if r1 != nil {
+		t.Fatal("unsampled rank should have a nil tracer")
+	}
+	// The edge id encodes (seq=0, src=1, dst=0) at size 2.
+	edge := int64(1*2 + 0)
+	r1.Begin(0, "work") // nil-safe no-op
+	r0.Begin(0, "wait")
+	r0.Instant2(3, trace.MsgRecvName, trace.I(trace.EdgeTag, edge), trace.I(trace.BlockedTag, 1))
+	r0.End(4)
+
+	rep := Analyze(s)
+	if rep.SampledRanks != 1 {
+		t.Fatalf("SampledRanks = %d, want 1", rep.SampledRanks)
+	}
+	if rep.BlindSteps != 1 || rep.Steps != 1 {
+		t.Fatalf("BlindSteps/Steps = %d/%d, want 1/1", rep.BlindSteps, rep.Steps)
+	}
+	if !approx(rep.BlindSpotFrac(), 1) {
+		t.Fatalf("BlindSpotFrac = %v, want 1", rep.BlindSpotFrac())
+	}
+	if !rep.ByRank[0].Traced || rep.ByRank[1].Traced {
+		t.Fatalf("Traced flags = %v/%v, want true/false", rep.ByRank[0].Traced, rep.ByRank[1].Traced)
+	}
+	// The formatted report discloses the sampling and hides only the
+	// untraced rank rows.
+	text := rep.Format()
+	if !strings.Contains(text, "sampling: 1 of 2 rank(s) traced") {
+		t.Fatalf("Format missing sampling disclosure:\n%s", text)
+	}
+	if strings.Contains(text, "r1 ") {
+		t.Fatalf("Format lists the untraced rank:\n%s", text)
+	}
+}
+
+// TestFullSinkReportsNoBlindSpots pins the honesty knob's quiet side: a
+// fully traced sink must not grow a sampling line or blind steps.
+func TestFullSinkReportsNoBlindSpots(t *testing.T) {
+	rep := Analyze(chainSink())
+	if rep.SampledRanks != rep.Ranks {
+		t.Fatalf("SampledRanks = %d, want %d", rep.SampledRanks, rep.Ranks)
+	}
+	if rep.BlindSteps != 0 {
+		t.Fatalf("BlindSteps = %d, want 0", rep.BlindSteps)
+	}
+	if strings.Contains(rep.Format(), "sampling:") {
+		t.Fatal("fully traced report grew a sampling line")
 	}
 }

@@ -28,6 +28,12 @@ var (
 	LastStats     *stats.Recorder
 )
 
+// SampleK, when positive, makes traced harness runs sample only the node
+// leaders, the aggregators the critical-path profiler cannot do without,
+// and K reservoir-chosen member ranks, instead of tracing every rank
+// (cmd/pfrbench's -sample flag). Zero traces everything.
+var SampleK int
+
 // NodeRanks, when positive, places every NodeRanks consecutive ranks on one
 // simulated node for every harness run (cmd/flexio-bench's -nodes flag).
 // Zero keeps the default one-rank-per-node topology, under which the
@@ -116,7 +122,15 @@ func RunSteps(cfg *sim.Config, ranks int, info mpiio.Info, steps int,
 		w.SetNodeMap(mpi.BlockNodeMap(NodeRanks))
 	}
 	if TraceCapacity > 0 {
-		w.EnableTracing(TraceCapacity)
+		if SampleK > 0 {
+			always := make([]int, 0, info.CbNodes)
+			for a := 0; a < info.CbNodes && a < ranks; a++ {
+				always = append(always, a)
+			}
+			w.EnableSampledTracing(TraceCapacity, trace.SamplePolicy{Always: always, K: SampleK, Seed: 1})
+		} else {
+			w.EnableTracing(TraceCapacity)
+		}
 	}
 	// Metrics are allocation-free; always on so drivers can export the
 	// exposition or run the analyzer via World.MetricsSet.

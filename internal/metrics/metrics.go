@@ -476,13 +476,28 @@ func NewSet(ranks int) *Set { return NewSetCap(ranks, DefaultFlightRounds) }
 // (non-positive means DefaultFlightRounds). All ring storage is allocated
 // here, so recording stays allocation-free afterwards.
 func NewSetCap(ranks, flightCap int) *Set {
+	return NewSetSelective(ranks, flightCap, nil)
+}
+
+// NewSetSelective is NewSetCap with flight-recorder rings allocated only
+// for the ranks keepFlight admits (nil admits every rank). Registries stay
+// per-rank — they are small fixed arrays and must be lock-free for the
+// owning goroutine — but the rings dominate the Set's memory (flightCap
+// RoundRecords per rank), so a rollup deployment that keeps rings only on
+// node leaders and trace-sampled ranks holds flight memory to
+// O(nodes + sampled ranks) instead of O(ranks). Ranks without a ring still
+// record rounds; FlightRank.Record on a zero-capacity ring is a no-op.
+func NewSetSelective(ranks, flightCap int, keepFlight func(rank int) bool) *Set {
 	if flightCap <= 0 {
 		flightCap = DefaultFlightRounds
 	}
 	f := &Flight{abortRound: -1, ranks: make([]FlightRank, ranks)}
 	s := &Set{regs: make([]*Registry, ranks), flight: f}
 	for i := range s.regs {
-		f.ranks[i] = FlightRank{f: f, rank: i, recs: make([]RoundRecord, flightCap)}
+		f.ranks[i] = FlightRank{f: f, rank: i}
+		if keepFlight == nil || keepFlight(i) {
+			f.ranks[i].recs = make([]RoundRecord, flightCap)
+		}
 		s.regs[i] = &Registry{rank: i, fr: &f.ranks[i]}
 	}
 	return s
@@ -512,6 +527,44 @@ func (s *Set) Flight() *Flight {
 	return s.flight
 }
 
+// FlightRingRanks counts the ranks holding allocated flight rings. Under
+// NewSetSelective this is the O(leaders + sampled ranks) bound the scale
+// smoke test asserts; under NewSet it equals Ranks().
+func (s *Set) FlightRingRanks() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for i := range s.flight.ranks {
+		if len(s.flight.ranks[i].recs) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// MergeFrom folds another registry into this one: counters sum, gauges
+// take the maximum, histograms merge. It is the single merge path both
+// Merged and the per-node rollup tree (rollup.go) use, so cross-rank and
+// per-node views agree by construction. Nil receivers and sources are
+// no-ops.
+func (r *Registry) MergeFrom(o *Registry) {
+	if r == nil || o == nil {
+		return
+	}
+	for c, v := range o.counters {
+		r.counters[c] += v
+	}
+	for g, v := range o.gauges {
+		if v > r.gauges[g] {
+			r.gauges[g] = v
+		}
+	}
+	for h := range o.hists {
+		r.hists[h].MergeHist(&o.hists[h])
+	}
+}
+
 // Merged folds every rank's registry into a fresh cross-rank view: counters
 // sum, gauges take the maximum, histograms merge. The result has no flight
 // handle and rank -1.
@@ -521,17 +574,7 @@ func (s *Set) Merged() *Registry {
 		return out
 	}
 	for _, r := range s.regs {
-		for c, v := range r.counters {
-			out.counters[c] += v
-		}
-		for g, v := range r.gauges {
-			if v > out.gauges[g] {
-				out.gauges[g] = v
-			}
-		}
-		for h := range r.hists {
-			out.hists[h].MergeHist(&r.hists[h])
-		}
+		out.MergeFrom(r)
 	}
 	return out
 }

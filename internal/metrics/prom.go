@@ -63,9 +63,17 @@ func (s *Set) WriteProm(w io.Writer) error {
 		}
 	}
 
-	// Histograms, merged across ranks. Families sharing a name (the
-	// per-phase set) are emitted under one HELP/TYPE header.
-	merged := s.Merged()
+	writePromHists(bw, s.Merged())
+	writePromBufpool(bw)
+	return bw.Flush()
+}
+
+// writePromHists emits the merged histogram section: families sharing a
+// name (the per-phase set) go under one HELP/TYPE header, each with
+// cumulative le buckets, +Inf, _sum and _count. Shared by the per-rank and
+// per-node (rollup) expositions — histograms always merge across ranks, so
+// the section is identical in both.
+func writePromHists(bw *bufio.Writer, merged *Registry) {
 	headerDone := map[string]bool{}
 	for h := Hist(0); h < numHists; h++ {
 		hm := histMeta[h]
@@ -98,9 +106,12 @@ func (s *Set) WriteProm(w io.Writer) error {
 			fmt.Fprintf(bw, "%s_count %d\n", name, hist.Count())
 		}
 	}
+}
 
-	// Buffer-pool counters are process-global (the pools are shared by all
-	// simulated ranks), so they carry no rank label.
+// writePromBufpool emits the process-global buffer-pool counters (the
+// pools are shared by all simulated ranks, so they carry no rank or node
+// label).
+func writePromBufpool(bw *bufio.Writer) {
 	pc := bufpool.Snapshot()
 	pool := []struct {
 		name string
@@ -118,8 +129,6 @@ func (s *Set) WriteProm(w io.Writer) error {
 		fmt.Fprintf(bw, "# TYPE %s counter\n", name)
 		fmt.Fprintf(bw, "%s %d\n", name, p.v)
 	}
-
-	return bw.Flush()
 }
 
 // formatProm renders a float the way Prometheus clients do: shortest

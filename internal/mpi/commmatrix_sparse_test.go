@@ -1,0 +1,187 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"flexio/internal/sim"
+)
+
+// fillMatrix drives the same traffic into a matrix regardless of its
+// representation.
+func fillMatrix(m *CommMatrix) {
+	m.add(0, 1, 100, false)
+	m.add(0, 1, 50, true)
+	m.add(1, 2, 25, true)
+	m.add(2, 2, 10, true)
+	m.add(2, 0, 40, false)
+}
+
+// TestSparseDenseEquivalence pins the property the representation switch
+// must preserve: every accessor answers identically whether the cells live
+// in the dense array or the per-row sparse maps.
+func TestSparseDenseEquivalence(t *testing.T) {
+	old := CommDenseLimit
+	defer func() { CommDenseLimit = old }()
+
+	CommDenseLimit = 512
+	dense := newCommMatrix(3)
+	CommDenseLimit = 2
+	sparse := newCommMatrix(3)
+	if dense.Sparse() || !sparse.Sparse() {
+		t.Fatalf("representation selection wrong: dense.Sparse=%v sparse.Sparse=%v",
+			dense.Sparse(), sparse.Sparse())
+	}
+	fillMatrix(dense)
+	fillMatrix(sparse)
+
+	for src := 0; src < 3; src++ {
+		if dense.RowBytes(src) != sparse.RowBytes(src) {
+			t.Errorf("RowBytes(%d): dense %d != sparse %d", src, dense.RowBytes(src), sparse.RowBytes(src))
+		}
+		if dense.ShuffleRowBytes(src) != sparse.ShuffleRowBytes(src) {
+			t.Errorf("ShuffleRowBytes(%d) mismatch", src)
+		}
+	}
+	for dst := 0; dst < 3; dst++ {
+		if dense.ColBytes(dst) != sparse.ColBytes(dst) {
+			t.Errorf("ColBytes(%d) mismatch", dst)
+		}
+		if dense.ShuffleColBytes(dst) != sparse.ShuffleColBytes(dst) {
+			t.Errorf("ShuffleColBytes(%d) mismatch", dst)
+		}
+	}
+	if dense.TotalBytes() != sparse.TotalBytes() || dense.TotalMsgs() != sparse.TotalMsgs() {
+		t.Error("totals mismatch")
+	}
+	if dense.NonzeroCells() != sparse.NonzeroCells() {
+		t.Errorf("NonzeroCells: dense %d != sparse %d", dense.NonzeroCells(), sparse.NonzeroCells())
+	}
+	for src := 0; src < 3; src++ {
+		for dst := 0; dst < 3; dst++ {
+			if dense.Cell(src, dst) != sparse.Cell(src, dst) {
+				t.Errorf("Cell(%d,%d) mismatch", src, dst)
+			}
+		}
+	}
+	di, da := dense.NodeSplit(BlockNodeMap(2))
+	si, sa := sparse.NodeSplit(BlockNodeMap(2))
+	if di != si || da != sa {
+		t.Errorf("NodeSplit mismatch: dense (%d,%d) sparse (%d,%d)", di, da, si, sa)
+	}
+
+	sparse.reset()
+	if sparse.TotalBytes() != 0 || sparse.NonzeroCells() != 0 {
+		t.Error("sparse reset left traffic behind")
+	}
+	sparse.add(0, 1, 7, true)
+	if sparse.TotalBytes() != 7 {
+		t.Error("sparse matrix unusable after reset")
+	}
+}
+
+func TestSparseJSONSchemaAndDeterminism(t *testing.T) {
+	old := CommDenseLimit
+	defer func() { CommDenseLimit = old }()
+	CommDenseLimit = 2
+
+	m := newCommMatrix(3)
+	fillMatrix(m)
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Schema  string      `json:"schema"`
+		Ranks   int         `json:"ranks"`
+		Cells   []CommCell  `json:"cells"`
+		Entries []CommEntry `json:"entries"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema != CommMatrixSparseSchema {
+		t.Fatalf("schema = %q, want %q", out.Schema, CommMatrixSparseSchema)
+	}
+	if out.Cells != nil {
+		t.Fatal("sparse JSON must not carry the dense cell array")
+	}
+	// Entries sorted by (src, dst) and complete.
+	if len(out.Entries) != m.NonzeroCells() {
+		t.Fatalf("entries = %d, want %d", len(out.Entries), m.NonzeroCells())
+	}
+	for i := 1; i < len(out.Entries); i++ {
+		a, b := out.Entries[i-1], out.Entries[i]
+		if a.Src > b.Src || (a.Src == b.Src && a.Dst >= b.Dst) {
+			t.Fatalf("entries not strictly ordered at %d: %+v then %+v", i, a, b)
+		}
+	}
+	// Row/col sums recovered from entries must match the accessors — the
+	// same invariant the dense property test pins against engine counters.
+	rows := map[int]int64{}
+	cols := map[int]int64{}
+	for _, e := range out.Entries {
+		rows[e.Src] += e.Bytes
+		cols[e.Dst] += e.Bytes
+	}
+	for r := 0; r < 3; r++ {
+		if rows[r] != m.RowBytes(r) || cols[r] != m.ColBytes(r) {
+			t.Fatalf("rank %d sums from JSON (%d,%d) disagree with accessors (%d,%d)",
+				r, rows[r], cols[r], m.RowBytes(r), m.ColBytes(r))
+		}
+	}
+	// Byte-deterministic.
+	var buf2 bytes.Buffer
+	if err := m.WriteJSON(&buf2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("sparse WriteJSON not byte-deterministic")
+	}
+
+	// Format switches to the nonzero-entry listing.
+	text := m.Format(nil)
+	if !strings.Contains(text, "sparse: 4 nonzero cell(s)") {
+		t.Fatalf("sparse Format missing header:\n%s", text)
+	}
+
+	// An empty sparse matrix still emits an entries array, not null.
+	CommDenseLimit = 2
+	empty := newCommMatrix(3)
+	var ebuf bytes.Buffer
+	if err := empty.WriteJSON(&ebuf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(ebuf.String(), `"entries": null`) {
+		t.Fatal("empty sparse matrix serialized entries as null")
+	}
+}
+
+// TestWorldSparseMatrix drives real world traffic over the threshold to
+// check the auto-switch and that the engine-facing accounting still adds
+// up.
+func TestWorldSparseMatrix(t *testing.T) {
+	old := CommDenseLimit
+	defer func() { CommDenseLimit = old }()
+	CommDenseLimit = 3
+
+	w := NewWorld(4, sim.DefaultConfig())
+	m := w.EnableCommMatrix()
+	if !m.Sparse() {
+		t.Fatal("matrix should be sparse above CommDenseLimit")
+	}
+	w.Run(func(p *Proc) {
+		if p.Rank() == 0 {
+			p.Send(1, 0, make([]byte, 64))
+		}
+		if p.Rank() == 1 {
+			p.Recv(0, 0)
+		}
+	})
+	if m.TotalBytes() != 64 || m.Cell(0, 1).Msgs != 1 {
+		t.Fatalf("sparse world accounting wrong: total=%d cell=%+v", m.TotalBytes(), m.Cell(0, 1))
+	}
+}

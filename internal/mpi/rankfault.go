@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"errors"
+	"sort"
 	"sync"
 
 	"flexio/internal/sim"
@@ -118,6 +119,34 @@ func (s *RankFaultSchedule) Drop(from, to int, prob float64, penalty sim.Time, c
 	defer s.mu.Unlock()
 	s.drops = append(s.drops, dropRule{from: from, to: to, prob: prob, penalty: penalty, left: count})
 	return s
+}
+
+// Victims returns the distinct ranks targeted by crash and stall rules, in
+// ascending order — the failover participants an adaptive trace-sampling
+// policy must always sample, since the causal record of their failure and
+// recovery is what a postmortem needs.
+func (s *RankFaultSchedule) Victims() []int {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range s.crashes {
+		if !seen[r.rank] {
+			seen[r.rank] = true
+			out = append(out, r.rank)
+		}
+	}
+	for _, r := range s.stalls {
+		if !seen[r.rank] {
+			seen[r.rank] = true
+			out = append(out, r.rank)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Injected returns how many rank faults have fired so far (crashes, stalls

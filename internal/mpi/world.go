@@ -154,6 +154,35 @@ func (w *World) EnableTracing(capacity int) *trace.Sink {
 // TraceSink returns the attached trace sink (nil when tracing is off).
 func (w *World) TraceSink() *trace.Sink { return w.sink }
 
+// EnableSampledTracing attaches a trace sink under the given sampling
+// policy, on top of which the world adds the ranks whose causal structure
+// the critical-path profiler cannot do without: every node leader under
+// the installed node map (members' pre-aggregation traffic funnels through
+// them) and every victim of the installed rank-fault plan (failover
+// participants). Unsampled ranks get nil tracers — they pay one nil check
+// per instrumentation point and no ring memory — so trace memory is
+// O(always + K) instead of O(ranks). Call it after SetNodeMap and
+// SetRankFaults, before Run.
+func (w *World) EnableSampledTracing(capacity int, policy trace.SamplePolicy) *trace.Sink {
+	always := append([]int(nil), policy.Always...)
+	leaders := make([]bool, w.size)
+	w.procs[0].NodeLeadersInto(leaders, nil)
+	for r, lead := range leaders {
+		if lead {
+			always = append(always, r)
+		}
+	}
+	if w.rf != nil {
+		always = append(always, w.rf.Victims()...)
+	}
+	policy.Always = always
+	w.sink = trace.NewSampledSink(w.size, capacity, policy.SampleRanks(w.size))
+	for i, p := range w.procs {
+		p.Trace = w.sink.Tracer(i)
+	}
+	return w.sink
+}
+
 // EnableMetrics attaches a metrics set (registry per rank plus the shared
 // flight recorder) and hands each rank its registry. Call it before Run; it
 // returns the set for exposition, dumps, and analysis.
@@ -167,6 +196,27 @@ func (w *World) EnableMetrics() *metrics.Set {
 
 // MetricsSet returns the attached metrics set (nil when metrics are off).
 func (w *World) MetricsSet() *metrics.Set { return w.met }
+
+// EnableMetricsRollup attaches a metrics set whose flight-recorder rings
+// are restricted to the node leaders under the installed node map plus the
+// ranks the attached trace sink samples (registries stay per-rank: they
+// are small and must stay lock-free for the owning goroutine), and returns
+// it with the per-node rollup view for O(nodes) exposition. Together with
+// EnableSampledTracing this holds per-run telemetry memory to
+// O(nodes + sampled ranks). Call it after SetNodeMap (and after
+// EnableSampledTracing if sampling), before Run.
+func (w *World) EnableMetricsRollup(flightCap int) (*metrics.Set, *metrics.Rollup) {
+	leaders := make([]bool, w.size)
+	w.procs[0].NodeLeadersInto(leaders, nil)
+	sink := w.sink
+	w.met = metrics.NewSetSelective(w.size, flightCap, func(rank int) bool {
+		return leaders[rank] || sink.Sampled(rank)
+	})
+	for i, p := range w.procs {
+		p.Metrics = w.met.Registry(i)
+	}
+	return w.met, metrics.NewRollup(w.met, w.nodeOf)
+}
 
 // EnableCommMatrix attaches a rank×rank communication matrix that every
 // point-to-point send and vector-collective row is accounted into. Call it

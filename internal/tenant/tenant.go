@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 
 	"flexio/internal/core"
+	"flexio/internal/critpath"
 	"flexio/internal/datatype"
 	"flexio/internal/hpio"
 	"flexio/internal/metrics"
@@ -186,6 +187,7 @@ type Tenant struct {
 	folded        []int64 // completed jobs' merged counters, schema order
 	lastMet       *metrics.Set
 	lastSink      *trace.Sink
+	critSec       float64 // last job's critical-path window seconds
 
 	// Session fast path (atomics: no service lock on healthy steps).
 	ops      atomic.Int64
@@ -474,6 +476,13 @@ func (s *Service) runAndFinish(t *Tenant, job Job, p *Pending) {
 	}
 	if sink != nil {
 		t.lastSink = sink
+		// Publish the job's critical-path profile: the window length is
+		// the tenant's "why was this slow" number, and Note pushes the
+		// per-rank on-path seconds into the metrics gauges so they ride
+		// the exposition and flight dumps.
+		rep := critpath.Analyze(sink)
+		rep.Note(met)
+		t.critSec = rep.WindowSec
 	}
 	now := s.ticks
 	s.mu.Unlock()
@@ -620,6 +629,8 @@ type Stats struct {
 	ShedClosed    int64 // jobs shed by shutdown
 	Rejected      int64 // all typed rejections (sheds + session-step denials)
 	Degraded      int64 // jobs/steps that ran while a breaker was open
+
+	CritPathSec float64 // last job's critical-path window (virtual seconds)
 }
 
 // Shed is the total of queue-full, deadline, and shutdown sheds.
@@ -644,6 +655,7 @@ func (s *Service) TenantStats() []Stats {
 			ShedClosed:    t.shedClosed,
 			Rejected:      t.rejected.Load(),
 			Degraded:      t.degraded.Load(),
+			CritPathSec:   t.critSec,
 		})
 	}
 	return out

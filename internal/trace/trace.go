@@ -358,6 +358,9 @@ func kindName(k Kind) string {
 // goroutines only ever touch their own tracers.
 type Sink struct {
 	tracers []*Tracer
+	// sampled marks which ranks carry tracers (nil = all of them); set by
+	// NewSampledSink, read through the manifest accessors in sampling.go.
+	sampled []bool
 }
 
 // NewSink creates a sink with one tracer per rank, each with the given
