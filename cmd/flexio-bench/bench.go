@@ -111,6 +111,50 @@ func runBenchSuite(jsonPath, label, checkPath string) error {
 	return nil
 }
 
+// runIntegritySuite handles the checksummed-datapath trajectory
+// (BENCH_PR10.json). It measures the Default matrix with wire and at-rest
+// integrity armed; with jsonPath set the rows are saved under "after", and
+// with checkPath set (the clean BENCH_PR3.json) the run fails if any row
+// exceeds its clean counterpart's allocs/op budget or costs more than 5%
+// extra virtual time.
+func runIntegritySuite(jsonPath, checkPath string) error {
+	logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	fresh, err := benchsuite.MeasureAllIntegrity(logf)
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		f, err := benchsuite.Load(jsonPath)
+		if err != nil {
+			return err
+		}
+		f.Set("after", fresh)
+		if err := f.Save(jsonPath); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d checksum-on rows in %s\n", len(fresh), jsonPath)
+	}
+	if checkPath != "" {
+		f, err := benchsuite.Load(checkPath)
+		if err != nil {
+			return err
+		}
+		clean := f.Results["after"]
+		if len(clean) == 0 {
+			return fmt.Errorf("integritycheck: %s has no 'after' entries to budget against", checkPath)
+		}
+		problems := benchsuite.CompareIntegrity(clean, fresh, 0.05, 8)
+		for _, p := range problems {
+			fmt.Printf("integritycheck: %s\n", p)
+		}
+		if len(problems) > 0 {
+			return fmt.Errorf("integritycheck: %d violation(s) against %s", len(problems), checkPath)
+		}
+		fmt.Printf("integritycheck: all %d checksum-on rows within the clean allocation budget and 5%% virtual time\n", len(fresh))
+	}
+	return nil
+}
+
 // runTelemetrySuite handles the scale-ready-telemetry trajectory
 // (BENCH_PR9.json). With jsonPath set it measures the telemetry matrix
 // (sampled tracing + per-node rollups) and saves it under "after". With

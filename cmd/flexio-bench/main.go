@@ -37,6 +37,9 @@ func main() {
 	chaosRun := flag.Bool("chaos", false, "run the deterministic fault-injection scenario matrix instead of the figures")
 	rankChaosRun := flag.Bool("rankchaos", false, "run the rank-failure/failover scenario matrix instead of the figures")
 	tenantChaosRun := flag.Bool("tenantchaos", false, "run the multi-tenant interference scenario matrix instead of the figures")
+	corruptRun := flag.Bool("corrupt", false, "run the data-corruption scenario matrix (wire/at-rest/torn × repair/abort) instead of the figures")
+	integrityJSON := flag.String("integrityjson", "", "run the tracked benchmark matrix with the checksummed datapath enabled and record the rows under 'after' in this JSON trajectory file")
+	integrityCheck := flag.String("integritycheck", "", "run the tracked benchmark matrix with the checksummed datapath enabled and fail if allocs/op exceed the clean 'after' entries of this JSON file (BENCH_PR3.json) or virtual time regresses >5%")
 	chaosTraces := flag.String("chaostraces", "", "directory to write chaos scenarios' Chrome traces and flight dumps into")
 	benchJSON := flag.String("benchjson", "", "run the tracked benchmark matrix and merge results into this JSON trajectory file")
 	benchLabel := flag.String("benchlabel", "after", "label to store -benchjson results under (e.g. before, after, ci)")
@@ -72,6 +75,14 @@ func main() {
 
 	if *preaggJSON != "" || *preaggCheck != "" {
 		if err := runPreaggSuite(*preaggJSON, *preaggCheck); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *integrityJSON != "" || *integrityCheck != "" {
+		if err := runIntegritySuite(*integrityJSON, *integrityCheck); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -125,6 +136,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("tenantchaos: all scenarios held their invariants")
+		return
+	}
+
+	if *corruptRun {
+		logf := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+		if failures := chaos.CorruptSoak(chaos.CorruptMatrix(), *chaosTraces, logf); failures > 0 {
+			fmt.Fprintf(os.Stderr, "corrupt: %d scenario(s) violated invariants\n", failures)
+			os.Exit(1)
+		}
+		fmt.Println("corrupt: every injected flip was repaired or aborted uniformly; no silent corruption")
 		return
 	}
 

@@ -8,6 +8,8 @@
 //
 //	flexio-serve                      # serve on :9090, healthy traffic
 //	flexio-serve -chaos               # inject a noisy neighbor while serving
+//	flexio-serve -integrity           # checksummed datapath + background scrubber
+//	flexio-serve -corrupt             # silent bit-flips under 'batch'; scrub metrics move
 //	flexio-serve -once                # one traffic burst, exposition to stdout
 //	flexio-serve -addr :8080 -period 250ms
 //
@@ -48,12 +50,14 @@ import (
 func main() {
 	addr := flag.String("addr", ":9090", "address to serve /metrics, /healthz, and /tenants on")
 	chaosMode := flag.Bool("chaos", false, "inject hard sieve faults under the 'batch' tenant (noisy-neighbor demo)")
+	integrityOn := flag.Bool("integrity", false, "arm the checksummed datapath: per-stripe-block checksums, quarantine, and the tenant-aware background scrubber (scrub stats land in /metrics and /tenants)")
+	corruptMode := flag.Bool("corrupt", false, "silently flip stored bits under the 'batch' tenant's namespace (implies -integrity): quarantine and scrub metrics move while the service stays up")
 	period := flag.Duration("period", 500*time.Millisecond, "wall-clock interval between traffic rounds (each round is one logical tick)")
 	once := flag.Bool("once", false, "run one traffic burst, write the exposition to stdout, and exit")
 	rounds := flag.Int("rounds", 8, "traffic rounds for -once mode")
 	flag.Parse()
 
-	if err := run(*addr, *chaosMode, *period, *once, *rounds); err != nil {
+	if err := run(*addr, *chaosMode, *integrityOn || *corruptMode, *corruptMode, *period, *once, *rounds); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -66,16 +70,28 @@ var (
 	smallTile = hpio.Pattern{Ranks: 2, RegionSize: 64, RegionCount: 8, Spacing: 64}
 )
 
-func run(addr string, chaosMode bool, period time.Duration, once bool, rounds int) error {
+func run(addr string, chaosMode, integrityOn, corruptMode bool, period time.Duration, once bool, rounds int) error {
 	cfg := sim.DefaultConfig()
 	fs := pfs.NewFileSystem(cfg)
-	if chaosMode {
+	if integrityOn {
+		fs.EnableIntegrity(10, 64)
+	}
+	if chaosMode || corruptMode {
 		sched := pfs.NewFaultSchedule(1)
-		sched.Add(pfs.Rule{Name: "batch.dat", Kind: "write", Class: pfs.ClassIO,
-			Match: func(op pfs.Op) bool { return op.Sieve }})
+		if chaosMode {
+			sched.Add(pfs.Rule{Name: "batch/batch.dat", Kind: "write", Class: pfs.ClassIO,
+				Match: func(op pfs.Op) bool { return op.Sieve }})
+		}
+		if corruptMode {
+			// A trickle of silent media corruption confined to the batch
+			// tenant's namespace: the per-stripe-block checksums catch each
+			// flip on the next access, and the service tick's scrubber
+			// drains whatever the inline ring repair missed.
+			sched.AddFlip(pfs.FlipRule{Kind: "bitflip", Name: "batch/batch.dat", Prob: 0.2})
+		}
 		fs.SetFaultSchedule(sched)
 	}
-	svc, err := tenant.NewService(tenant.Config{FS: fs, Sim: cfg})
+	svc, err := tenant.NewService(tenant.Config{FS: fs, Sim: cfg, ScrubPerTick: 4})
 	if err != nil {
 		return err
 	}
@@ -98,18 +114,21 @@ func run(addr string, chaosMode bool, period time.Duration, once bool, rounds in
 	// trafficRound submits one job per tenant and advances logical time.
 	// Admission rejections and collective aborts are expected service
 	// behavior here, not process errors: they show up in the exposition.
+	// With -corrupt the batch file's stored bytes are flipped on purpose,
+	// so the byte-compare verify would flag every round; the integrity
+	// layer (checksums, quarantine, scrubber) is the detector there.
 	round := 0
 	trafficRound := func(engine string) {
 		svc.Submit("batch", tenant.Job{
-			File: "batch.dat", Engine: engine, Write: true,
-			Pattern: batchTile, CollBuf: 1024, Verify: true, Trace: true,
+			File: "batch/batch.dat", Engine: engine, Write: true,
+			Pattern: batchTile, CollBuf: 1024, Verify: !corruptMode, Trace: true,
 		})
 		svc.Submit("interactive", tenant.Job{
-			File: "interactive.dat", Engine: engine, Write: true,
+			File: "interactive/interactive.dat", Engine: engine, Write: true,
 			Pattern: smallTile, CollBuf: 1024, Verify: true, Trace: true,
 		})
 		svc.Submit("best-effort", tenant.Job{
-			File: "best-effort.dat", Engine: engine, Write: true,
+			File: "best-effort/best-effort.dat", Engine: engine, Write: true,
 			Pattern: smallTile, CollBuf: 1024, Verify: true, Trace: true,
 		})
 		svc.Tick()
@@ -211,7 +230,8 @@ func run(addr string, chaosMode bool, period time.Duration, once bool, rounds in
 		WriteTimeout: 30 * time.Second,
 		IdleTimeout:  2 * time.Minute,
 	}
-	fmt.Printf("flexio-serve: /metrics, /healthz, /tenants on %s (chaos=%v)\n", addr, chaosMode)
+	fmt.Printf("flexio-serve: /metrics, /healthz, /tenants on %s (chaos=%v integrity=%v corrupt=%v)\n",
+		addr, chaosMode, integrityOn, corruptMode)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {

@@ -196,3 +196,51 @@ func TestAnalyzeInterNodeHeavy(t *testing.T) {
 		t.Error("internode-heavy reported on mostly intra-node traffic")
 	}
 }
+
+// TestAnalyzeIntegrity exercises the corruption findings: detected
+// mismatches must be reported (critical once anything was unrepairable),
+// and a quarantine backlog must surface with the scrubber hint.
+func TestAnalyzeIntegrity(t *testing.T) {
+	d := &metrics.Dump{
+		Schema: metrics.DumpSchema,
+		Ranks:  4,
+		NAggs:  4,
+		Counters: map[string]int64{
+			"integrity_wire_mismatches":   6,
+			"integrity_wire_repaired":     6,
+			"integrity_atrest_mismatches": 3,
+			"integrity_quarantined":       3,
+			"integrity_repairs":           1,
+		},
+	}
+	fs := Analyze(d)
+	cd := get(fs, "corruption-detected")
+	if cd == nil || cd.Severity != SevWarning {
+		t.Fatalf("corruption-detected missing or wrong severity: %+v", fs)
+	}
+	if !strings.Contains(cd.Summary, "6 in-flight") || !strings.Contains(cd.Summary, "3 at-rest") {
+		t.Errorf("corruption-detected summary lacks triggering values: %s", cd.Summary)
+	}
+	sb := get(fs, "scrub-backlog")
+	if sb == nil || sb.Severity != SevWarning {
+		t.Fatalf("scrub-backlog missing or wrong severity: %+v", fs)
+	}
+	if !strings.Contains(sb.Summary, "2 stripe block(s)") {
+		t.Errorf("scrub-backlog summary lacks the backlog count: %s", sb.Summary)
+	}
+	if !strings.Contains(sb.Hint, "scrub") {
+		t.Errorf("scrub-backlog hint lacks the remedy: %s", sb.Hint)
+	}
+
+	// Unrepairable corruption escalates to critical.
+	d.Counters["integrity_unrepaired"] = 2
+	if cd := get(Analyze(d), "corruption-detected"); cd == nil || cd.Severity != SevCritical {
+		t.Fatalf("corruption-detected not critical with unrepaired failures: %+v", cd)
+	}
+
+	// Clean runs stay silent.
+	clean := &metrics.Dump{Schema: metrics.DumpSchema, Ranks: 4, Counters: map[string]int64{}}
+	if fs := Analyze(clean); get(fs, "corruption-detected") != nil || get(fs, "scrub-backlog") != nil {
+		t.Errorf("integrity findings on a clean run: %+v", fs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -132,6 +133,79 @@ func MeasureAllTelemetry(logf func(format string, args ...any)) ([]Result, error
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// MeasureAllIntegrity measures the checksummed-datapath matrix
+// (IntegrityConfigs): the Default rows re-run with wire and at-rest
+// integrity armed. Allocation figures come from the testing benchmark;
+// the virt-s/op column is replaced by the scheduling-noise-free
+// MeasureVirtFloor figure so the 5% virtual-time gate holds a stable
+// number against the committed clean baseline.
+func MeasureAllIntegrity(logf func(format string, args ...any)) ([]Result, error) {
+	var out []Result
+	for _, cfg := range IntegrityConfigs() {
+		res, err := Measure(cfg)
+		if err != nil {
+			return nil, err
+		}
+		floor, err := MeasureVirtFloor(cfg, 3, 4)
+		if err != nil {
+			return nil, err
+		}
+		res.VirtSecPerOp = floor
+		if logf != nil {
+			logf("%-40s %12.0f ns/op %10d B/op %8d allocs/op %.6f virt-s/op",
+				res.Name, res.NsPerOp, res.BytesPerOp, res.AllocsPerOp, res.VirtSecPerOp)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// CompareIntegrity holds fresh checksum-on results to the clean baseline
+// rows (the BENCH_PR3 "after" matrix): each "integrity/<name>" row must
+// stay within its clean counterpart's allocs/op budget (plus graceAllocs —
+// the checksum passes reuse the engines' buffers, so integrity must not
+// buy allocations) and may cost at most virtTolFrac more virtual time.
+// Rows without a clean counterpart, and clean steady-state rows never
+// measured, are reported so the gate notices a silently dropped config.
+func CompareIntegrity(clean []Result, fresh []Result, virtTolFrac float64, graceAllocs int64) []string {
+	base := map[string]Result{}
+	for _, r := range clean {
+		base[r.Name] = r
+	}
+	var problems []string
+	seen := map[string]bool{}
+	for _, r := range fresh {
+		name := strings.TrimPrefix(r.Name, "integrity/")
+		seen[name] = true
+		b, ok := base[name]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: no clean baseline entry %q", r.Name, name))
+			continue
+		}
+		if limit := b.AllocsPerOp + graceAllocs; r.AllocsPerOp > limit {
+			problems = append(problems, fmt.Sprintf(
+				"%s: checksum-on allocs/op exceed the clean budget: %d > limit %d (clean %d)",
+				r.Name, r.AllocsPerOp, limit, b.AllocsPerOp))
+		}
+		if limit := b.VirtSecPerOp * (1 + virtTolFrac); b.VirtSecPerOp > 0 && r.VirtSecPerOp > limit {
+			problems = append(problems, fmt.Sprintf(
+				"%s: checksum-on virtual time regressed: %.6f virt-s/op > limit %.6f (clean %.6f, tolerance %.0f%%)",
+				r.Name, r.VirtSecPerOp, limit, b.VirtSecPerOp, virtTolFrac*100))
+		}
+	}
+	var missing []string
+	for name := range base {
+		if !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		problems = append(problems, fmt.Sprintf("%s: clean baseline entry has no checksum-on measurement", name))
+	}
+	return problems
 }
 
 // CompareTelemetry checks fresh telemetry results against the committed

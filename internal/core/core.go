@@ -102,6 +102,14 @@ type Options struct {
 	// Overrides TreeRequests (merged accesses have no constructor tree, so
 	// every request travels in flattened form).
 	Preagg bool
+	// SpreadAggs spreads the cb_nodes aggregators across distinct nodes
+	// instead of packing the first ranks: when the hint asks for fewer
+	// aggregators than ranks, every rank keeps an (often empty) slot and
+	// realms are handed round-robin across nodes via realm.Spread, so
+	// node-major rank placement no longer funnels all aggregation traffic
+	// through the first node's NIC. Off by default — the packed layout is
+	// what ROMIO does and what the rank-chaos victim logic assumes.
+	SpreadAggs bool
 	// Validate checks realm coverage of the aggregate access region
 	// before every call (debugging aid; O(realms) per call).
 	Validate bool
@@ -264,6 +272,15 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	if naggs == 0 {
 		naggs = p.Size()
 	}
+	// Spreading keeps one slot per rank but gives realms to only the
+	// cb_nodes slots realm.Spread picks across nodes; the other slots are
+	// inert (empty realm, zero exchange bytes), exactly like a failed-over
+	// aggregator's.
+	spreadActive := 0
+	if i.o.SpreadAggs && naggs < p.Size() && p.NodeCount() > 1 {
+		spreadActive = naggs
+		naggs = p.Size()
+	}
 	amAgg := p.Rank() < naggs
 	scr := i.scratchFor(p.Rank())
 
@@ -337,7 +354,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	}
 
 	// --- File realms. ---
-	realms, err := i.realms(f, naggs, aarSt, aarEn, dataLen)
+	realms, err := i.realms(f, naggs, spreadActive, aarSt, aarEn, dataLen)
 	if err != nil {
 		return err
 	}
@@ -603,6 +620,19 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			return fmt.Errorf("%w (rank %d: %v)",
 				mpiio.ClassError(mpiio.ClassUnresponsive), p.Rank(), perr)
 		}
+		// Corrupted control-plane traffic can also shrink the access to
+		// nothing: a flat-access payload that exhausted its re-request
+		// budget reads as an empty access, so no rounds run and the
+		// sticky failure armed at the receiver would otherwise leak into
+		// the next collective. Agree on it here so every rank aborts with
+		// ClassIntegrity instead of silently writing nothing.
+		var ierr error
+		if e := p.TakeIntegrityFailure(); e != nil {
+			ierr = fmt.Errorf("core: access exchange: %w", e)
+		}
+		if err := mpiio.AgreeError(p, ierr); err != nil {
+			return err
+		}
 		if !write {
 			return f.UnpackMemory(stream, buf, memtype, count)
 		}
@@ -653,7 +683,7 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 }
 
 // realms resolves the file realm set, honouring persistence.
-func (i *Impl) realms(f *mpiio.File, naggs int, aarSt, aarEn, dataLen int64) ([]realm.Realm, error) {
+func (i *Impl) realms(f *mpiio.File, naggs, spreadActive int, aarSt, aarEn, dataLen int64) ([]realm.Realm, error) {
 	if i.o.Persistent {
 		// A resume must not honour realms persisted before the failure:
 		// they still route file regions through the dead aggregator. The
@@ -663,10 +693,11 @@ func (i *Impl) realms(f *mpiio.File, naggs int, aarSt, aarEn, dataLen int64) ([]
 		}
 	}
 	ctx := realm.Context{
-		NAggs: naggs,
-		Start: aarSt,
-		End:   aarEn,
-		Align: i.o.Align,
+		NAggs:  naggs,
+		Start:  aarSt,
+		End:    aarEn,
+		Align:  i.o.Align,
+		NodeOf: f.Proc().Node,
 	}
 	if i.o.Persistent {
 		// PFRs designate assignments for the entire file, anchored at
@@ -678,9 +709,20 @@ func (i *Impl) realms(f *mpiio.File, naggs int, aarSt, aarEn, dataLen int64) ([]
 	}
 	if i.o.Assigner.NeedsSegs() {
 		ctx.AllSegs, ctx.RankSegs = i.gatherAllSegs(f, dataLen)
-		ctx.NodeOf = f.Proc().Node
 	}
-	realms, err := i.o.Assigner.Assign(ctx)
+	assigner := i.o.Assigner
+	if spreadActive > 0 {
+		// Spread nests inside Failover: dead slots drop out first, then
+		// the spread picks among the survivors, so a resume never routes
+		// a realm through a dead rank.
+		if fo, ok := assigner.(realm.Failover); ok {
+			fo.Base = realm.Spread{Base: fo.Base, Active: spreadActive}
+			assigner = fo
+		} else {
+			assigner = realm.Spread{Base: assigner, Active: spreadActive}
+		}
+	}
+	realms, err := assigner.Assign(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: realm assignment: %w", err)
 	}
@@ -993,6 +1035,14 @@ func (i *Impl) writeRounds(f *mpiio.File, scr *rankScratch, stream []byte, realm
 			scr.reqs, scr.from = reqs[:0], from[:0]
 		}
 
+		// A payload that arrived corrupted and exhausted its re-request
+		// budget is unusable: the round's merge would shuffle damaged
+		// bytes into the file. Consume the sticky failure so the boundary
+		// agreement aborts every rank with ClassIntegrity.
+		if ierr := p.TakeIntegrityFailure(); ierr != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: write round %d: %w", r, ierr)
+		}
+
 		if amAgg {
 			if perr := p.PeerFailure(); perr != nil && firstErr == nil {
 				// The exchange surfaced a dead or straggling peer: the
@@ -1218,6 +1268,13 @@ func (i *Impl) readRounds(f *mpiio.File, scr *rankScratch, stream []byte, realms
 		p.ChargeTime(stats.PComm, p.Clock()-t0)
 		p.Trace.End(p.Clock())
 		p.Trace.End(p.Clock()) // round span
+
+		// Read-back data that arrived corrupted past its re-request budget
+		// must never reach the user buffer verified-looking: abort the
+		// round uniformly with ClassIntegrity.
+		if ierr := p.TakeIntegrityFailure(); ierr != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: read round %d: %w", r, ierr)
+		}
 
 		// Flight record: send_bytes is this rank's exchange volume with
 		// the aggregators (read-back direction), recv_bytes the merged

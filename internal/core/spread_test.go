@@ -1,0 +1,78 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"flexio/internal/colltest"
+	"flexio/internal/core"
+	"flexio/internal/mpiio"
+	"flexio/internal/realm"
+	"flexio/internal/sim"
+)
+
+// TestSpreadAggsByteIdentical: spreading the aggregators across nodes is a
+// placement change only — the written image and the read-back bytes must
+// match the packed layout exactly, across comm strategies and assigners.
+func TestSpreadAggsByteIdentical(t *testing.T) {
+	for _, cm := range []core.CommStrategy{core.Nonblocking, core.Alltoallw} {
+		for _, as := range []realm.Assigner{nil, realm.NodeLocal{}} {
+			name := fmt.Sprint(cm)
+			if as != nil {
+				name += "/" + as.Name()
+			}
+			t.Run(name, func(t *testing.T) {
+				wl := baseWorkload()
+				wl.NodeRanks = 4 // 8 ranks on 2 nodes, packed node-major
+				info := mpiio.Info{CbNodes: 2}
+				packed := core.Options{Assigner: as, Comm: cm, Validate: true}
+				spread := packed
+				spread.SpreadAggs = true
+				_, a := preaggImage(t, wl, packed, info)
+				_, b := preaggImage(t, wl, spread, info)
+				if !bytes.Equal(a, b) {
+					t.Fatal("spread image differs from packed image")
+				}
+				impl := core.New(spread)
+				ifo := info
+				ifo.Collective = impl
+				if _, err := colltest.RunReadBack(sim.DefaultConfig(), wl, ifo); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestSpreadAggsUseDistinctNodes is the placement claim: with cb_nodes=2
+// and both would-be packed aggregators (ranks 0 and 1) on node 0, the
+// spread must instead run one aggregator per node. Aggregator activity is
+// observed through per-rank I/O: only realm-owning ranks touch storage.
+func TestSpreadAggsUseDistinctNodes(t *testing.T) {
+	wl := baseWorkload()
+	wl.NodeRanks = 4 // ranks 0-3 on node 0, ranks 4-7 on node 1
+	impl := core.New(core.Options{SpreadAggs: true, Validate: true})
+	res, err := colltest.RunWrite(sim.DefaultConfig(), wl,
+		mpiio.Info{CbNodes: 2, Collective: impl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := colltest.VerifyImage(wl, res.Image); err != nil {
+		t.Fatal(err)
+	}
+	nodes := map[int]bool{}
+	var aggs []int
+	for r := 0; r < wl.Ranks; r++ {
+		if res.World.Proc(r).Stats.Counter("io_calls") > 0 {
+			aggs = append(aggs, r)
+			nodes[res.World.NodeMap()(r)] = true
+		}
+	}
+	if len(aggs) != 2 {
+		t.Fatalf("expected 2 active aggregators, got %v", aggs)
+	}
+	if len(nodes) != 2 {
+		t.Fatalf("aggregators %v packed onto %d node(s), want 2 distinct", aggs, len(nodes))
+	}
+}

@@ -1,0 +1,102 @@
+// Package integrity is the end-to-end data-integrity layer of the stack:
+// seeded, allocation-free checksums for in-flight payloads and at-rest
+// stripe blocks, a per-file block-checksum store with a quarantine set, a
+// bounded ring of retained block images for repair, and a logical-tick
+// scrubber that drains the quarantine in the background.
+//
+// Everything is deterministic for a fixed seed, like the fault schedules
+// it defends against: the same run detects the same corruptions at the
+// same points on every execution, which is what lets the chaos matrices
+// gate on byte-identical outcomes.
+package integrity
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+)
+
+// ErrDataIntegrity marks data whose checksum did not match and could not
+// be repaired — neither by bounded re-request (wire) nor from a retained
+// block image or journal replay (at rest). It is the sentinel the
+// collective error agreement escalates to a uniform abort; pfs re-exports
+// it so storage-layer callers need not import this package.
+var ErrDataIntegrity = errors.New("integrity: checksum mismatch, data unrepairable")
+
+// MaxReRequests bounds how many times a receiver re-requests a payload
+// whose wire checksum failed before giving up and escalating to
+// ErrDataIntegrity. A corruption rule whose repeat count exceeds it is
+// unrepairable by construction.
+const MaxReRequests = 3
+
+// tabWords is the size of the seeded scratch table the hash mixes through.
+const tabWords = 256
+
+// tabPool recycles scratch tables across hashers so short-lived worlds
+// (tests, chaos scenarios) do not churn 2KiB allocations.
+var tabPool = sync.Pool{New: func() any { return new([tabWords]uint64) }}
+
+// Hasher computes seeded 64-bit checksums. The seed expands into a
+// pooled scratch table at construction; Sum itself allocates nothing and
+// is safe for concurrent use (the table is read-only after NewHasher).
+type Hasher struct {
+	seed uint64
+	tab  *[tabWords]uint64
+}
+
+// NewHasher builds a hasher for the seed, borrowing its scratch table
+// from the pool. Call Release when the owning world or file system is
+// torn down to recycle the table; a dropped hasher merely falls to the GC.
+func NewHasher(seed int64) *Hasher {
+	h := &Hasher{seed: smix(uint64(seed) + 0x9e3779b97f4a7c15)}
+	h.tab = tabPool.Get().(*[tabWords]uint64)
+	x := h.seed
+	for i := range h.tab {
+		x = smix(x + 0x9e3779b97f4a7c15)
+		h.tab[i] = x
+	}
+	return h
+}
+
+// Release returns the scratch table to the pool. The hasher must not be
+// used afterwards.
+func (h *Hasher) Release() {
+	if h.tab != nil {
+		tabPool.Put(h.tab)
+		h.tab = nil
+	}
+}
+
+// Sum checksums data under the hasher's seed. Word-at-a-time with a
+// table-dependent mix, so single-bit flips anywhere in the payload change
+// the sum; allocation-free.
+func (h *Hasher) Sum(data []byte) uint64 {
+	x := h.seed ^ uint64(len(data))*0xff51afd7ed558ccd
+	for len(data) >= 8 {
+		k := binary.LittleEndian.Uint64(data)
+		x = (x << 27) | (x >> 37)
+		x ^= k * 0x9e3779b97f4a7c15
+		x ^= h.tab[byte(x)]
+		data = data[8:]
+	}
+	if len(data) > 0 {
+		var tail uint64
+		for i, b := range data {
+			tail |= uint64(b) << (8 * uint(i))
+		}
+		x = (x << 27) | (x >> 37)
+		x ^= tail * 0x9e3779b97f4a7c15
+		x ^= h.tab[byte(x)]
+	}
+	return smix(x)
+}
+
+// smix is the splitmix64 finalizer shared with the fault-schedule coins.
+func smix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

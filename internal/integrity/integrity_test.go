@@ -1,0 +1,163 @@
+package integrity
+
+import "testing"
+
+func TestSumDeterministicAndSeedSensitive(t *testing.T) {
+	h1 := NewHasher(42)
+	h2 := NewHasher(42)
+	h3 := NewHasher(43)
+	defer h1.Release()
+	defer h2.Release()
+	defer h3.Release()
+	data := []byte("the quick brown fox jumps over the lazy dog")
+	if h1.Sum(data) != h2.Sum(data) {
+		t.Fatal("same seed, same data must hash equal")
+	}
+	if h1.Sum(data) == h3.Sum(data) {
+		t.Fatal("different seeds should hash differently")
+	}
+	if h1.Sum(nil) != h1.Sum(nil) {
+		t.Fatal("empty input must be stable")
+	}
+}
+
+func TestSumDetectsEverySingleBitFlip(t *testing.T) {
+	h := NewHasher(7)
+	defer h.Release()
+	data := make([]byte, 67) // odd length exercises the tail path
+	for i := range data {
+		data[i] = byte(i * 37)
+	}
+	want := h.Sum(data)
+	for bit := 0; bit < len(data)*8; bit++ {
+		data[bit/8] ^= 1 << (bit % 8)
+		if h.Sum(data) == want {
+			t.Fatalf("bit flip at %d not detected", bit)
+		}
+		data[bit/8] ^= 1 << (bit % 8)
+	}
+	if h.Sum(data) != want {
+		t.Fatal("restored data must hash to the original sum")
+	}
+}
+
+func TestSumAllocationFree(t *testing.T) {
+	h := NewHasher(1)
+	defer h.Release()
+	data := make([]byte, 4096)
+	if n := testing.AllocsPerRun(100, func() { _ = h.Sum(data) }); n != 0 {
+		t.Fatalf("Sum allocated %.1f per call, want 0", n)
+	}
+}
+
+func TestStoreVerifyQuarantineRepair(t *testing.T) {
+	h := NewHasher(9)
+	defer h.Release()
+	st := NewStore(h, 8)
+	blk := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	st.Record("f", 0, blk, 0, int64(len(blk)))
+	if !st.Verify("f", 0, blk) {
+		t.Fatal("pristine block must verify")
+	}
+	blk[3] ^= 0x10
+	if st.Verify("f", 0, blk) {
+		t.Fatal("corrupted block must fail verification")
+	}
+	if !st.Quarantined("f", 0) {
+		t.Fatal("failed verification must quarantine the block")
+	}
+	if !st.Repair("f", 0, blk) {
+		t.Fatal("retained image should repair the block")
+	}
+	if blk[3] != 4 {
+		t.Fatalf("repair did not restore bytes: got %d", blk[3])
+	}
+	if st.Quarantined("f", 0) {
+		t.Fatal("repair must clear the quarantine")
+	}
+	s := st.Snapshot()
+	if s.Mismatches != 1 || s.Quarantined != 1 || s.Repairs != 1 || s.Backlog != 0 {
+		t.Fatalf("unexpected stats: %+v", s)
+	}
+}
+
+func TestStoreOverwriteClearsQuarantine(t *testing.T) {
+	h := NewHasher(11)
+	defer h.Release()
+	st := NewStore(h, 2)
+	blk := []byte{9, 9, 9, 9}
+	st.Record("g", 5, blk, 0, int64(len(blk)))
+	blk[0] ^= 1
+	if st.Verify("g", 5, blk) {
+		t.Fatal("flip must be detected")
+	}
+	// Age the pristine image out of the tiny ring.
+	st.Record("x", 0, []byte{1}, 0, int64(len([]byte{1})))
+	st.Record("x", 1, []byte{2}, 0, int64(len([]byte{2})))
+	if st.Repair("g", 5, blk) {
+		t.Fatal("repair must fail once the image left the ring")
+	}
+	// Journal-replay path: the block is rewritten through the datapath.
+	st.Record("g", 5, blk, 0, int64(len(blk)))
+	if st.Quarantined("g", 5) {
+		t.Fatal("overwrite must clear the quarantine")
+	}
+	if !st.Verify("g", 5, blk) {
+		t.Fatal("rewritten block must verify under its fresh sum")
+	}
+}
+
+func TestScrubberDrainsBacklogDeterministically(t *testing.T) {
+	h := NewHasher(3)
+	defer h.Release()
+	st := NewStore(h, 32)
+	pages := map[string]map[int64][]byte{"t0/f": {}, "t1/f": {}}
+	for name, m := range pages {
+		for i := int64(0); i < 3; i++ {
+			b := []byte{byte(i), byte(i + 1), byte(i + 2), byte(i + 3)}
+			m[i] = b
+			st.Record(name, i, b, 0, int64(len(b)))
+		}
+	}
+	// Corrupt everything and let verification quarantine it.
+	for name, m := range pages {
+		for i, b := range m {
+			b[0] ^= 0x80
+			if st.Verify(name, i, b) {
+				t.Fatalf("flip on %s/%d not detected", name, i)
+			}
+		}
+	}
+	sc := NewScrubber(st, func(name string, idx int64) bool {
+		return st.Repair(name, idx, pages[name][idx])
+	}, 2)
+	if got := st.Backlog(""); got != 6 {
+		t.Fatalf("backlog = %d, want 6", got)
+	}
+	if got := st.Backlog("t1/"); got != 3 {
+		t.Fatalf("t1 backlog = %d, want 3", got)
+	}
+	// Tenant-scoped ticks only touch that tenant's blocks.
+	if fixed := sc.Tick("t1/"); fixed != 2 {
+		t.Fatalf("tick fixed %d, want 2", fixed)
+	}
+	if got := st.Backlog("t0/"); got != 3 {
+		t.Fatalf("t0 backlog disturbed: %d", got)
+	}
+	for sc.Backlog("") > 0 {
+		if sc.Tick("") == 0 {
+			t.Fatal("scrubber stopped making progress")
+		}
+	}
+	for name, m := range pages {
+		for i, b := range m {
+			if !st.Verify(name, i, b) {
+				t.Fatalf("scrubbed block %s/%d does not verify", name, i)
+			}
+		}
+	}
+	ss := sc.Snapshot()
+	if ss.Repaired != 6 || ss.Backlog != 0 {
+		t.Fatalf("unexpected scrub stats: %+v", ss)
+	}
+}

@@ -1,0 +1,356 @@
+package integrity
+
+import (
+	"sort"
+	"sync"
+)
+
+// Store keeps the at-rest side of the integrity layer for one file
+// system: per-file block checksums recorded at write time, the quarantine
+// set of blocks whose stored bytes no longer match, and a bounded ring of
+// retained block images that repairs draw from. Block granularity is the
+// storage page — the unit pfs moves to and from its stripe-block store —
+// so every checksum domain maps onto exactly one OST via the file offset.
+//
+// The ring is the fast repair path: a corrupted block whose pristine
+// image is still retained is fixed in place without replaying the round
+// journal. Blocks that age out of the ring are only repairable by the
+// journal resume path (an overwrite refreshes the checksum and clears the
+// quarantine); when neither applies, reads return ErrDataIntegrity.
+type Store struct {
+	mu    sync.Mutex
+	h     *Hasher
+	sums  map[string]map[int64]uint64
+	quar  map[string]map[int64]*extent
+	wrote map[string]map[int64]*extent
+	ring  []retained
+	next  int
+
+	mismatches  int64 // at-rest checksum failures detected
+	quarantined int64 // blocks ever quarantined
+	repairs     int64 // blocks repaired (ring or overwrite)
+	unrepaired  int64 // reads that had to surface ErrDataIntegrity
+}
+
+// retained is one ring slot: the latest image of (name, block) observed
+// at write time. Slots are recycled in place — the data buffer is reused
+// when capacities allow — so steady-state writes retain without
+// allocating.
+type retained struct {
+	name string
+	idx  int64
+	sum  uint64
+	data []byte
+	live bool
+}
+
+// NewStore builds a store hashing with h and retaining up to ringCap
+// block images (ringCap <= 0 selects a default sized for the chaos
+// matrices' working sets).
+func NewStore(h *Hasher, ringCap int) *Store {
+	if ringCap <= 0 {
+		ringCap = 256
+	}
+	return &Store{
+		h:     h,
+		sums:  make(map[string]map[int64]uint64),
+		quar:  make(map[string]map[int64]*extent),
+		wrote: make(map[string]map[int64]*extent),
+		ring:  make([]retained, ringCap),
+	}
+}
+
+// extent is a merged, sorted set of block-relative byte intervals. The
+// store keeps two per block: the bytes ever written (sparse strided
+// layouts leave permanent holes inside a block), and — while the block is
+// quarantined — the bytes clean rewrites have repaved since. Collective
+// engines repair in shuffle-window-sized pieces, often smaller than a
+// stripe block, so the quarantine clears when the repaved union covers
+// the written union, not only on one monolithic overwrite.
+type extent struct {
+	cover []qspan
+}
+
+type qspan struct{ off, end int64 }
+
+// add merges [off,end) into the set. The steady-state cases — range
+// already covered, or extending one existing interval — mutate in place,
+// so repeated writes of a stable pattern do not allocate.
+func (b *extent) add(off, end int64) {
+	if end <= off {
+		return
+	}
+	i := 0
+	for i < len(b.cover) && b.cover[i].end < off {
+		i++
+	}
+	no, ne := off, end
+	j := i
+	for j < len(b.cover) && b.cover[j].off <= end {
+		if b.cover[j].off < no {
+			no = b.cover[j].off
+		}
+		if b.cover[j].end > ne {
+			ne = b.cover[j].end
+		}
+		j++
+	}
+	switch {
+	case j == i: // pure insertion between existing intervals
+		b.cover = append(b.cover, qspan{})
+		copy(b.cover[i+1:], b.cover[i:len(b.cover)-1])
+		b.cover[i] = qspan{no, ne}
+	case j == i+1: // merges into exactly one interval: update in place
+		b.cover[i] = qspan{no, ne}
+	default: // swallows several intervals
+		b.cover[i] = qspan{no, ne}
+		b.cover = append(b.cover[:i+1], b.cover[j:]...)
+	}
+}
+
+// covers reports whether the set contains all of [off,end).
+func (b *extent) covers(off, end int64) bool {
+	for _, sp := range b.cover {
+		if sp.off <= off && sp.end >= end {
+			return true
+		}
+	}
+	return false
+}
+
+// coversAll reports whether every interval of other is covered by b.
+func (b *extent) coversAll(other *extent) bool {
+	for _, sp := range other.cover {
+		if !b.covers(sp.off, sp.end) {
+			return false
+		}
+	}
+	return true
+}
+
+// Record checksums one block's bytes after a write landed its [off,end)
+// byte range (block-relative), retains a copy in the ring, and — once
+// clean rewrites have repaved every byte the block ever held — clears any
+// quarantine on it: a full overwrite through the normal datapath
+// (including a journal-replay rewrite) is itself the repair, and
+// sub-block repair pieces accumulate until their union covers the block's
+// written extent. Never-written gap bytes inside the block (sparse
+// strided layouts) don't gate the heal — nothing ever landed there for
+// the media to corrupt. While the coverage is still partial, nothing is
+// recorded: bytes outside the repaved spans are suspect, and refreshing
+// the checksum over the merged content would bless corruption as
+// verified. The block stays poisoned (reads keep failing) until the
+// coverage completes or a ring repair heals it.
+func (s *Store) Record(name string, idx int64, data []byte, off, end int64) {
+	if off < 0 {
+		off = 0
+	}
+	if end > int64(len(data)) {
+		end = int64(len(data))
+	}
+	s.mu.Lock()
+	w := s.wrote[name]
+	if w == nil {
+		w = make(map[int64]*extent)
+		s.wrote[name] = w
+	}
+	we := w[idx]
+	if we == nil {
+		we = &extent{}
+		w[idx] = we
+	}
+	we.add(off, end)
+	if q := s.quar[name]; q != nil {
+		if qb, held := q[idx]; held {
+			qb.add(off, end)
+			if !qb.coversAll(we) {
+				s.mu.Unlock()
+				return
+			}
+			delete(q, idx)
+			s.repairs++
+		}
+	}
+	sum := s.h.Sum(data)
+	m := s.sums[name]
+	if m == nil {
+		m = make(map[int64]uint64)
+		s.sums[name] = m
+	}
+	m[idx] = sum
+	r := &s.ring[s.next]
+	s.next = (s.next + 1) % len(s.ring)
+	r.name, r.idx, r.sum, r.live = name, idx, sum, true
+	if cap(r.data) >= len(data) {
+		r.data = r.data[:len(data)]
+	} else {
+		r.data = make([]byte, len(data))
+	}
+	copy(r.data, data)
+	s.mu.Unlock()
+}
+
+// Verify checks one block's stored bytes against the recorded checksum.
+// Blocks never recorded (sparse holes, pre-integrity writes) verify
+// trivially. On mismatch the block is quarantined and false returned; the
+// caller decides between inline repair (Repair) and surfacing the error.
+func (s *Store) Verify(name string, idx int64, data []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := s.sums[name]
+	if m == nil {
+		return true
+	}
+	want, ok := m[idx]
+	if !ok || s.h.Sum(data) == want {
+		return true
+	}
+	s.mismatches++
+	q := s.quar[name]
+	if q == nil {
+		q = make(map[int64]*extent)
+		s.quar[name] = q
+	}
+	if _, held := q[idx]; !held {
+		q[idx] = &extent{}
+		s.quarantined++
+	}
+	return false
+}
+
+// Repair attempts the ring repair path for a quarantined block: if a
+// retained image with the recorded checksum survives, it is copied into
+// dst (which must be the block's storage buffer), the quarantine cleared,
+// and true returned. Otherwise the block stays quarantined for the
+// scrubber / journal-replay path and false is returned.
+func (s *Store) Repair(name string, idx int64, dst []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repairLocked(name, idx, dst)
+}
+
+func (s *Store) repairLocked(name string, idx int64, dst []byte) bool {
+	want, ok := s.sums[name][idx]
+	if !ok {
+		return false
+	}
+	// Scan newest-first so a block rewritten while quarantined repairs
+	// from its latest image.
+	for off := 1; off <= len(s.ring); off++ {
+		r := &s.ring[(s.next-off+len(s.ring))%len(s.ring)]
+		if !r.live || r.name != name || r.idx != idx || r.sum != want {
+			continue
+		}
+		if len(r.data) != len(dst) {
+			continue
+		}
+		copy(dst, r.data)
+		if q := s.quar[name]; q != nil {
+			delete(q, idx)
+		}
+		s.repairs++
+		return true
+	}
+	return false
+}
+
+// NoteUnrepairable counts a read that had to surface ErrDataIntegrity.
+func (s *Store) NoteUnrepairable() {
+	s.mu.Lock()
+	s.unrepaired++
+	s.mu.Unlock()
+}
+
+// Forget drops all checksum and quarantine state for one file (the file
+// was removed; its ring images are left to age out naturally).
+func (s *Store) Forget(name string) {
+	s.mu.Lock()
+	delete(s.sums, name)
+	delete(s.quar, name)
+	delete(s.wrote, name)
+	s.mu.Unlock()
+}
+
+// Quarantined reports whether (name, idx) is currently quarantined.
+func (s *Store) Quarantined(name string, idx int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, held := s.quar[name][idx]
+	return held
+}
+
+// Backlog returns how many blocks are quarantined right now, optionally
+// restricted to file names with the given prefix ("" = all). The prefix
+// form is what makes the scrubber tenant-aware: tenants namespace their
+// files, so a prefix is a tenant.
+func (s *Store) Backlog(prefix string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for name, q := range s.quar {
+		if prefix != "" && !hasPrefix(name, prefix) {
+			continue
+		}
+		n += len(q)
+	}
+	return n
+}
+
+// Stats is a point-in-time snapshot of the store's counters.
+type Stats struct {
+	Mismatches  int64 // at-rest checksum failures detected
+	Quarantined int64 // blocks ever quarantined
+	Repairs     int64 // blocks repaired (ring hit or overwrite)
+	Unrepaired  int64 // reads that surfaced ErrDataIntegrity
+	Backlog     int   // blocks quarantined right now
+}
+
+// Snapshot returns the store's counters.
+func (s *Store) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, q := range s.quar {
+		n += len(q)
+	}
+	return Stats{
+		Mismatches:  s.mismatches,
+		Quarantined: s.quarantined,
+		Repairs:     s.repairs,
+		Unrepaired:  s.unrepaired,
+		Backlog:     n,
+	}
+}
+
+// quarList returns the quarantined (name, idx) pairs under a prefix in
+// deterministic (name, idx) order — map iteration must not leak
+// scheduling nondeterminism into scrub order.
+func (s *Store) quarList(prefix string) []blockRef {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []blockRef
+	for name, q := range s.quar {
+		if prefix != "" && !hasPrefix(name, prefix) {
+			continue
+		}
+		for idx := range q {
+			out = append(out, blockRef{name, idx})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return out[i].idx < out[j].idx
+	})
+	return out
+}
+
+type blockRef struct {
+	name string
+	idx  int64
+}
+
+func hasPrefix(s, p string) bool {
+	return len(s) >= len(p) && s[:len(p)] == p
+}

@@ -48,6 +48,7 @@ type Flight struct {
 	abortRound int // -1 while no abort has been observed
 	abortClass string
 	failover   *FailoverEvent
+	integrity  *IntegrityEvent
 	critpath   *CritPathSummary
 }
 
@@ -106,6 +107,35 @@ func (f *Flight) noteReplay(replayed, skipped int64) {
 	}
 	f.failover.RoundsReplayed += replayed
 	f.failover.RoundsSkipped += skipped
+}
+
+// IntegrityEvent accumulates the run's corruption story: how many
+// checksums failed in flight and at rest, and how each failure resolved
+// (re-request, quarantine + repair, or escalation). All fields are
+// functions of the workload and fault schedule, so the event is part of
+// canonical dumps like FailoverEvent.
+type IntegrityEvent struct {
+	WireMismatches   int64 `json:"wire_mismatches,omitempty"`
+	WireRepaired     int64 `json:"wire_repaired,omitempty"`
+	AtRestMismatches int64 `json:"atrest_mismatches,omitempty"`
+	Quarantined      int64 `json:"quarantined,omitempty"`
+	Repaired         int64 `json:"repaired,omitempty"`
+	Unrepaired       int64 `json:"unrepaired,omitempty"`
+}
+
+// noteIntegrity folds one detection outcome into the shared event.
+func (f *Flight) noteIntegrity(ev IntegrityEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.integrity == nil {
+		f.integrity = &IntegrityEvent{}
+	}
+	f.integrity.WireMismatches += ev.WireMismatches
+	f.integrity.WireRepaired += ev.WireRepaired
+	f.integrity.AtRestMismatches += ev.AtRestMismatches
+	f.integrity.Quarantined += ev.Quarantined
+	f.integrity.Repaired += ev.Repaired
+	f.integrity.Unrepaired += ev.Unrepaired
 }
 
 // FlightRank is one rank's bounded ring of round records. A nil
@@ -225,6 +255,7 @@ func (f *Flight) reset() {
 	f.disps = f.disps[:0]
 	f.abortRound, f.abortClass = -1, ""
 	f.failover = nil
+	f.integrity = nil
 	f.critpath = nil
 	f.mu.Unlock()
 	for i := range f.ranks {
@@ -274,6 +305,7 @@ type Dump struct {
 	RealmDisps []int64          `json:"realm_disps,omitempty"`
 	Abort      *AbortInfo       `json:"abort,omitempty"`
 	Failover   *FailoverEvent   `json:"failover,omitempty"`
+	Integrity  *IntegrityEvent  `json:"integrity,omitempty"`
 	Dropped    int64            `json:"dropped_records,omitempty"`
 	Rounds     []RoundSummary   `json:"rounds"`
 	Counters   map[string]int64 `json:"counters,omitempty"`
@@ -310,6 +342,10 @@ func (s *Set) Dump(full bool) *Dump {
 		fe := *f.failover
 		fe.DeadRanks = append([]int(nil), f.failover.DeadRanks...)
 		d.Failover = &fe
+	}
+	if f.integrity != nil {
+		ie := *f.integrity
+		d.Integrity = &ie
 	}
 	if full && f.critpath != nil {
 		cp := *f.critpath

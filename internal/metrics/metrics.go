@@ -73,6 +73,14 @@ const (
 	CRoundsSkipped  // journalled rounds skipped during a resume (already durable)
 	CRedelivered    // messages dropped and redelivered by rank-fault injection
 
+	// Data integrity (checksummed datapath).
+	CIntegWireMismatch   // in-flight payloads whose checksum failed at the receiver
+	CIntegWireRepaired   // corrupted payloads recovered by bounded re-request
+	CIntegAtRestMismatch // stored stripe blocks whose checksum failed on read
+	CIntegQuarantined    // stripe blocks quarantined after an at-rest mismatch
+	CIntegRepaired       // stripe blocks repaired inline from retained images
+	CIntegUnrepaired     // integrity failures that had to abort the collective
+
 	numCounters
 )
 
@@ -147,6 +155,12 @@ var counterMeta = [numCounters]meta{
 	CRoundsReplayed:        {"rounds_replayed", "journalled two-phase rounds re-executed during a resume"},
 	CRoundsSkipped:         {"rounds_skipped", "journalled two-phase rounds skipped during a resume"},
 	CRedelivered:           {"msg_redeliveries", "messages dropped and redelivered by rank-fault injection"},
+	CIntegWireMismatch:     {"integrity_wire_mismatches", "in-flight payloads whose checksum failed at the receiver"},
+	CIntegWireRepaired:     {"integrity_wire_repaired", "corrupted payloads recovered by bounded re-request"},
+	CIntegAtRestMismatch:   {"integrity_atrest_mismatches", "stored stripe blocks whose checksum failed on read"},
+	CIntegQuarantined:      {"integrity_quarantined", "stripe blocks quarantined after an at-rest mismatch"},
+	CIntegRepaired:         {"integrity_repairs", "stripe blocks repaired inline from retained images"},
+	CIntegUnrepaired:       {"integrity_unrepaired", "integrity failures that escalated to a collective abort"},
 }
 
 var gaugeMeta = [numGauges]meta{
@@ -375,6 +389,53 @@ func (r *Registry) NoteReplay(replayed, skipped int64) {
 	r.counters[CRoundsSkipped] += skipped
 	if r.fr != nil && replayed+skipped > 0 {
 		r.fr.f.noteReplay(replayed, skipped)
+	}
+}
+
+// NoteWireIntegrity records the outcome of one in-flight checksum failure:
+// the mismatch is counted, a repaired delivery (bounded re-request
+// succeeded) bumps the repair counter, and the flight recorder's integrity
+// event accumulates both so dumps carry the corruption context.
+func (r *Registry) NoteWireIntegrity(repaired bool) {
+	if r == nil {
+		return
+	}
+	r.counters[CIntegWireMismatch]++
+	ev := IntegrityEvent{WireMismatches: 1}
+	if repaired {
+		r.counters[CIntegWireRepaired]++
+		ev.WireRepaired = 1
+	} else {
+		r.counters[CIntegUnrepaired]++
+		ev.Unrepaired = 1
+	}
+	if r.fr != nil {
+		r.fr.f.noteIntegrity(ev)
+	}
+}
+
+// NoteAtRestIntegrity records the outcome of one at-rest checksum failure
+// observed by this rank's storage client: detection, quarantine, and
+// either an inline ring repair or escalation to ErrDataIntegrity.
+func (r *Registry) NoteAtRestIntegrity(quarantined, repaired bool) {
+	if r == nil {
+		return
+	}
+	r.counters[CIntegAtRestMismatch]++
+	ev := IntegrityEvent{AtRestMismatches: 1}
+	if quarantined {
+		r.counters[CIntegQuarantined]++
+		ev.Quarantined = 1
+	}
+	if repaired {
+		r.counters[CIntegRepaired]++
+		ev.Repaired = 1
+	} else {
+		r.counters[CIntegUnrepaired]++
+		ev.Unrepaired = 1
+	}
+	if r.fr != nil {
+		r.fr.f.noteIntegrity(ev)
 	}
 }
 

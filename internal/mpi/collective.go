@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"flexio/internal/integrity"
 	"flexio/internal/metrics"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
@@ -509,20 +510,78 @@ func (p *Proc) Alltoallv(send [][]byte) [][]byte {
 		p.recordVectorRow(d, int64(len(b)))
 		vol.addSend(p, d, int64(len(b)))
 	}
+	var extra sim.Time
+	var rbytes int64
 	for s, v := range vals {
 		row, ok := v.([][]byte)
 		if !ok {
 			continue // crashed rank: leave out[s] nil
 		}
 		out[s] = row[p.rank]
-		vol.addRecv(p, s, int64(len(out[s])))
+		n := int64(len(out[s]))
+		vol.addRecv(p, s, n)
+		rbytes += n
+		if rf := p.w.rf; rf != nil && n > 0 {
+			if rep, h, hit := rf.corruptHit(s, p.rank, int64(seq)); hit {
+				d, fixed, silent := p.rowCorruption(s, n, rep)
+				extra += d
+				if silent {
+					bad := make([]byte, n)
+					copy(bad, out[s])
+					bit := h % uint64(n*8)
+					bad[bit/8] ^= 1 << (bit % 8)
+					out[s] = bad
+				} else if !fixed {
+					out[s] = nil
+				}
+			}
+		}
 	}
 	p.clock = sim.Max(p.clock, m) + p.treeLatency() + vol.transferTime(p)
+	if p.w.integ != nil {
+		// Checksumming the outgoing rows and verifying the incoming ones
+		// is one streaming pass over each, priced like a memcpy.
+		extra += p.w.cfg.MemcpyTime(vol.sent() + rbytes)
+	}
+	p.clock += extra
 	p.Stats.Add(stats.CBytesComm, vol.sent())
 	p.Metrics.Add(metrics.CCommBytes, vol.sent())
 	p.traceColl(enter, seq, by)
 	p.noteVer(ver)
 	return out
+}
+
+// rowCorruption resolves one corrupted vector-collective row for the
+// receiver. With the checksummed datapath off it reports silent=true: the
+// caller delivers a flipped copy and nobody notices. With it on, the
+// receiver detects the mismatch at the rendezvous and runs the bounded
+// re-request protocol against the row's sender; the returned charge is
+// the modelled retransmit latency, and fixed reports whether a clean copy
+// arrived within the bound (the caller's aliased row is already pristine
+// — the flipped copy only ever existed in flight). An unrepairable row
+// arms the sticky integrity error, exactly like the envelope path.
+func (p *Proc) rowCorruption(src int, n int64, rep int) (charge sim.Time, fixed, silent bool) {
+	if p.w.integ == nil {
+		return 0, false, true
+	}
+	intra := src != p.rank && p.w.node(src) == p.w.node(p.rank)
+	for attempt := 1; attempt <= integrity.MaxReRequests; attempt++ {
+		switch {
+		case src == p.rank:
+			charge += p.w.cfg.MemcpyTime(n)
+		case intra:
+			charge += 2*p.w.cfg.IntraNodeHopLatency() + p.w.cfg.IntraNodeTransferTime(n)
+		default:
+			charge += 2*p.w.cfg.NetLatency + p.w.cfg.TransferTime(n)
+		}
+		if attempt >= rep {
+			p.Metrics.NoteWireIntegrity(true)
+			return charge, true, false
+		}
+	}
+	p.Metrics.NoteWireIntegrity(false)
+	p.noteIntegrityFailure(src)
+	return charge, false, false
 }
 
 // vectorVolume accumulates a vector collective's per-destination byte
@@ -597,6 +656,8 @@ func (p *Proc) AlltoallvIov(send [][][]byte) [][][]byte {
 		p.recordVectorRow(d, row)
 		vol.addSend(p, d, row)
 	}
+	var extra sim.Time
+	var rbytes int64
 	for s, v := range vals {
 		row, ok := v.([][][]byte)
 		if !ok {
@@ -608,11 +669,49 @@ func (p *Proc) AlltoallvIov(send [][][]byte) [][][]byte {
 			got += int64(len(b))
 		}
 		vol.addRecv(p, s, got)
+		rbytes += got
+		if rf := p.w.rf; rf != nil && got > 0 {
+			if rep, h, hit := rf.corruptHit(s, p.rank, int64(seq)); hit {
+				d, fixed, silent := p.rowCorruption(s, got, rep)
+				extra += d
+				if silent {
+					out[s] = corruptIov(out[s], h, got)
+				} else if !fixed {
+					out[s] = nil
+				}
+			}
+		}
 	}
 	p.clock = sim.Max(p.clock, m) + p.treeLatency() + vol.transferTime(p)
+	if p.w.integ != nil {
+		extra += p.w.cfg.MemcpyTime(vol.sent() + rbytes)
+	}
+	p.clock += extra
 	p.Stats.Add(stats.CBytesComm, vol.sent())
 	p.Metrics.Add(metrics.CCommBytes, vol.sent())
 	p.traceColl(enter, seq, by)
 	p.noteVer(ver)
+	return out
+}
+
+// corruptIov returns a copy of an iovec row with one bit flipped in the
+// segment covering the hashed bit position. Only the corrupted segment's
+// bytes are copied (plus the slice header row): the sender's memory is
+// never mutated, and the untouched segments still alias it.
+func corruptIov(row [][]byte, bitHash uint64, total int64) [][]byte {
+	out := make([][]byte, len(row))
+	copy(out, row)
+	bit := int64(bitHash % uint64(total*8))
+	for i, seg := range out {
+		segBits := int64(len(seg)) * 8
+		if bit < segBits {
+			bad := make([]byte, len(seg))
+			copy(bad, seg)
+			bad[bit/8] ^= 1 << (bit % 8)
+			out[i] = bad
+			break
+		}
+		bit -= segBits
+	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"flexio/internal/integrity"
 	"flexio/internal/metrics"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
@@ -17,6 +18,15 @@ type envelope struct {
 	data  []byte
 	stamp sim.Time // sender clock when the message left
 	edge  int64    // causal edge id, shared by the send/recv trace instants
+	// Integrity fields (zero when the world's checksummed datapath is
+	// off). sum is the checksum of the pristine payload, computed at the
+	// sender. When fault injection corrupted the payload in flight, data
+	// is a flipped copy, orig keeps the sender's pristine bytes (the
+	// retransmit source the re-request protocol draws from), and rep is
+	// how many consecutive delivery attempts arrive corrupted.
+	sum  uint64
+	orig []byte
+	rep  uint8
 }
 
 // envPool recycles envelope structs (not their payloads). *envelope is a
@@ -25,9 +35,9 @@ type envelope struct {
 // theirs to the GC.
 var envPool = sync.Pool{New: func() any { return new(envelope) }}
 
-func newEnvelope(src, tag int, data []byte, stamp sim.Time, edge int64) *envelope {
+func newEnvelope(src, tag int, data []byte, stamp sim.Time, edge int64, sum uint64, orig []byte, rep uint8) *envelope {
 	e := envPool.Get().(*envelope)
-	*e = envelope{src: src, tag: tag, data: data, stamp: stamp, edge: edge}
+	*e = envelope{src: src, tag: tag, data: data, stamp: stamp, edge: edge, sum: sum, orig: orig, rep: rep}
 	return e
 }
 
@@ -131,6 +141,17 @@ func (p *Proc) Send(to, tag int, data []byte) {
 	if to < 0 || to >= p.w.size {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", to, p.w.size))
 	}
+	var (
+		sum  uint64
+		orig []byte
+		rep  uint8
+	)
+	if ig := p.w.integ; ig != nil {
+		// Checksum the pristine payload before any in-flight fault can
+		// touch it: one streaming read-only pass.
+		sum = ig.Sum(data)
+		p.clock += p.w.cfg.ChecksumTime(int64(len(data)))
+	}
 	if rf := p.w.rf; rf != nil {
 		p.sendSeq++
 		if pen := rf.dropPenalty(p.rank, to, p.sendSeq); pen > 0 {
@@ -140,6 +161,21 @@ func (p *Proc) Send(to, tag int, data []byte) {
 			p.clock += pen
 			p.Stats.Add(stats.CRedeliveries, 1)
 			p.Metrics.Inc(metrics.CRedelivered)
+		}
+		if r, h, ok := rf.corruptHit(p.rank, to, p.sendSeq); ok && len(data) > 0 {
+			// Silent in-flight corruption: deliver a copy with one bit
+			// flipped, never mutating the sender's buffer (engine iovec
+			// views alias it). The pristine original rides along as the
+			// retransmit source for the receiver's re-request protocol.
+			bad := make([]byte, len(data))
+			copy(bad, data)
+			bit := h % uint64(len(data)*8)
+			bad[bit/8] ^= 1 << (bit % 8)
+			orig, data = data, bad
+			if r > 255 {
+				r = 255
+			}
+			rep = uint8(r)
 		}
 	}
 	p.clock += p.w.cfg.SendOverhead
@@ -166,7 +202,7 @@ func (p *Proc) Send(to, tag int, data []byte) {
 		m.add(p.rank, to, n, false)
 	}
 	p.Trace.Instant2(p.clock, trace.MsgSendName, trace.I(trace.EdgeTag, edge), trace.I(trace.BytesTag, n))
-	p.w.boxes[to].put(newEnvelope(p.rank, tag, data, p.clock, edge))
+	p.w.boxes[to].put(newEnvelope(p.rank, tag, data, p.clock, edge, sum, orig, rep))
 }
 
 // Recv blocks until a message from src (or Any) with tag (or Any) arrives.
@@ -212,12 +248,52 @@ func (p *Proc) completeRecv(post sim.Time, e *envelope) bool {
 		return false
 	}
 	p.SyncClock(p.arrivalTime(post, e))
+	if ig := p.w.integ; ig != nil {
+		// Verify on every delivery — including redelivered copies that
+		// sat in the mailbox: a corrupted payload must never be trusted
+		// just because its envelope was matched before.
+		p.clock += p.w.cfg.ChecksumTime(int64(len(e.data)))
+		if ig.Sum(e.data) != e.sum && !p.reRequest(e) {
+			releaseEnvelope(e)
+			return false
+		}
+	}
 	var blocked int64
 	if e.stamp > post {
 		blocked = 1 // the sender's departure, not our post, gated delivery
 	}
 	p.Trace.Instant2(p.clock, trace.MsgRecvName, trace.I(trace.EdgeTag, e.edge), trace.I(trace.BlockedTag, blocked))
 	return true
+}
+
+// reRequest models the bounded retransmit protocol for a payload whose
+// wire checksum failed: the receiver NACKs the sender and pulls a fresh
+// copy, up to integrity.MaxReRequests times, charging each attempt a
+// round trip plus the payload transfer on the link the message used. A
+// clean copy (the fault rule's repeat budget exhausted) swaps the
+// pristine bytes in and succeeds; a corruption outliving the bound leaves
+// the sticky integrity error armed for the engines' error agreement.
+func (p *Proc) reRequest(e *envelope) bool {
+	n := int64(len(e.data))
+	intra := e.src != p.rank && p.w.node(e.src) == p.w.node(p.rank)
+	for attempt := 1; attempt <= integrity.MaxReRequests; attempt++ {
+		switch {
+		case e.src == p.rank:
+			p.clock += p.w.cfg.MemcpyTime(n)
+		case intra:
+			p.clock += 2*p.w.cfg.IntraNodeHopLatency() + p.w.cfg.IntraNodeTransferTime(n)
+		default:
+			p.clock += 2*p.w.cfg.NetLatency + p.w.cfg.TransferTime(n)
+		}
+		if attempt >= int(e.rep) && e.orig != nil {
+			e.data = e.orig
+			p.Metrics.NoteWireIntegrity(true)
+			return true
+		}
+	}
+	p.Metrics.NoteWireIntegrity(false)
+	p.noteIntegrityFailure(e.src)
+	return false
 }
 
 // arrivalTime computes when a message posted for receive at `post` is fully

@@ -37,6 +37,7 @@ type RankFaultSchedule struct {
 	crashes  []crashRule
 	stalls   []stallRule
 	drops    []dropRule
+	corrupts []corruptRule
 	injected int64
 }
 
@@ -58,6 +59,13 @@ type dropRule struct {
 	from, to int // to == Any matches every destination
 	prob     float64
 	penalty  sim.Time
+	left     int // remaining injections (from Count)
+}
+
+type corruptRule struct {
+	from, to int // to == Any matches every destination
+	prob     float64
+	repeat   int // consecutive corrupted delivery attempts per hit
 	left     int // remaining injections (from Count)
 }
 
@@ -108,7 +116,7 @@ func (s *RankFaultSchedule) Straggle(rank, round int, d sim.Time, count int) *Ra
 	return s
 }
 
-// Drop injects message loss on the from→to link (to == Any for every
+// Drop injects message loss on the from→to link (Any on either side for every
 // destination): each matching send is dropped and redelivered with
 // probability prob, charging the sender the redelivery penalty (the
 // retransmit timeout) before the message leaves. Count caps total
@@ -118,6 +126,26 @@ func (s *RankFaultSchedule) Drop(from, to int, prob float64, penalty sim.Time, c
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.drops = append(s.drops, dropRule{from: from, to: to, prob: prob, penalty: penalty, left: count})
+	return s
+}
+
+// Corrupt injects silent payload corruption on the from→to link (Any on
+// either side matches every rank): each matching send has one bit of its payload
+// flipped in flight with probability prob. The flipped bit and the firing
+// messages are functions of the seed alone, like Drop. repeat is how many
+// consecutive delivery attempts of one hit arrive corrupted — 1 means the
+// first copy only, so a single re-request recovers; a repeat beyond
+// integrity.MaxReRequests is unrepairable by construction and forces the
+// ErrDataIntegrity abort path. Count caps total injections (0 =
+// unlimited). Without World.EnableIntegrity the corruption is truly
+// silent: the flipped payload is delivered as if nothing happened.
+func (s *RankFaultSchedule) Corrupt(from, to int, prob float64, repeat, count int) *RankFaultSchedule {
+	if repeat < 1 {
+		repeat = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.corrupts = append(s.corrupts, corruptRule{from: from, to: to, prob: prob, repeat: repeat, left: count})
 	return s
 }
 
@@ -215,7 +243,7 @@ func (s *RankFaultSchedule) dropPenalty(from, to int, seq int64) sim.Time {
 	var pen sim.Time
 	for i := range s.drops {
 		r := &s.drops[i]
-		if r.from != from || (r.to != Any && r.to != to) || r.left < 0 {
+		if (r.from != Any && r.from != from) || (r.to != Any && r.to != to) || r.left < 0 {
 			continue
 		}
 		if r.prob <= 0 {
@@ -235,6 +263,39 @@ func (s *RankFaultSchedule) dropPenalty(from, to int, seq int64) sim.Time {
 	return pen
 }
 
+// corruptHit evaluates corruption rules for the seq'th send from→to. On a
+// hit it returns the repeat count (consecutive corrupted delivery
+// attempts) and a hash that picks the flipped bit; the first matching
+// rule wins. The coin stream is salted differently from dropCoin, so drop
+// and corrupt rules on the same link make independent decisions about the
+// same message — which is exactly the redelivery-interaction case the
+// regression tests pin down.
+func (s *RankFaultSchedule) corruptHit(from, to int, seq int64) (repeat int, bitHash uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.corrupts {
+		r := &s.corrupts[i]
+		if (r.from != Any && r.from != from) || (r.to != Any && r.to != to) || r.left < 0 {
+			continue
+		}
+		if r.prob <= 0 {
+			continue // a zero-probability rule never fires
+		}
+		h := corruptCoin(s.seed, i, from, to, seq)
+		if r.prob < 1 && float64(h>>11)/float64(1<<53) >= r.prob {
+			continue
+		}
+		if r.left > 0 {
+			if r.left--; r.left == 0 {
+				r.left = -1
+			}
+		}
+		s.injected++
+		return r.repeat, rmix(h + 0x9e3779b97f4a7c15), true
+	}
+	return 0, 0, false
+}
+
 // dropCoin maps (seed, rule, link, seq) to a uniform [0,1) value with the
 // same splitmix64 finalizer chain pfs uses for its fault coins.
 func dropCoin(seed int64, rule, from, to int, seq int64) float64 {
@@ -244,6 +305,17 @@ func dropCoin(seed int64, rule, from, to int, seq int64) float64 {
 	x = rmix(x ^ uint64(to+2))
 	x = rmix(x ^ uint64(seq))
 	return float64(x>>11) / float64(1<<53)
+}
+
+// corruptCoin is dropCoin with a distinct salt so corruption decisions
+// are independent of drop decisions on the same (rule, link, seq).
+func corruptCoin(seed int64, rule, from, to int, seq int64) uint64 {
+	x := rmix(uint64(seed) + 0xd1b54a32d192ed03)
+	x = rmix(x ^ uint64(rule+1)*0xbf58476d1ce4e5b9)
+	x = rmix(x ^ uint64(from+1)*0x94d049bb133111eb)
+	x = rmix(x ^ uint64(to+2))
+	x = rmix(x ^ uint64(seq))
+	return x
 }
 
 func rmix(x uint64) uint64 {

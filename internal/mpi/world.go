@@ -18,6 +18,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"flexio/internal/integrity"
 	"flexio/internal/metrics"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
@@ -56,6 +57,11 @@ type World struct {
 	// nodes caches the distinct-node count under nodeOf, recomputed by
 	// SetNodeMap so per-op NodeCount calls stay allocation-free.
 	nodes int
+	// integ is the wire-checksum hasher (nil = integrity off); when set,
+	// every point-to-point payload is checksummed at the sender and
+	// verified at the receiver, and vector-collective rows are verified
+	// at their rendezvous. One nil check on the integrity-off path.
+	integ *integrity.Hasher
 }
 
 // NewWorld creates a communicator with size ranks using the given cost
@@ -262,6 +268,7 @@ func (w *World) ResetClocks() {
 		p.round = -1
 		p.verSeen = 0
 		p.peerErr = nil
+		p.integErr = nil
 		p.failSeen = 0
 		for i := range p.sendsTo {
 			p.sendsTo[i] = 0
@@ -276,6 +283,22 @@ func (w *World) ResetClocks() {
 	w.met.Reset()
 	w.comm.reset()
 }
+
+// EnableIntegrity arms the checksummed datapath: every point-to-point
+// payload is summed (seeded by seed) at the sender, carried in its
+// envelope, and verified at the receiver; vector-collective rows verify
+// at the rendezvous. A mismatch triggers the bounded re-request protocol
+// and, when that fails, a sticky per-rank integrity error the collective
+// engines fold into the error agreement. Call it before Run.
+func (w *World) EnableIntegrity(seed int64) {
+	if w.integ != nil {
+		w.integ.Release()
+	}
+	w.integ = integrity.NewHasher(seed)
+}
+
+// IntegrityEnabled reports whether the checksummed datapath is armed.
+func (w *World) IntegrityEnabled() bool { return w.integ != nil }
 
 // SetRankFaults installs a rank-level fault plan (nil disables). Call it
 // before Run; it applies to every subsequent collective and send.
@@ -329,6 +352,7 @@ func (w *World) ReviveAll() {
 		p.nicBusy = 0
 		p.verSeen = 0
 		p.peerErr = nil
+		p.integErr = nil
 		p.failSeen = 0
 	}
 	w.anyFail.Store(0)
@@ -406,6 +430,11 @@ type Proc struct {
 	verSeen  uint64
 	peerErr  error
 	failSeen int
+	// integErr is the sticky integrity failure: a payload arrived with a
+	// bad checksum and the bounded re-request protocol could not recover
+	// it. The engines consume it (TakeIntegrityFailure) at the next round
+	// boundary and turn it into a uniform ErrDataIntegrity abort.
+	integErr error
 }
 
 // Rank returns this process's rank in the world.
@@ -521,3 +550,25 @@ func (p *Proc) noteVer(ver uint64) {
 // has observed, or nil while everyone looks healthy. It is cleared by
 // World.ReviveAll.
 func (p *Proc) PeerFailure() error { return p.peerErr }
+
+// IntegrityFailure returns the pending unrepairable-corruption error
+// (wrapping integrity.ErrDataIntegrity), or nil. Unlike PeerFailure it
+// describes one poisoned payload, not a permanent rank state.
+func (p *Proc) IntegrityFailure() error { return p.integErr }
+
+// TakeIntegrityFailure consumes the pending integrity failure, returning
+// it and clearing it, so an aborted collective does not poison the next
+// one: the corrupted payload dies with the abort, and a resume runs
+// clean unless corruption strikes again.
+func (p *Proc) TakeIntegrityFailure() error {
+	err := p.integErr
+	p.integErr = nil
+	return err
+}
+
+// noteIntegrityFailure arms the sticky integrity error for a payload from
+// src that could not be recovered.
+func (p *Proc) noteIntegrityFailure(src int) {
+	p.integErr = fmt.Errorf("%w: payload from rank %d to rank %d unrecoverable after %d re-requests",
+		integrity.ErrDataIntegrity, src, p.rank, integrity.MaxReRequests)
+}

@@ -18,6 +18,7 @@ const (
 	ClassTransient                 // pfs.ErrTransient after exhausting retries
 	ClassPartial                   // pfs.ErrPartial with an unrecovered tail
 	ClassIO                        // pfs.ErrIO, a hard storage error
+	ClassIntegrity                 // pfs.ErrDataIntegrity: corrupted data nothing could repair
 	ClassUnresponsive              // mpi.ErrRankUnresponsive: a peer crashed or tripped the deadline
 	ClassInternal                  // anything else (protocol bugs, bad arguments)
 )
@@ -34,6 +35,8 @@ func ErrorClass(err error) int64 {
 		return ClassOK
 	case errors.Is(err, mpi.ErrRankUnresponsive):
 		return ClassUnresponsive
+	case errors.Is(err, pfs.ErrDataIntegrity):
+		return ClassIntegrity
 	case errors.Is(err, pfs.ErrIO):
 		return ClassIO
 	case errors.Is(err, pfs.ErrPartial):
@@ -56,6 +59,8 @@ func ClassName(c int64) string {
 		return "partial"
 	case ClassIO:
 		return "io"
+	case ClassIntegrity:
+		return "integrity"
 	case ClassUnresponsive:
 		return "unresponsive"
 	case ClassInternal:
@@ -78,6 +83,8 @@ func ClassError(c int64) error {
 		return fmt.Errorf("%w: %w", ErrCollectiveAbort, pfs.ErrPartial)
 	case ClassIO:
 		return fmt.Errorf("%w: %w", ErrCollectiveAbort, pfs.ErrIO)
+	case ClassIntegrity:
+		return fmt.Errorf("%w: %w", ErrCollectiveAbort, pfs.ErrDataIntegrity)
 	case ClassUnresponsive:
 		return fmt.Errorf("%w: %w", ErrCollectiveAbort, mpi.ErrRankUnresponsive)
 	default:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"flexio/internal/integrity"
 	"flexio/internal/sim"
 )
 
@@ -21,6 +22,12 @@ var (
 	// ErrPartial marks a short transfer: a prefix of the request's data
 	// bytes completed before the error. Concrete errors are *PartialError.
 	ErrPartial = errors.New("pfs: partial transfer")
+	// ErrDataIntegrity marks a read whose stored bytes failed their
+	// stripe-block checksum and could not be repaired — neither from a
+	// retained block image nor by an overwrite. Retrying is pointless;
+	// only a journal-replay rewrite heals the block. It aliases the
+	// integrity package's sentinel so both layers agree under errors.Is.
+	ErrDataIntegrity = integrity.ErrDataIntegrity
 )
 
 // PartialError reports a short transfer: Written data bytes (a prefix of the
@@ -179,6 +186,75 @@ func (r *Rule) matches(op Op, now sim.Time) bool {
 	return true
 }
 
+// FlipRule injects silent at-rest corruption into the stored bytes of
+// matching writes: the data lands, the write succeeds, and only later reads
+// (or the scrubber) can discover the damage — the media lied. Two kinds:
+//
+//   - "bitflip": one stored bit inside the written span flips after the
+//     write completes. The stripe-block checksums were recorded for the
+//     intended content, so with integrity enabled the next read of the
+//     block detects the mismatch.
+//   - "torn": the tail of the written span never reaches the media and
+//     reads back as zeros (torn write across a sector boundary). Checksums
+//     again cover the intended content, so the loss is detectable.
+//
+// Without FileSystem.EnableIntegrity the corruption is truly silent:
+// reads return the damaged bytes with no error. Like Rule coins, flip
+// coins hash only rank-deterministic op fields, never Op.Client.
+type FlipRule struct {
+	// Kind is "bitflip" or "torn" ("" is promoted to "bitflip").
+	Kind string
+	// Name restricts to one file ("" = any).
+	Name string
+	// Rounds restricts to specific collective rounds (nil = any).
+	Rounds []int
+	// MinSeq/MaxSeq bound the per-client operation sequence number
+	// (1-based; zero = unbounded).
+	MinSeq, MaxSeq int64
+	// Prob in (0,1) injects with that probability per matching write
+	// segment; outside (0,1) the rule always fires.
+	Prob float64
+	// Count caps injections per client (0 = unlimited).
+	Count int64
+	// TornFrac is the fraction of the segment's tail lost for "torn"
+	// (clamped to (0,1]; default 0.25).
+	TornFrac float64
+}
+
+// matches reports whether the flip rule applies to the write segment
+// described by op (Off/Len are the segment's, not the whole list op's).
+func (r *FlipRule) matches(op Op) bool {
+	if r.Name != "" && r.Name != op.Name {
+		return false
+	}
+	if len(r.Rounds) > 0 {
+		found := false
+		for _, rd := range r.Rounds {
+			if rd == op.Round {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	if r.MinSeq > 0 && op.Seq < r.MinSeq {
+		return false
+	}
+	if r.MaxSeq > 0 && op.Seq > r.MaxSeq {
+		return false
+	}
+	return true
+}
+
+// flipFault is one evaluated at-rest corruption decision.
+type flipFault struct {
+	kind string  // "bitflip" or "torn"
+	hash uint64  // picks the flipped bit for "bitflip"
+	frac float64 // tail fraction lost for "torn"
+}
+
 // Brownout temporarily degrades OST service: requests arriving in
 // [From, Until) are slowed by the multiplicative Slowdown and pay
 // ExtraLatency on top.
@@ -229,6 +305,8 @@ type OSTFaults struct {
 	Slowed int64
 	// StormRevokes counts extra lock revokes charged by revoke storms.
 	StormRevokes int64
+	// Corrupt counts at-rest flip injections into blocks this OST stores.
+	Corrupt int64
 }
 
 // FaultSchedule is a seeded, deterministic, virtual-time-aware fault plan:
@@ -241,6 +319,8 @@ type FaultSchedule struct {
 	seed      int64
 	rules     []Rule
 	fired     []map[int]int64 // rule index -> client id -> injections
+	flips     []FlipRule
+	flipFired []map[int]int64 // flip index -> client id -> injections
 	brownouts []Brownout
 	storms    []RevokeStorm
 	hook      FaultHook
@@ -261,6 +341,19 @@ func (s *FaultSchedule) Add(r Rule) *FaultSchedule {
 	defer s.mu.Unlock()
 	s.rules = append(s.rules, r)
 	s.fired = append(s.fired, make(map[int]int64))
+	return s
+}
+
+// AddFlip appends an at-rest corruption rule; the first matching flip rule
+// wins per write segment. Returns the schedule for chaining.
+func (s *FaultSchedule) AddFlip(r FlipRule) *FaultSchedule {
+	if r.Kind == "" {
+		r.Kind = "bitflip"
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flips = append(s.flips, r)
+	s.flipFired = append(s.flipFired, make(map[int]int64))
 	return s
 }
 
@@ -399,6 +492,50 @@ func (s *FaultSchedule) evaluate(op Op, now sim.Time) fault {
 		return fault{class: cl, frac: frac}
 	}
 	return fault{}
+}
+
+// evalFlip decides whether the write segment described by op (Off/Len are
+// the segment's own) suffers at-rest corruption, attributing a hit to the
+// OST storing the segment's first byte. The first matching rule wins. It is
+// called with fs.mu held, which is safe: flip rules have no hooks and
+// s.mu nests under fs.mu on every path.
+func (s *FaultSchedule) evalFlip(op Op, ost int) (flipFault, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for idx := range s.flips {
+		r := &s.flips[idx]
+		if !r.matches(op) {
+			continue
+		}
+		h := flipCoin(s.seed, idx, op)
+		if r.Prob > 0 && r.Prob < 1 && float64(h>>11)/float64(1<<53) >= r.Prob {
+			continue
+		}
+		if r.Count > 0 && s.flipFired[idx][op.Client] >= r.Count {
+			continue
+		}
+		s.flipFired[idx][op.Client]++
+		s.injected++
+		s.ostSlot(ost).Corrupt++
+		frac := r.TornFrac
+		if frac <= 0 || frac > 1 {
+			frac = 0.25
+		}
+		return flipFault{kind: r.Kind, hash: mix(h + 0x9e3779b97f4a7c15), frac: frac}, true
+	}
+	return flipFault{}, false
+}
+
+// flipCoin maps (seed, flip rule, op) to a raw 64-bit hash. It is salted
+// differently from coin, so flip decisions are independent of error-rule
+// decisions about the same op. Op.Client is deliberately excluded.
+func flipCoin(seed int64, rule int, op Op) uint64 {
+	x := mix(uint64(seed) + 0xd1b54a32d192ed03)
+	x = mix(x ^ uint64(rule+1)*0xbf58476d1ce4e5b9)
+	x = mix(x ^ uint64(op.Seq))
+	x = mix(x ^ uint64(op.Off)*0x94d049bb133111eb)
+	x = mix(x ^ uint64(op.Len))
+	return x
 }
 
 // slowdown returns the combined brownout penalty for a request served by

@@ -1,0 +1,225 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"flexio/internal/sim"
+)
+
+// newIntegFS builds a file system with the checksummed datapath on.
+func newIntegFS(ringCap int) (*FileSystem, *sim.Config) {
+	cfg := sim.DefaultConfig()
+	fs := NewFileSystem(cfg)
+	fs.EnableIntegrity(42, ringCap)
+	return fs, cfg
+}
+
+func TestIntegrityCleanRoundTrip(t *testing.T) {
+	fs, _ := newIntegFS(0)
+	h := fs.NewClient(nil).Open("f")
+	data := bytes.Repeat([]byte("flex"), 3000) // spans pages
+	if _, err := h.WriteAt(100, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	if _, err := h.ReadAt(100, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("clean round trip corrupted data")
+	}
+	if st := fs.IntegrityStats(); st.Mismatches != 0 {
+		t.Fatalf("clean run recorded %d mismatches", st.Mismatches)
+	}
+}
+
+func TestBitflipDetectedAndRingRepaired(t *testing.T) {
+	fs, cfg := newIntegFS(64)
+	sched := NewFaultSchedule(7)
+	sched.AddFlip(FlipRule{Kind: "bitflip", Name: "f", Count: 1})
+	fs.SetFaultSchedule(sched)
+	h := fs.NewClient(nil).Open("f")
+	data := bytes.Repeat([]byte{0xAB}, int(cfg.PageSize))
+	if _, err := h.WriteAt(0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The stored image differs from the intent now.
+	if bytes.Equal(fs.Snapshot("f", cfg.PageSize), data) {
+		t.Fatal("flip rule did not corrupt the stored bytes")
+	}
+	// The read detects the mismatch and repairs from the ring.
+	buf := make([]byte, len(data))
+	if _, err := h.ReadAt(0, buf, 0); err != nil {
+		t.Fatalf("read after repairable flip: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("repaired read returned wrong bytes")
+	}
+	st := fs.IntegrityStats()
+	if st.Mismatches != 1 || st.Repairs != 1 || st.Backlog != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Attribution: the flip was charged to the OST holding offset 0.
+	counts := sched.OSTFaultCounts()
+	if len(counts) == 0 || counts[0].Corrupt != 1 {
+		t.Fatalf("OST attribution = %+v", counts)
+	}
+}
+
+func TestTornWriteDetected(t *testing.T) {
+	fs, cfg := newIntegFS(64)
+	sched := NewFaultSchedule(7)
+	sched.AddFlip(FlipRule{Kind: "torn", Name: "f", Count: 1, TornFrac: 0.5})
+	fs.SetFaultSchedule(sched)
+	h := fs.NewClient(nil).Open("f")
+	data := bytes.Repeat([]byte{0xCD}, int(cfg.PageSize))
+	if _, err := h.WriteAt(0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	got := fs.Snapshot("f", cfg.PageSize)
+	if !bytes.Equal(got[cfg.PageSize/2:], make([]byte, cfg.PageSize/2)) {
+		t.Fatal("torn tail should read back as zeros at rest")
+	}
+	buf := make([]byte, len(data))
+	if _, err := h.ReadAt(0, buf, 0); err != nil {
+		t.Fatalf("read after repairable torn write: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("repaired read returned wrong bytes")
+	}
+}
+
+func TestUnrepairableFlipSurfacesErrDataIntegrity(t *testing.T) {
+	// Ring of one slot: a second write evicts the first block's image, so
+	// the flip on the first block cannot ring-repair.
+	fs, cfg := newIntegFS(1)
+	sched := NewFaultSchedule(7)
+	sched.AddFlip(FlipRule{Kind: "bitflip", Name: "f", MaxSeq: 1, Count: 1})
+	fs.SetFaultSchedule(sched)
+	c := fs.NewClient(nil)
+	h := c.Open("f")
+	data := bytes.Repeat([]byte{0x11}, int(cfg.PageSize))
+	if _, err := h.WriteAt(0, data, 0); err != nil { // corrupted at rest
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(cfg.PageSize, data, 0); err != nil { // evicts ring slot
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(data))
+	_, err := h.ReadAt(0, buf, 0)
+	if !errors.Is(err, ErrDataIntegrity) {
+		t.Fatalf("want ErrDataIntegrity, got %v", err)
+	}
+	st := fs.IntegrityStats()
+	if st.Unrepaired != 1 || st.Backlog != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// A full overwrite through the normal datapath is the repair.
+	if _, err := h.WriteAt(0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReadAt(0, buf, 0); err != nil {
+		t.Fatalf("read after overwrite repair: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("overwrite repair returned wrong bytes")
+	}
+	if st := fs.IntegrityStats(); st.Backlog != 0 {
+		t.Fatalf("backlog after overwrite = %d", st.Backlog)
+	}
+}
+
+func TestPartialOverwriteDoesNotBlessCorruption(t *testing.T) {
+	fs, cfg := newIntegFS(1)
+	sched := NewFaultSchedule(7)
+	sched.AddFlip(FlipRule{Kind: "torn", Name: "f", MaxSeq: 1, Count: 1, TornFrac: 0.9})
+	fs.SetFaultSchedule(sched)
+	c := fs.NewClient(nil)
+	h := c.Open("f")
+	page := bytes.Repeat([]byte{0x22}, int(cfg.PageSize))
+	if _, err := h.WriteAt(0, page, 0); err != nil { // torn at rest
+		t.Fatal(err)
+	}
+	if _, err := h.WriteAt(cfg.PageSize, page, 0); err != nil { // evict ring
+		t.Fatal(err)
+	}
+	// Quarantine the page via a failed read.
+	buf := make([]byte, cfg.PageSize)
+	if _, err := h.ReadAt(0, buf, 0); !errors.Is(err, ErrDataIntegrity) {
+		t.Fatalf("want ErrDataIntegrity, got %v", err)
+	}
+	// A 16-byte overwrite must not re-bless the page: most of it is
+	// still zeros from the torn write.
+	if _, err := h.WriteAt(0, page[:16], 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.ReadAt(0, buf, 0); !errors.Is(err, ErrDataIntegrity) {
+		t.Fatalf("partial overwrite blessed a corrupted page: %v", err)
+	}
+}
+
+func TestScrubberRepairsQuarantineInPlace(t *testing.T) {
+	fs, cfg := newIntegFS(64)
+	sched := NewFaultSchedule(7)
+	sched.AddFlip(FlipRule{Kind: "bitflip", Name: "t0/f", Count: 1})
+	fs.SetFaultSchedule(sched)
+	c := fs.NewClient(nil)
+	h := c.Open("t0/f")
+	data := bytes.Repeat([]byte{0x33}, int(cfg.PageSize))
+	if _, err := h.WriteAt(0, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Quarantine via the store directly (as a failed read would), then let
+	// the scrubber — not a read — repair it.
+	st := fs.IntegrityStore()
+	if st.Verify("t0/f", 0, fs.files["t0/f"].pages[0]) {
+		t.Fatal("flip not detected")
+	}
+	sc := fs.Scrubber(4)
+	if fixed := sc.Tick("t0/"); fixed != 1 {
+		t.Fatalf("scrub tick fixed %d", fixed)
+	}
+	buf := make([]byte, len(data))
+	if _, err := h.ReadAt(0, buf, 0); err != nil {
+		t.Fatalf("read after scrub: %v", err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("scrubbed bytes wrong")
+	}
+}
+
+// TestRMWVerifyCatchesUndetectedCorruption: a partial overwrite of a page
+// carrying corruption nobody has read yet must not bless the damage with a
+// fresh checksum — the pre-merge verify detects it, ring-repairs the bytes
+// outside the written span, and the merged page reads back fully intended.
+func TestRMWVerifyCatchesUndetectedCorruption(t *testing.T) {
+	fs, cfg := newIntegFS(64)
+	sched := NewFaultSchedule(7)
+	sched.AddFlip(FlipRule{Kind: "bitflip", Name: "f", Count: 1})
+	fs.SetFaultSchedule(sched)
+	h := fs.NewClient(nil).Open("f")
+	base := bytes.Repeat([]byte{0xAB}, int(cfg.PageSize))
+	if _, err := h.WriteAt(0, base, 0); err != nil {
+		t.Fatal(err)
+	}
+	// No read in between: the flip is still undetected when a partial
+	// overwrite lands in the first 16 bytes of the same page.
+	patch := bytes.Repeat([]byte{0x5A}, 16)
+	if _, err := h.WriteAt(0, patch, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte{}, patch...), base[16:]...)
+	buf := make([]byte, cfg.PageSize)
+	if _, err := h.ReadAt(0, buf, 0); err != nil {
+		t.Fatalf("read after RMW over corrupted page: %v", err)
+	}
+	if !bytes.Equal(buf, want) {
+		t.Fatal("partial overwrite blessed silent corruption")
+	}
+	st := fs.IntegrityStats()
+	if st.Mismatches != 1 || st.Repairs != 1 {
+		t.Fatalf("stats = %+v, want the write-time verify to detect and repair", st)
+	}
+}

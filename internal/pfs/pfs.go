@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"flexio/internal/datatype"
+	"flexio/internal/integrity"
 	"flexio/internal/metrics"
 	"flexio/internal/sim"
 	"flexio/internal/stats"
@@ -53,6 +54,12 @@ type FileSystem struct {
 	nextID  int
 	clients map[int]*Client
 	sched   *FaultSchedule
+	// integ/isums form the at-rest integrity layer (nil = disabled): every
+	// stored page gets a checksum recorded at write time and verified on
+	// read, with quarantine + ring repair on mismatch. Set once by
+	// EnableIntegrity before I/O starts; never cleared.
+	integ *integrity.Hasher
+	isums *integrity.Store
 }
 
 type ostState struct {
@@ -167,6 +174,75 @@ func (fs *FileSystem) Schedule() *FaultSchedule {
 	return fs.sched
 }
 
+// EnableIntegrity turns on the at-rest checksummed datapath: every page a
+// write touches gets a seeded per-stripe-block checksum recorded, every
+// page a read touches is re-verified, and mismatches are quarantined and
+// repaired from the retained-block ring where possible. ringCap bounds the
+// repair ring (<= 0 selects the default). Call before I/O starts; the
+// layer stays on for the file system's lifetime.
+func (fs *FileSystem) EnableIntegrity(seed int64, ringCap int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.integ != nil {
+		fs.integ.Release()
+	}
+	fs.integ = integrity.NewHasher(seed)
+	fs.isums = integrity.NewStore(fs.integ, ringCap)
+}
+
+// IntegrityEnabled reports whether the checksummed datapath is on.
+func (fs *FileSystem) IntegrityEnabled() bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.isums != nil
+}
+
+// IntegrityStore exposes the at-rest checksum store (nil when integrity is
+// disabled), for scrub drivers and observability.
+func (fs *FileSystem) IntegrityStore() *integrity.Store {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.isums
+}
+
+// IntegrityStats returns the at-rest integrity counters (zero when the
+// layer is disabled).
+func (fs *FileSystem) IntegrityStats() integrity.Stats {
+	fs.mu.Lock()
+	st := fs.isums
+	fs.mu.Unlock()
+	if st == nil {
+		return integrity.Stats{}
+	}
+	return st.Snapshot()
+}
+
+// Scrubber builds a background scrubber over this file system's quarantine
+// backlog: each Tick repairs up to perTick quarantined pages in place from
+// the retained-block ring. Returns nil when integrity is disabled (a nil
+// Scrubber's methods are no-ops, so callers need not guard).
+func (fs *FileSystem) Scrubber(perTick int) *integrity.Scrubber {
+	fs.mu.Lock()
+	st := fs.isums
+	fs.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	return integrity.NewScrubber(st, func(name string, idx int64) bool {
+		fs.mu.Lock()
+		defer fs.mu.Unlock()
+		f := fs.files[name]
+		if f == nil {
+			return false
+		}
+		page := f.pages[idx]
+		if page == nil {
+			return false
+		}
+		return st.Repair(name, idx, page)
+	}, perTick)
+}
+
 // ostOf maps a file offset onto the OST serving it under the striping
 // config.
 func (fs *FileSystem) ostOf(off int64) int {
@@ -205,13 +281,17 @@ func (fs *FileSystem) file(name string) *fileData {
 	return f
 }
 
-// Remove deletes a file and its lock state.
+// Remove deletes a file and its lock state (and any integrity state, so a
+// removed file cannot leave the scrubber a permanently stuck backlog).
 func (fs *FileSystem) Remove(name string) {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	delete(fs.files, name)
 	for i := range fs.osts {
 		delete(fs.osts[i].lastEnd, name)
+	}
+	if fs.isums != nil {
+		fs.isums.Forget(name)
 	}
 }
 
@@ -490,7 +570,16 @@ func (c *Client) access(kind string, f *fileData, segs []datatype.Seg, wdata []b
 		if kind == "write" {
 			segDone = c.writeSeg(f, s, wdata[pos:pos+s.Len], t)
 		} else {
-			segDone = c.readSeg(f, s, rbuf[pos:pos+s.Len], t)
+			var rerr error
+			segDone, rerr = c.readSeg(f, s, rbuf[pos:pos+s.Len], t)
+			if rerr != nil {
+				// An unrepairable block poisons the whole request: the
+				// caller must not trust any byte of the buffer.
+				if segDone > completion {
+					completion = segDone
+				}
+				return completion, rerr
+			}
 		}
 		if segDone > completion {
 			completion = segDone
@@ -673,8 +762,12 @@ func (c *Client) writeSeg(f *fileData, s datatype.Seg, data []byte, t sim.Time) 
 		c.cache.put(f.name, pi)
 	}
 
+	c.integrityPreMerge(f, s, t)
+
 	// Apply the data.
 	f.writeBytes(s.Off, data, ps)
+
+	integSvc := c.integrityCommit(f, s, t)
 
 	// OST service, striped.
 	done := t
@@ -692,6 +785,8 @@ func (c *Client) writeSeg(f *fileData, s datatype.Seg, data []byte, t sim.Time) 
 		}
 		svc += conflictSvc
 		conflictSvc = 0
+		svc += integSvc // checksum pass over the touched pages
+		integSvc = 0
 		svc = c.degradeSvc(p.ost, t, svc)
 		end := ost.serve(t, svc)
 		ost.lastEnd[f.name] = p.seg.End()
@@ -704,11 +799,248 @@ func (c *Client) writeSeg(f *fileData, s datatype.Seg, data []byte, t sim.Time) 
 	return done
 }
 
-// readSeg serves one contiguous read and returns its completion time.
-// Pages present in the client cache are served locally at memory speed.
-func (c *Client) readSeg(f *fileData, s datatype.Seg, buf []byte, t sim.Time) sim.Time {
+// integrityPreMerge re-verifies the partially covered pages of a write
+// segment before its bytes merge with existing content (the RMW
+// pre-check): bytes outside the written span must still match their
+// recorded checksum, or the overwrite would launder undetected
+// corruption into a freshly blessed block. A mismatch — pre-existing
+// quarantine or caught right here — attempts a ring repair; when that
+// fails the page stays quarantined and integrityCommit skips it, keeping
+// the block poisoned until a full rewrite heals it. Called with fs.mu
+// held, before the segment's writeBytes.
+func (c *Client) integrityPreMerge(f *fileData, s datatype.Seg, t sim.Time) {
+	fs := c.fs
+	st := fs.isums
+	if st == nil {
+		return
+	}
+	ps := fs.cfg.PageSize
+	firstPage, lastPage := s.Off/ps, (s.Off+s.Len-1)/ps
+	for pi := firstPage; pi <= lastPage; pi++ {
+		page := f.pages[pi]
+		if page == nil {
+			continue
+		}
+		if full := pi*ps >= s.Off && (pi+1)*ps <= s.End(); full {
+			continue // fully rewritten below: old content is irrelevant
+		}
+		if st.Quarantined(f.name, pi) {
+			st.Repair(f.name, pi, page)
+			continue
+		}
+		if !st.Verify(f.name, pi, page) {
+			repaired := st.Repair(f.name, pi, page)
+			c.met.NoteAtRestIntegrity(true, repaired)
+			c.tr.Instant(t, "integrity_mismatch", trace.I("page", pi),
+				trace.S("repaired", fmt.Sprintf("%v", repaired)))
+		}
+	}
+}
+
+// integrityCommit records per-stripe-block checksums over the pages a
+// just-landed write segment touches, then lets the fault schedule decide
+// whether the media silently corrupts the landed bytes. Injection runs
+// after recording on purpose: the checksums cover the intended content,
+// which is what makes the damage detectable later. Returns the virtual
+// service time of the checksum pass. Called with fs.mu held, after the
+// segment's writeBytes.
+func (c *Client) integrityCommit(f *fileData, s datatype.Seg, t sim.Time) sim.Time {
 	fs := c.fs
 	ps := fs.cfg.PageSize
+	firstPage, lastPage := s.Off/ps, (s.Off+s.Len-1)/ps
+	var integSvc sim.Time
+	if st := fs.isums; st != nil {
+		for pi := firstPage; pi <= lastPage; pi++ {
+			pstart := pi * ps
+			st.Record(f.name, pi, f.pages[pi], s.Off-pstart, s.End()-pstart)
+		}
+		integSvc = fs.cfg.ChecksumTime((lastPage - firstPage + 1) * ps)
+	}
+	c.injectFlip(f, s, t)
+	return integSvc
+}
+
+// integrityPreMergeSpan is integrityPreMerge for a whole sieve window: it
+// runs once per touched page BEFORE any of the window's segments land.
+// Running it per segment would be wrong — after the first segment of the
+// window scatters, the page content is ahead of its recorded checksum,
+// and a per-segment verify would misread that as corruption and "repair"
+// the just-written bytes away. Pages fully repaved by the union of the
+// segments skip the check (their old content is irrelevant); pages the
+// window never touches keep their sums untouched. segs must be sorted
+// ascending and non-overlapping. Called with fs.mu held, before the
+// scatter.
+func (c *Client) integrityPreMergeSpan(f *fileData, span datatype.Seg, segs []datatype.Seg, t sim.Time) {
+	fs := c.fs
+	st := fs.isums
+	if st == nil {
+		return
+	}
+	ps := fs.cfg.PageSize
+	si := 0
+	for pi := span.Off / ps; pi <= (span.End()-1)/ps; pi++ {
+		pstart, pend := pi*ps, (pi+1)*ps
+		for si < len(segs) && segs[si].End() <= pstart {
+			si++
+		}
+		if si >= len(segs) || segs[si].Off >= pend {
+			continue // no segment lands in this page
+		}
+		page := f.pages[pi]
+		if page == nil {
+			continue
+		}
+		full := false
+		if segs[si].Off <= pstart {
+			cover := segs[si].End()
+			for k := si + 1; cover < pend && k < len(segs) && segs[k].Off <= cover; k++ {
+				cover = segs[k].End()
+			}
+			full = cover >= pend
+		}
+		if full {
+			continue // fully repaved below: old content is irrelevant
+		}
+		if st.Quarantined(f.name, pi) {
+			st.Repair(f.name, pi, page)
+			continue
+		}
+		if !st.Verify(f.name, pi, page) {
+			repaired := st.Repair(f.name, pi, page)
+			c.met.NoteAtRestIntegrity(true, repaired)
+			c.tr.Instant(t, "integrity_mismatch", trace.I("page", pi),
+				trace.S("repaired", fmt.Sprintf("%v", repaired)))
+		}
+	}
+}
+
+// integrityRecordSpan records checksums over the pages a sieve window
+// touched, with "fully rewritten" judged against the union of the
+// window's segments rather than any one of them: sub-page shuffle pieces
+// that collectively repave a page must clear its quarantine exactly like
+// one contiguous write would. Pages inside the span that no segment
+// touched are left unrecorded — re-blessing bytes nobody wrote would
+// launder undetected gap corruption. segs must be sorted ascending and
+// non-overlapping (the sieve contract). Returns the checksum pass's
+// service time. Called with fs.mu held, after the scatter.
+func (c *Client) integrityRecordSpan(f *fileData, span datatype.Seg, segs []datatype.Seg, t sim.Time) sim.Time {
+	fs := c.fs
+	st := fs.isums
+	if st == nil {
+		return 0
+	}
+	ps := fs.cfg.PageSize
+	si := 0
+	var touched int64
+	for pi := span.Off / ps; pi <= (span.End()-1)/ps; pi++ {
+		pstart, pend := pi*ps, (pi+1)*ps
+		for si < len(segs) && segs[si].End() <= pstart {
+			si++
+		}
+		if si >= len(segs) || segs[si].Off >= pend {
+			continue // no segment lands in this page
+		}
+		touched++
+		// One Record per contiguous run of segments inside this page —
+		// runs merge adjacent segments, so the gap-free steady state
+		// records each page exactly once. Record clamps the covered range
+		// to the page, so runs spilling into neighbours are harmless.
+		for k := si; k < len(segs) && segs[k].Off < pend; k++ {
+			runStart, runEnd := segs[k].Off, segs[k].End()
+			for k+1 < len(segs) && segs[k+1].Off <= runEnd {
+				k++
+				if segs[k].End() > runEnd {
+					runEnd = segs[k].End()
+				}
+			}
+			st.Record(f.name, pi, f.pages[pi], runStart-pstart, runEnd-pstart)
+		}
+	}
+	return fs.cfg.ChecksumTime(touched * ps)
+}
+
+// injectFlip lets the fault schedule silently corrupt the landed bytes of
+// one write segment. Runs after the checksums were recorded on purpose:
+// the sums cover the intended content, which is what makes the damage
+// detectable later. Called with fs.mu held.
+func (c *Client) injectFlip(f *fileData, s datatype.Seg, t sim.Time) {
+	fs := c.fs
+	if fs.sched == nil {
+		return
+	}
+	op := Op{Kind: "write", Client: c.id, Name: f.name, Off: s.Off,
+		Len: s.Len, Segs: 1, Seq: c.seq, Round: c.round}
+	if fl, ok := fs.sched.evalFlip(op, fs.ostOf(s.Off)); ok {
+		c.applyFlip(f, s, fl, t)
+	}
+}
+
+// applyFlip mutates the stored bytes of a just-completed write segment
+// according to one at-rest corruption decision. Called with fs.mu held.
+func (c *Client) applyFlip(f *fileData, s datatype.Seg, fl flipFault, t sim.Time) {
+	ps := c.fs.cfg.PageSize
+	switch fl.kind {
+	case "torn":
+		// The tail of the segment never reached the media: it reads back
+		// as zeros from the failed sectors.
+		tail := int64(fl.frac * float64(s.Len))
+		if tail < 1 {
+			tail = 1
+		}
+		for abs := s.End() - tail; abs < s.End(); abs++ {
+			if page := f.pages[abs/ps]; page != nil {
+				page[abs%ps] = 0
+			}
+		}
+		c.tr.Instant(t, "atrest_flip", trace.S("kind", "torn"),
+			trace.I("off", s.End()-tail), trace.I("len", tail))
+	default: // "bitflip"
+		bit := int64(fl.hash % uint64(s.Len*8))
+		abs := s.Off + bit/8
+		if page := f.pages[abs/ps]; page != nil {
+			page[abs%ps] ^= 1 << (bit % 8)
+		}
+		c.tr.Instant(t, "atrest_flip", trace.S("kind", "bitflip"),
+			trace.I("off", abs), trace.I("bit", bit%8))
+	}
+}
+
+// readSeg serves one contiguous read and returns its completion time.
+// Pages present in the client cache are served locally at memory speed.
+// With integrity on, every recorded page the read touches is re-verified
+// first: a mismatch quarantines the page and attempts an inline ring
+// repair; if that fails the read aborts with ErrDataIntegrity, leaving the
+// page quarantined for the scrubber / journal-replay path.
+func (c *Client) readSeg(f *fileData, s datatype.Seg, buf []byte, t sim.Time) (sim.Time, error) {
+	fs := c.fs
+	ps := fs.cfg.PageSize
+
+	var integSvc sim.Time
+	if st := fs.isums; st != nil {
+		firstPage, lastPage := s.Off/ps, (s.Off+s.Len-1)/ps
+		integSvc = fs.cfg.ChecksumTime((lastPage - firstPage + 1) * ps)
+		for pi := firstPage; pi <= lastPage; pi++ {
+			page := f.pages[pi]
+			if page == nil {
+				continue // sparse hole: nothing recorded, nothing to check
+			}
+			if st.Verify(f.name, pi, page) {
+				continue
+			}
+			repaired := st.Repair(f.name, pi, page)
+			c.met.NoteAtRestIntegrity(true, repaired)
+			c.tr.Instant(t, "integrity_mismatch", trace.I("page", pi),
+				trace.S("repaired", fmt.Sprintf("%v", repaired)))
+			if !repaired {
+				st.NoteUnrepairable()
+				return t + integSvc, fmt.Errorf("pfs: read %q page %d: %w",
+					f.name, pi, ErrDataIntegrity)
+			}
+			// Repairing rewrites the whole page: charge one extra page
+			// memcpy on top of the verify pass.
+			integSvc += fs.cfg.MemcpyTime(ps)
+		}
+	}
 
 	f.readBytes(s.Off, buf, ps)
 
@@ -734,7 +1066,7 @@ func (c *Client) readSeg(f *fileData, s datatype.Seg, buf []byte, t sim.Time) si
 		serverBytes += hi - lo
 	}
 	if serverBytes == 0 {
-		return t + fs.cfg.MemcpyTime(s.Len)
+		return t + integSvc + fs.cfg.MemcpyTime(s.Len), nil
 	}
 
 	done := t
@@ -748,6 +1080,8 @@ func (c *Client) readSeg(f *fileData, s datatype.Seg, buf []byte, t sim.Time) si
 		if ost.lastEnd[f.name] != p.seg.Off {
 			svc += fs.cfg.SeekCost
 		}
+		svc += integSvc // checksum verify pass over the touched pages
+		integSvc = 0
 		svc = c.degradeSvc(p.ost, t, svc)
 		end := ost.serve(t, svc)
 		ost.lastEnd[f.name] = p.seg.End()
@@ -757,7 +1091,7 @@ func (c *Client) readSeg(f *fileData, s datatype.Seg, buf []byte, t sim.Time) si
 			done = end
 		}
 	}
-	return done
+	return done, nil
 }
 
 // stripePortion is the part of a segment living on one OST.

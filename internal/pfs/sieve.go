@@ -50,13 +50,25 @@ func (h *Handle) SieveWrite(span datatype.Seg, segs []datatype.Seg, data []byte,
 		t, err = h.c.access("read", h.f, h.c.rmwSpan[:1], nil, scratch, true, t)
 		bufpool.Put(scratch)
 		if err != nil {
-			// A short RMW prefetch is not a short write: its Written is
-			// in span bytes, and no user data landed. Surface it as a
-			// transient whole-window failure the caller can retry.
-			if errors.Is(err, ErrPartial) {
+			switch {
+			case errors.Is(err, ErrDataIntegrity):
+				// The prefetch only feeds the timing model: its bytes are
+				// discarded, and a quarantined page in the span stays
+				// quarantined for every real reader. Failing the window
+				// here would block the clean full rewrite that is the
+				// repair path, so press on — fully rewritten pages clear
+				// their quarantine below, gap pages keep it.
+				h.c.tr.Instant(t, "sieve_rmw_quarantined",
+					trace.I("span", span.Len))
+			case errors.Is(err, ErrPartial):
+				// A short RMW prefetch is not a short write: its Written
+				// is in span bytes, and no user data landed. Surface it
+				// as a transient whole-window failure the caller can
+				// retry.
 				return t, fmt.Errorf("pfs: sieve rmw read %q: %w", h.f.name, ErrTransient)
+			default:
+				return t, err
 			}
-			return t, err
 		}
 	}
 	// Apply the useful bytes, but charge the write as one contiguous span.
@@ -113,11 +125,24 @@ func (c *Client) accessSieveSpan(f *fileData, span datatype.Seg, segs []datatype
 	t += c.lockSpan(f, c.rmwSpan[:1], true, now)
 	conflictSvc := c.stripeConflicts(f, span, t)
 
-	// Scatter the data.
+	// Scatter the data. Each landed segment passes through the same
+	// integrity gates as the plain write path: partially covered pages are
+	// re-verified before the merge, checksums are recorded over the landed
+	// content, and the fault schedule gets its chance to corrupt the media
+	// — the sieve buffer is not a side door around the checksummed
+	// datapath.
+	c.integrityPreMergeSpan(f, span, segs, t)
 	pos := int64(0)
 	for _, s := range segs {
 		f.writeBytes(s.Off, data[pos:pos+s.Len], fs.cfg.PageSize)
 		pos += s.Len
+	}
+	// Checksums first (over the union of the landed segments), injection
+	// second, so the recorded sums cover the intended content and the
+	// damage is detectable.
+	integSvc := c.integrityRecordSpan(f, span, segs, t)
+	for _, s := range segs {
+		c.injectFlip(f, s, t)
 	}
 	if span.End() > f.size {
 		f.size = span.End()
@@ -139,6 +164,8 @@ func (c *Client) accessSieveSpan(f *fileData, span datatype.Seg, segs []datatype
 		}
 		svc += conflictSvc
 		conflictSvc = 0
+		svc += integSvc // checksum pass over the landed segments
+		integSvc = 0
 		svc = c.degradeSvc(p.ost, t, svc)
 		end := ost.serve(t, svc)
 		ost.lastEnd[f.name] = p.seg.End()

@@ -1,0 +1,119 @@
+package realm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spread wraps an Assigner so that, when fewer aggregators are wanted than
+// there are slots (cb_nodes < P), the realm-owning aggregators are spread
+// across distinct nodes instead of packed onto the first ranks. With ranks
+// placed node-major — the common MPI launch layout — slots 0..cb_nodes-1
+// all land on the first node or two, so every shuffle byte funnels into one
+// NIC and NodeLocal has nothing local to exploit on the other nodes. Spread
+// keeps one slot per rank (ctx.NAggs stays the world size) but hands
+// non-empty realms to only Active of them, chosen round-robin across nodes;
+// the remaining slots get empty realms and fall out of the exchange, which
+// is the same inert-slot mechanism Failover uses for dead aggregators.
+//
+// Compose with Failover as Failover{Base: Spread{...}}: the dead slots are
+// removed first, then the spread picks among survivors, so a failover never
+// routes a realm through a dead rank.
+type Spread struct {
+	// Base computes the actual realms for the chosen aggregators.
+	Base Assigner
+	// Active is how many slots receive realms (the cb_nodes hint). Zero or
+	// >= ctx.NAggs disables the spread and delegates to Base unchanged.
+	Active int
+}
+
+// Name implements Assigner.
+func (s Spread) Name() string {
+	return fmt.Sprintf("spread(%s,active=%d)", s.Base.Name(), s.Active)
+}
+
+// NeedsSegs implements Assigner.
+func (s Spread) NeedsSegs() bool { return s.Base.NeedsSegs() }
+
+// Assign implements Assigner: pick Active slots round-robin across distinct
+// nodes, run Base over just those, and scatter its realms back onto the
+// chosen slots (all other slots stay empty).
+func (s Spread) Assign(ctx Context) ([]Realm, error) {
+	if err := validate(ctx); err != nil {
+		return nil, err
+	}
+	if s.Active <= 0 || s.Active >= ctx.NAggs {
+		return s.Base.Assign(ctx)
+	}
+	nodeOf := ctx.NodeOf
+	if nodeOf == nil {
+		nodeOf = func(r int) int { return r }
+	}
+	chosen := spreadSlots(ctx, s.Active, nodeOf)
+	sub := ctx
+	sub.NAggs = len(chosen)
+	sub.AggRanks = make([]int, len(chosen))
+	for i, sl := range chosen {
+		sub.AggRanks[i] = ctx.AggRank(sl)
+	}
+	realms, err := s.Base.Assign(sub)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Realm, ctx.NAggs)
+	for i, sl := range chosen {
+		out[sl] = realms[i]
+	}
+	return out, nil
+}
+
+// spreadSlots picks active slots of ctx, visiting nodes round-robin (one
+// slot per node per pass, nodes in ascending order, slots within a node in
+// ascending order) so the chosen aggregators sit on as many distinct nodes
+// as possible. Returned ascending, so the base policy's realm order follows
+// rank order like every other assigner's.
+func spreadSlots(ctx Context, active int, nodeOf func(int) int) []int {
+	byNode := map[int][]int{}
+	var nodes []int
+	for sl := 0; sl < ctx.NAggs; sl++ {
+		n := nodeOf(ctx.AggRank(sl))
+		if len(byNode[n]) == 0 {
+			nodes = append(nodes, n)
+		}
+		byNode[n] = append(byNode[n], sl)
+	}
+	sort.Ints(nodes)
+	chosen := make([]int, 0, active)
+	for pass := 0; len(chosen) < active; pass++ {
+		took := false
+		for _, n := range nodes {
+			if len(chosen) >= active {
+				break
+			}
+			if slots := byNode[n]; pass < len(slots) {
+				chosen = append(chosen, slots[pass])
+				took = true
+			}
+		}
+		if !took {
+			break // fewer slots than requested: take what exists
+		}
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// SpreadRanks returns the ranks Spread would choose as aggregators for the
+// default slot==rank layout: active of size ranks, round-robin across
+// distinct nodes, ascending. Exposed for placement tests and for tools that
+// report the expected aggregator set.
+func SpreadRanks(active, size int, nodeOf func(int) int) []int {
+	return spreadSlots(Context{NAggs: size}, active, wrapNodeOf(nodeOf))
+}
+
+func wrapNodeOf(nodeOf func(int) int) func(int) int {
+	if nodeOf == nil {
+		return func(r int) int { return r }
+	}
+	return nodeOf
+}

@@ -64,6 +64,11 @@ type Config struct {
 	PairProcessCost Time
 	// MemcpyBandwidth is the pack/unpack and buffer-copy bandwidth.
 	MemcpyBandwidth float64
+	// ChecksumBandwidth is the streaming-checksum bandwidth. A checksum is
+	// a single read-only pass over the buffer, so it runs well above the
+	// copy bandwidth (which streams both a read and a write). Zero falls
+	// back to MemcpyBandwidth.
+	ChecksumBandwidth float64
 
 	// --- Parallel file system (Lustre-like) ---
 
@@ -119,8 +124,9 @@ func DefaultConfig() *Config {
 		IntraNodeBandwidth: 6e9,
 		CollLatencyFactor:  1.0,
 
-		PairProcessCost: 0.45e-6,
-		MemcpyBandwidth: 1.2e9,
+		PairProcessCost:   0.45e-6,
+		MemcpyBandwidth:   1.2e9,
+		ChecksumBandwidth: 4.8e9,
 
 		StripeSize:       2 << 20,
 		StripeCount:      4,
@@ -155,6 +161,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("sim: PageSize must be positive, got %d", c.PageSize)
 	case c.IntraNodeBandwidth < 0:
 		return fmt.Errorf("sim: IntraNodeBandwidth must be non-negative, got %v", c.IntraNodeBandwidth)
+	case c.ChecksumBandwidth < 0:
+		return fmt.Errorf("sim: ChecksumBandwidth must be non-negative, got %v", c.ChecksumBandwidth)
 	case c.IntraNodeLatency < 0:
 		return fmt.Errorf("sim: IntraNodeLatency must be non-negative, got %v", c.IntraNodeLatency)
 	case c.NetLatency < 0 || c.SendOverhead < 0 || c.PairProcessCost < 0 ||
@@ -210,6 +218,20 @@ func (c *Config) MemcpyTime(n int64) Time {
 		return 0
 	}
 	return Time(float64(n) / c.MemcpyBandwidth)
+}
+
+// ChecksumTime is the virtual time for one streaming checksum pass over n
+// bytes. Read-only, so cheaper than a copy; falls back to the memcpy
+// bandwidth when no checksum bandwidth is configured.
+func (c *Config) ChecksumTime(n int64) Time {
+	if n <= 0 {
+		return 0
+	}
+	bw := c.ChecksumBandwidth
+	if bw <= 0 {
+		bw = c.MemcpyBandwidth
+	}
+	return Time(float64(n) / bw)
 }
 
 // PairTime is the virtual time to process n offset/length pairs.

@@ -61,6 +61,33 @@ func (s *Service) WriteProm(w io.Writer) error {
 	gauge("tenant_inflight", "jobs currently running", func(st Stats) int64 { return int64(st.InFlight) })
 	gauge("tenant_tokens", "tokens left in the tenant's bucket", func(st Stats) int64 { return st.Tokens })
 
+	// Background scrubber: per-tenant repair progress plus the service-wide
+	// totals (only present once the checksummed datapath is on).
+	counter("tenant_scrub_repaired", "quarantined stripe blocks the scrubber healed in the tenant's namespace", func(st Stats) int64 { return st.ScrubRepaired })
+	gauge("tenant_scrub_backlog", "stripe blocks quarantined right now under the tenant's namespace", func(st Stats) int64 { return int64(st.ScrubBacklog) })
+	if sc := s.ScrubStats(); sc.Ticks > 0 || sc.Backlog > 0 {
+		for _, m := range []struct {
+			name, help string
+			val        int64
+			gauge      bool
+		}{
+			{"scrub_ticks_total", "scrub ticks executed", sc.Ticks, false},
+			{"scrub_scanned_total", "quarantined blocks examined by the scrubber", sc.Scanned, false},
+			{"scrub_repaired_total", "quarantined blocks the scrubber repaired", sc.Repaired, false},
+			{"scrub_stuck_total", "scrub examinations that left the block quarantined", sc.Stuck, false},
+			{"scrub_backlog", "stripe blocks quarantined right now", int64(sc.Backlog), true},
+		} {
+			full := promPrefix + m.name
+			typ := "counter"
+			if m.gauge {
+				typ = "gauge"
+			}
+			fmt.Fprintf(bw, "# HELP %s %s\n", full, m.help)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", full, typ)
+			fmt.Fprintf(bw, "%s %d\n", full, m.val)
+		}
+	}
+
 	// Per-OST breakers.
 	status := s.brk.Status()
 	name := promPrefix + "ost_breaker_state"

@@ -34,6 +34,7 @@ import (
 	"flexio/internal/critpath"
 	"flexio/internal/datatype"
 	"flexio/internal/hpio"
+	"flexio/internal/integrity"
 	"flexio/internal/metrics"
 	"flexio/internal/mpi"
 	"flexio/internal/mpiio"
@@ -117,6 +118,12 @@ type Config struct {
 	// NodeRanks is the block node-mapping width tenant worlds run under
 	// (0 = 2, matching the benchmark suite).
 	NodeRanks int
+	// ScrubPerTick is the background scrubber's per-tenant budget: how
+	// many quarantined stripe blocks each tenant's namespace may have
+	// scanned per Tick (0 = the scrubber default). It only matters when
+	// the shared file system has its checksummed datapath enabled
+	// (pfs.FileSystem.EnableIntegrity); otherwise no scrubber runs.
+	ScrubPerTick int
 }
 
 // Job is one collective-I/O workload a tenant submits: its own world of
@@ -184,6 +191,7 @@ type Tenant struct {
 	shedDeadline  int64
 	shedClosed    int64
 	cost          int64   // consumed I/O bytes, the fair-share key
+	scrubRepaired int64   // quarantined blocks the scrubber healed in this tenant's namespace
 	folded        []int64 // completed jobs' merged counters, schema order
 	lastMet       *metrics.Set
 	lastSink      *trace.Sink
@@ -235,6 +243,7 @@ type Service struct {
 	order   []*Tenant // registration order: deterministic iteration
 	running int
 	ticks   int64
+	scrub   *integrity.Scrubber // built on first Tick after FS integrity is enabled
 
 	closed atomic.Bool
 }
@@ -369,12 +378,44 @@ func (s *Service) Tick() {
 			t.queue = keep
 		}
 	}
+	// The background scrubber rides the same logical clock. Built lazily:
+	// integrity may be enabled on the shared file system after the service
+	// is constructed (the serve CLI does exactly that).
+	if s.scrub == nil && s.fs.IntegrityStore() != nil {
+		s.scrub = s.fs.Scrubber(s.cfg.ScrubPerTick)
+	}
+	scrub := s.scrub
+	tenants := append([]*Tenant(nil), s.order...)
 	s.mu.Unlock()
 	for _, p := range shed {
 		close(p.done)
 	}
 	s.brk.Tick(now)
+	if scrub != nil {
+		// Tenant-aware scrubbing: tenants namespace their files
+		// ("<tenant>/..."), and each namespace gets its own per-tick
+		// budget, so one tenant's corrupted files cannot consume
+		// another's repair bandwidth. A final unprefixed pass picks up
+		// quarantined blocks outside any tenant namespace.
+		for _, t := range tenants {
+			if fixed := scrub.Tick(t.name + "/"); fixed > 0 {
+				s.mu.Lock()
+				t.scrubRepaired += int64(fixed)
+				s.mu.Unlock()
+			}
+		}
+		scrub.Tick("")
+	}
 	s.drain()
+}
+
+// ScrubStats snapshots the background scrubber's progress (zero when the
+// file system runs without the checksummed datapath).
+func (s *Service) ScrubStats() integrity.ScrubStats {
+	s.mu.Lock()
+	scrub := s.scrub
+	s.mu.Unlock()
+	return scrub.Snapshot()
 }
 
 // Ticks returns the logical clock.
@@ -630,6 +671,9 @@ type Stats struct {
 	Rejected      int64 // all typed rejections (sheds + session-step denials)
 	Degraded      int64 // jobs/steps that ran while a breaker was open
 
+	ScrubRepaired int64 // quarantined blocks the scrubber healed in this tenant's namespace
+	ScrubBacklog  int   // blocks quarantined right now under the tenant's namespace
+
 	CritPathSec float64 // last job's critical-path window (virtual seconds)
 }
 
@@ -638,10 +682,15 @@ func (st Stats) Shed() int64 { return st.ShedQueueFull + st.ShedDeadline + st.Sh
 
 // TenantStats snapshots every tenant in registration order.
 func (s *Service) TenantStats() []Stats {
+	st := s.fs.IntegrityStore()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]Stats, 0, len(s.order))
 	for _, t := range s.order {
+		backlog := 0
+		if st != nil {
+			backlog = st.Backlog(t.name + "/")
+		}
 		out = append(out, Stats{
 			Name:          t.name,
 			Jobs:          t.jobs,
@@ -655,6 +704,8 @@ func (s *Service) TenantStats() []Stats {
 			ShedClosed:    t.shedClosed,
 			Rejected:      t.rejected.Load(),
 			Degraded:      t.degraded.Load(),
+			ScrubRepaired: t.scrubRepaired,
+			ScrubBacklog:  backlog,
 			CritPathSec:   t.critSec,
 		})
 	}

@@ -318,6 +318,24 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 	p.ChargeTime(stats.PExchange, p.Clock()-t0)
 	p.Trace.End(p.Clock())
 
+	// A request list that arrived corrupted past the re-request budget
+	// reads as an empty access. For writes the client's unsolicited round
+	// payloads would merely sit unmatched, but for reads the aggregator
+	// would never send that client its pieces — and the client, whose own
+	// view of its access is intact, would wait forever: a deadlock, not an
+	// abort. The receiving aggregator is the only rank that knows, so when
+	// the checksummed datapath is armed every rank rendezvous here and
+	// aborts with ClassIntegrity before the rounds begin.
+	if p.World().IntegrityEnabled() {
+		var reqErr error
+		if ierr := p.TakeIntegrityFailure(); ierr != nil {
+			reqErr = fmt.Errorf("twophase: request exchange: %w", ierr)
+		}
+		if err := mpiio.AgreeError(p, reqErr); err != nil {
+			return err
+		}
+	}
+
 	// Round count: every rank can compute it from the global domain
 	// bounds.
 	cb := info.CollBufSize
@@ -491,11 +509,16 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 				for k, c := range recvFrom {
 					data := payloads[k]
 					if data == nil {
-						// The client died or stalled past the deadline; its
-						// round data never arrived. Skip its entries — the
-						// boundary agreement below aborts every rank.
+						// The client died, stalled past the deadline, or its
+						// payload arrived corrupted past the re-request
+						// budget. Skip its entries — the boundary agreement
+						// below aborts every rank with the right class.
 						if firstErr == nil {
-							firstErr = fmt.Errorf("twophase: round %d: %w", r, mpi.ErrRankUnresponsive)
+							if ierr := p.TakeIntegrityFailure(); ierr != nil {
+								firstErr = fmt.Errorf("twophase: round %d: %w", r, ierr)
+							} else {
+								firstErr = fmt.Errorf("twophase: round %d: %w", r, mpi.ErrRankUnresponsive)
+							}
 						}
 						continue
 					}
@@ -653,11 +676,16 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			for _, sp := range sent {
 				data, _ := p.Recv(sp.agg, tag)
 				if data == nil {
-					// Dead or straggling aggregator: nothing to place; the
-					// boundary agreement aborts before partial data could
-					// reach the user buffer.
+					// Dead or straggling aggregator — or read-back data
+					// corrupted past the re-request budget: nothing to
+					// place; the boundary agreement aborts before partial
+					// data could reach the user buffer.
 					if firstErr == nil {
-						firstErr = fmt.Errorf("twophase: round %d: %w", r, mpi.ErrRankUnresponsive)
+						if ierr := p.TakeIntegrityFailure(); ierr != nil {
+							firstErr = fmt.Errorf("twophase: round %d: %w", r, ierr)
+						} else {
+							firstErr = fmt.Errorf("twophase: round %d: %w", r, mpi.ErrRankUnresponsive)
+						}
 					}
 					continue
 				}
@@ -672,6 +700,14 @@ func (i *Impl) collective(f *mpiio.File, buf []byte, memtype datatype.Type, coun
 			p.Trace.End(p.Clock())
 		}
 		p.Trace.End(p.Clock()) // round span
+
+		// A payload that arrived corrupted and exhausted its re-request
+		// budget is unusable (shuffle data on writes, read-back data on
+		// reads): consume the sticky failure so the boundary agreement
+		// aborts every rank with ClassIntegrity.
+		if ierr := p.TakeIntegrityFailure(); ierr != nil && firstErr == nil {
+			firstErr = fmt.Errorf("twophase: round %d: %w", r, ierr)
+		}
 
 		p.Metrics.EndRound(p.Stats, probe, r, amAgg, roundSend, roundRecv)
 
